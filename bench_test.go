@@ -1,0 +1,90 @@
+package prestores_test
+
+import (
+	"io"
+	"testing"
+
+	"prestores/internal/bench"
+)
+
+// benchExperiment runs a registered experiment once per benchmark
+// iteration in quick mode. Each experiment regenerates one of the
+// paper's tables or figures; run `go run ./cmd/prestore-bench -all` for
+// the full-size sweeps and readable output.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Run(io.Discard, true)
+	}
+}
+
+// Table 1: device granularities.
+func BenchmarkTable1DeviceGranularities(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table 2: DirtBuster classification of every evaluated application.
+func BenchmarkTable2DirtBusterClassification(b *testing.B) { benchExperiment(b, "table2") }
+
+// Figure 3: Listing 1 speedup and write amplification on Machine A.
+func BenchmarkFig3Listing1CleanSpeedup(b *testing.B) { benchExperiment(b, "fig3") }
+
+// Section 5, Listing 3: cleaning a constantly rewritten line.
+func BenchmarkListing3HotLineCleanSlowdown(b *testing.B) { benchExperiment(b, "listing3") }
+
+// Section 5: skip-vs-clean crossover on the re-read.
+func BenchmarkSkipVsCleanCrossover(b *testing.B) { benchExperiment(b, "skipvsclean") }
+
+// Figure 5: demote pre-store vs reads-before-fence on Machine B.
+func BenchmarkFig5DemoteReadsBeforeFence(b *testing.B) { benchExperiment(b, "fig5") }
+
+// Figure 7: TensorFlow training proxy, clean vs skip.
+func BenchmarkFig7TensorTrainCleanVsSkip(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Figure 8: TensorFlow write amplification.
+func BenchmarkFig8TensorWriteAmplification(b *testing.B) { benchExperiment(b, "fig8") }
+
+// Figure 9: NAS kernels normalized runtime.
+func BenchmarkFig9NASNormalizedRuntime(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Figure 10: CLHT YCSB-A throughput vs value size on Machine A.
+func BenchmarkFig10CLHTValueSweep(b *testing.B) { benchExperiment(b, "fig10") }
+
+// Figure 11: Masstree YCSB-A throughput vs value size on Machine A.
+func BenchmarkFig11MasstreeValueSweep(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Figure 12: CLHT write amplification vs value size.
+func BenchmarkFig12CLHTWriteAmplification(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Figure 13: CLHT on Machine B fast/slow.
+func BenchmarkFig13CLHTMachineB(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Figure 14: Masstree on Machine B fast/slow.
+func BenchmarkFig14MasstreeMachineB(b *testing.B) { benchExperiment(b, "fig14") }
+
+// Section 7.3.2: X9 message-passing latency.
+func BenchmarkX9MessageLatency(b *testing.B) { benchExperiment(b, "x9") }
+
+// Section 7.4: pre-store overheads when misapplied.
+func BenchmarkOverheadMisappliedPrestores(b *testing.B) { benchExperiment(b, "overhead") }
+
+// Ablations (DESIGN.md §5).
+func BenchmarkAblateDrainMode(b *testing.B)  { benchExperiment(b, "ablate-drain") }
+func BenchmarkAblateLLCPolicy(b *testing.B)  { benchExperiment(b, "ablate-llc") }
+func BenchmarkAblateDirectory(b *testing.B)  { benchExperiment(b, "ablate-dir") }
+func BenchmarkAblatePMEMBuffer(b *testing.B) { benchExperiment(b, "ablate-pmembuf") }
+
+// Section 7.2.3: pre-store gains across YCSB mixes.
+func BenchmarkYCSBMixes(b *testing.B) { benchExperiment(b, "ycsb-mixes") }
+
+// Extension: Machine C (CXL SSD) amplification.
+func BenchmarkExtCXLSSD(b *testing.B) { benchExperiment(b, "ext-cxlssd") }
+
+// Section 7.2.3: thread scaling of the CLHT experiment.
+func BenchmarkKVThreadScaling(b *testing.B) { benchExperiment(b, "kv-threads") }
+
+// Extensions: prefetcher orthogonality and sequential-writer logs.
+func BenchmarkExtPrefetchOrthogonal(b *testing.B) { benchExperiment(b, "ext-prefetch") }
+func BenchmarkExtSequentialLog(b *testing.B)      { benchExperiment(b, "ext-seqlog") }

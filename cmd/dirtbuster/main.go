@@ -1,0 +1,54 @@
+// Command dirtbuster runs the DirtBuster analysis pipeline on one of
+// the bundled workloads and prints the paper-format report: the
+// write-intensive functions, their sequentiality contexts with re-read
+// and re-write distances, fence proximity, and the pre-store
+// recommendation for each.
+//
+// Usage:
+//
+//	dirtbuster -list                 # available workloads
+//	dirtbuster -workload tensorflow  # analyze one workload
+//	dirtbuster -workload all         # analyze everything (Table 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prestores/internal/bench"
+	"prestores/internal/dirtbuster"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list workloads and exit")
+	workload := flag.String("workload", "", "workload to analyze (or 'all')")
+	quick := flag.Bool("quick", true, "use smoke-sized workload inputs")
+	flag.Parse()
+
+	workloads := bench.Table2Workloads(*quick)
+	switch {
+	case *list:
+		for _, w := range workloads {
+			fmt.Println(w.Name)
+		}
+	case *workload == "all":
+		for _, w := range workloads {
+			rep := dirtbuster.Analyze(w, dirtbuster.Config{})
+			fmt.Println(rep.Render())
+		}
+	case *workload != "":
+		for _, w := range workloads {
+			if w.Name == *workload {
+				rep := dirtbuster.Analyze(w, dirtbuster.Config{})
+				fmt.Println(rep.Render())
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "unknown workload %q; try -list\n", *workload)
+		os.Exit(2)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,36 @@
+// Command machines prints the simulated machine configurations and the
+// device-granularity table (paper Table 1).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"prestores/internal/bench"
+	"prestores/internal/sim"
+	"prestores/internal/units"
+)
+
+func main() {
+	if e, ok := bench.Lookup("table1"); ok {
+		bench.RunOne(os.Stdout, e, true)
+	}
+	fmt.Println()
+	for _, m := range []*sim.Machine{sim.MachineA(), sim.MachineBFast(), sim.MachineBSlow(), sim.MachineC()} {
+		cfg := m.Config()
+		fmt.Printf("%s\n", m.Name())
+		fmt.Printf("  cores=%d  line=%dB  clock=%.1fGHz  drain=%s  dir-on-device=%v  clean-to-POU=%v\n",
+			cfg.Cores, cfg.LineSize, float64(cfg.Clock)/1e9, cfg.Drain, cfg.DirOnDevice, cfg.CleanToPOU)
+		fmt.Printf("  L1 %s %d-way %s", units.Bytes(cfg.L1.Size), cfg.L1.Ways, cfg.L1.Policy)
+		if cfg.L2.Size > 0 {
+			fmt.Printf(" | L2 %s %d-way %s", units.Bytes(cfg.L2.Size), cfg.L2.Ways, cfg.L2.Policy)
+		}
+		fmt.Printf(" | LLC %s %d-way %s\n", units.Bytes(cfg.LLC.Size), cfg.LLC.Ways, cfg.LLC.Policy)
+		for _, w := range cfg.Windows {
+			d := w.Device
+			fmt.Printf("  window %-6s %-8s granularity=%-5s read-lat=%d cyc\n",
+				w.Name, d.Kind(), units.Bytes(d.InternalGranularity()), d.ReadLatency())
+		}
+		fmt.Println()
+	}
+}

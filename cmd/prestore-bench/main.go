@@ -1,0 +1,48 @@
+// Command prestore-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	prestore-bench -list              # list experiments
+//	prestore-bench -run fig3          # one experiment
+//	prestore-bench -run fig3,fig5     # several
+//	prestore-bench -all               # everything (slow)
+//	prestore-bench -all -quick        # smoke-sized sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prestores/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "comma-separated experiment IDs to run")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		bench.RunAll(os.Stdout, *quick)
+	case *run != "":
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := bench.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+				os.Exit(2)
+			}
+			bench.RunOne(os.Stdout, e, *quick)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

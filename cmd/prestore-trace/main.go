@@ -1,0 +1,113 @@
+// Command prestore-trace records a workload's full operation trace to a
+// file and analyzes recordings offline — DirtBuster's intended usage as
+// an optimization pass decoupled from the profiled run (paper §6.1).
+//
+// Usage:
+//
+//	prestore-trace -record tf.trace -workload tensorflow
+//	prestore-trace -analyze tf.trace -line 64
+//	prestore-trace -analyze tf.trace -pmcheck -pmbase 0x10000000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prestores/internal/bench"
+	"prestores/internal/dirtbuster"
+	"prestores/internal/pmcheck"
+	"prestores/internal/trace"
+)
+
+func main() {
+	record := flag.String("record", "", "record the workload's trace to this file")
+	analyze := flag.String("analyze", "", "analyze a recorded trace file")
+	workload := flag.String("workload", "", "workload to record (see prestore-trace -list)")
+	list := flag.Bool("list", false, "list recordable workloads")
+	name := flag.String("name", "trace", "application name for the analysis report")
+	lineSize := flag.Uint64("line", 64, "cache line size of the recorded machine")
+	report := flag.Bool("report", false, "print a perf-report-style per-function time profile")
+	pmCheck := flag.Bool("pmcheck", false, "run the persistence checker instead of DirtBuster")
+	pmBase := flag.Uint64("pmbase", 1<<40, "persistent range base for -pmcheck")
+	pmSize := flag.Uint64("pmsize", 256<<30, "persistent range size for -pmcheck")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, w := range bench.Table2Workloads(true) {
+			fmt.Println(w.Name)
+		}
+	case *record != "" && *workload != "":
+		for _, w := range bench.Table2Workloads(true) {
+			if w.Name != *workload {
+				continue
+			}
+			tb, line := dirtbuster.Record(w)
+			f, err := os.Create(*record)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tb.Encode(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("recorded %d ops of %q (line size %dB) to %s\n",
+				tb.Len(), w.Name, line, *record)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "unknown workload %q; try -list\n", *workload)
+		os.Exit(2)
+	case *analyze != "":
+		f, err := os.Open(*analyze)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tb, err := trace.Decode(f)
+		if err != nil {
+			fatal(err)
+		}
+		if *report {
+			fmt.Printf("%-32s %10s %8s %8s %8s\n", "function", "cycles", "time%", "store%", "ops")
+			for _, ft := range tb.TimeByFunction() {
+				if ft.Fn == "" {
+					ft.Fn = "(untagged)"
+				}
+				storePct := 0.0
+				if ft.Cycles > 0 {
+					storePct = 100 * float64(ft.StoreCyc) / float64(ft.Cycles)
+				}
+				fmt.Printf("%-32s %10d %7.1f%% %7.1f%% %8d\n",
+					ft.Fn, ft.Cycles, ft.TimeShare*100, storePct, ft.Ops)
+			}
+			return
+		}
+		if *pmCheck {
+			res := pmcheck.Check(tb, pmcheck.Config{
+				Base: *pmBase, Size: *pmSize, LineSize: *lineSize,
+			})
+			fmt.Printf("pmcheck: %d line-stores checked, %d commits, %d violations\n",
+				res.StoresChecked, res.Commits, len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Println("  ", v)
+			}
+			if !res.Ok() {
+				os.Exit(1)
+			}
+			return
+		}
+		rep := dirtbuster.AnalyzeTrace(*name, tb, *lineSize, dirtbuster.Config{})
+		fmt.Println(rep.Render())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prestore-trace:", err)
+	os.Exit(1)
+}

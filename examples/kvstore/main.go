@@ -1,0 +1,42 @@
+// kvstore: the paper's key-value experiment (§7.2.3) in miniature — a
+// CLHT hash table under YCSB-A on Machine A, comparing how the PUT
+// path crafts its values: plain stores, stores + clean pre-store
+// (Listing 6), or non-temporal stores (skipping the cache).
+package main
+
+import (
+	"fmt"
+
+	"prestores"
+	"prestores/internal/sim"
+	"prestores/internal/units"
+	"prestores/internal/workloads/clht"
+	"prestores/internal/workloads/kv"
+	"prestores/internal/workloads/ycsb"
+)
+
+func main() {
+	fmt.Println("CLHT under YCSB-A (50% GET / 50% PUT), 1KB values, machine A")
+	fmt.Println()
+
+	var baseline float64
+	for _, mode := range []kv.CraftMode{kv.CraftBaseline, kv.CraftClean, kv.CraftSkip} {
+		m := prestores.NewMachineA()
+		store := clht.New(m, clht.Config{Buckets: 1 << 17, Overflow: 32 * units.MiB})
+		heap := kv.NewValueHeap(m, sim.WindowPMEM, units.GiB)
+		cfg := ycsb.Config{
+			Records: 200_000, Ops: 3000, Threads: 10,
+			ValueSize: 1024, Workload: ycsb.A, Craft: mode, Seed: 7,
+		}
+		ycsb.Load(m, store, heap, cfg)
+		res := ycsb.Run(m, store, heap, cfg)
+		if mode == kv.CraftBaseline {
+			baseline = res.OpsPerSec
+		}
+		fmt.Printf("%-9s  %8.2fM ops/s  write amp %.2fx  speedup %.2fx\n",
+			mode, res.OpsPerSec/1e6, res.WriteAmp, res.OpsPerSec/baseline)
+	}
+
+	fmt.Println("\nThe crafted values dominate the write stream; cleaning or skipping")
+	fmt.Println("them keeps the PMEM from paying a full 256B media write per 64B line.")
+}

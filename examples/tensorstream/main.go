@@ -1,0 +1,37 @@
+// tensorstream: the paper's TensorFlow experiment (§7.2.1) in
+// miniature — an Eigen-style tensor evaluator streaming results into
+// large output tensors on Machine A. DirtBuster recommends *cleaning*
+// the written packets (the small bias tensors are re-read immediately,
+// so skipping the cache would backfire — Figure 7 shows skip losing).
+package main
+
+import (
+	"fmt"
+
+	"prestores"
+	"prestores/internal/workloads/tensor"
+)
+
+func main() {
+	fmt.Println("Tensor training proxy on machine A, batch-size sweep")
+	fmt.Println()
+	fmt.Printf("%6s  %14s  %12s  %12s\n", "batch", "baseline Mcyc", "clean", "skip")
+
+	for _, batch := range []int{1, 16, 64} {
+		cfg := tensor.TrainConfig{BatchSize: batch, Features: 2048, Steps: 1}
+		run := func(mode tensor.Mode) tensor.TrainResult {
+			cfg.Mode = mode
+			return tensor.Train(prestores.NewMachineA(), cfg)
+		}
+		base := run(tensor.Baseline)
+		clean := run(tensor.Clean)
+		skip := run(tensor.Skip)
+		fmt.Printf("%6d  %14.1f  %+11.1f%%  %+11.1f%%\n",
+			batch, float64(base.Elapsed)/1e6,
+			100*(float64(base.Elapsed)/float64(clean.Elapsed)-1),
+			100*(float64(base.Elapsed)/float64(skip.Elapsed)-1))
+	}
+
+	fmt.Println("\nPositive = faster than baseline. Cleaning wins; skipping loses when")
+	fmt.Println("the evaluator re-reads previously written packets (a[x] = f(a[x-4P])).")
+}

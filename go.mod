@@ -1,0 +1,3 @@
+module prestores
+
+go 1.22

@@ -1,0 +1,93 @@
+// Package bench is the experiment harness: one registered experiment
+// per table and figure of the paper's evaluation, each regenerating the
+// same rows/series the paper reports, plus the ablations called out in
+// DESIGN.md. The cmd/prestore-bench binary and the root bench_test.go
+// drive this registry.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	// ID is the short handle, e.g. "fig3" or "table2".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Paper summarizes what the paper reports, for side-by-side reading.
+	Paper string
+	// Run executes the experiment, writing its table to w. quick mode
+	// shrinks sweeps for smoke tests and testing.B use.
+	Run func(w io.Writer, quick bool)
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate IDs panic at init time.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(w io.Writer, quick bool) {
+	for _, e := range All() {
+		RunOne(w, e, quick)
+	}
+}
+
+// RunOne executes a single experiment with its header.
+func RunOne(w io.Writer, e Experiment, quick bool) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", e.ID, e.Title)
+	fmt.Fprintf(w, "paper: %s\n", e.Paper)
+	e.Run(w, quick)
+}
+
+// header prints a column header row.
+func header(w io.Writer, cols ...string) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+// row prints a data row matching header's layout.
+func row(w io.Writer, cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", (ratio-1)*100) }
+
+func mops(v float64) string { return fmt.Sprintf("%.2fM/s", v/1e6) }

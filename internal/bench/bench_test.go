@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure from the paper's evaluation must have an
+	// experiment, plus the DESIGN.md ablations.
+	want := []string{
+		"table1", "table2",
+		"fig3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14",
+		"listing3", "skipvsclean", "x9", "overhead",
+		"ablate-drain", "ablate-llc", "ablate-dir", "ablate-pmembuf",
+		"ycsb-mixes", "ext-cxlssd", "kv-threads", "ext-prefetch", "ext-seqlog",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatal("All() not sorted")
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown experiment found")
+	}
+}
+
+func TestExperimentMetadata(t *testing.T) {
+	for _, e := range All() {
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q has incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	e, _ := Lookup("table1")
+	var sb strings.Builder
+	e.Run(&sb, true)
+	out := sb.String()
+	for _, want := range []string{"optane", "256B", "fpga", "64B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take seconds")
+	}
+	// A fast subset that exercises each experiment family end to end.
+	for _, id := range []string{"listing3", "skipvsclean", "ablate-dir"} {
+		e, _ := Lookup(id)
+		var sb strings.Builder
+		RunOne(&sb, e, true)
+		if !strings.Contains(sb.String(), e.Title) {
+			t.Errorf("%s output missing title", id)
+		}
+	}
+}
+
+func TestTable2WorkloadsNamed(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range Table2Workloads(true) {
+		if w.Name == "" || w.NewMachine == nil || w.Run == nil {
+			t.Fatalf("incomplete workload %+v", w)
+		}
+		if names[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		names[w.Name] = true
+	}
+	for _, want := range []string{"tensorflow", "x9", "clht", "masstree", "nas-mg", "nas-is", "nas-ep", "c-ray", "gzip", "rust-prime"} {
+		if !names[want] {
+			t.Errorf("table2 workloads missing %q", want)
+		}
+	}
+}
+
+func TestRunOneHeader(t *testing.T) {
+	e := Experiment{ID: "t", Title: "Title", Paper: "P", Run: func(w io.Writer, _ bool) {}}
+	var sb strings.Builder
+	RunOne(&sb, e, true)
+	if !strings.Contains(sb.String(), "Title") || !strings.Contains(sb.String(), "P") {
+		t.Fatal("header incomplete")
+	}
+}

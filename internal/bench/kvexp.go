@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"prestores/internal/sim"
+	"prestores/internal/units"
+	"prestores/internal/workloads/clht"
+	"prestores/internal/workloads/kv"
+	"prestores/internal/workloads/masstree"
+	"prestores/internal/workloads/x9"
+	"prestores/internal/workloads/ycsb"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Title: "CLHT, YCSB-A on Machine A: throughput vs value size",
+		Paper: "Fig 10: skip up to 2.9x, clean up to 2.3x over baseline",
+		Run: func(w io.Writer, quick bool) {
+			runKVA(w, quick, "clht", []kv.CraftMode{kv.CraftBaseline, kv.CraftClean, kv.CraftSkip})
+		},
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Masstree, YCSB-A on Machine A: throughput vs value size",
+		Paper: "Fig 11: skip up to 2.5x, clean up to 1.9x over baseline",
+		Run: func(w io.Writer, quick bool) {
+			runKVA(w, quick, "masstree", []kv.CraftMode{kv.CraftBaseline, kv.CraftClean, kv.CraftSkip})
+		},
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "CLHT, YCSB-A on Machine A: write amplification vs value size",
+		Paper: "Fig 12: baseline ~3.8x at >=256B values; skip and clean eliminate it",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "CLHT, YCSB-A (1KB values) on Machine B fast/slow",
+		Paper: "Fig 13: cleaning (dc cvau -> demote to L2) 52% faster on B-fast",
+		Run: func(w io.Writer, quick bool) {
+			runKVB(w, quick, "clht")
+		},
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Masstree, YCSB-A (1KB values) on Machine B fast/slow",
+		Paper: "Fig 14: cleaning 25% faster",
+		Run: func(w io.Writer, quick bool) {
+			runKVB(w, quick, "masstree")
+		},
+	})
+	register(Experiment{
+		ID:    "x9",
+		Title: "X9 message passing latency on Machine B",
+		Paper: "Section 7.3.2: demote cuts message latency 62% (B-fast) / 40% (B-slow)",
+		Run:   runX9,
+	})
+}
+
+// kvSetup builds a machine + store + heap sized per DESIGN.md §6.
+func kvSetup(mk func() *sim.Machine, which, window string, quick bool) (*sim.Machine, kv.Store, *kv.ValueHeap, ycsb.Config) {
+	m := mk()
+	records := uint64(400_000)
+	ops := 6000
+	if quick {
+		records = 100_000
+		ops = 1500
+	}
+	var store kv.Store
+	if which == "clht" {
+		store = clht.New(m, clht.Config{Window: window, Buckets: 1 << 18, Overflow: 64 * units.MiB})
+	} else {
+		store = masstree.New(m, masstree.Config{Window: window, PoolNodes: 1 << 17})
+	}
+	heap := kv.NewValueHeap(m, window, 4*units.GiB)
+	cfg := ycsb.Config{
+		Records: records, Ops: ops, Threads: 10,
+		Workload: ycsb.A, Window: window, Seed: 99,
+	}
+	return m, store, heap, cfg
+}
+
+func runKVA(w io.Writer, quick bool, which string, modes []kv.CraftMode) {
+	sizes := []uint32{64, 128, 256, 1024, 4096}
+	if quick {
+		sizes = []uint32{256, 1024}
+	}
+	header(w, "value", "baseline", "clean", "clean gain", "skip", "skip gain")
+	for _, vsz := range sizes {
+		results := map[kv.CraftMode]ycsb.Result{}
+		for _, mode := range modes {
+			m, store, heap, cfg := kvSetup(sim.MachineA, which, sim.WindowPMEM, quick)
+			cfg.ValueSize = vsz
+			cfg.Craft = mode
+			ycsb.Load(m, store, heap, cfg)
+			results[mode] = ycsb.Run(m, store, heap, cfg)
+		}
+		base := results[kv.CraftBaseline]
+		clean := results[kv.CraftClean]
+		skip := results[kv.CraftSkip]
+		row(w, units.Bytes(uint64(vsz)),
+			mops(base.OpsPerSec), mops(clean.OpsPerSec),
+			fmt.Sprintf("%.2fx", clean.OpsPerSec/base.OpsPerSec),
+			mops(skip.OpsPerSec),
+			fmt.Sprintf("%.2fx", skip.OpsPerSec/base.OpsPerSec))
+	}
+}
+
+func runFig12(w io.Writer, quick bool) {
+	sizes := []uint32{64, 128, 256, 1024, 4096}
+	if quick {
+		sizes = []uint32{256, 1024}
+	}
+	header(w, "value", "base amp", "clean amp", "skip amp")
+	for _, vsz := range sizes {
+		amps := map[kv.CraftMode]float64{}
+		for _, mode := range []kv.CraftMode{kv.CraftBaseline, kv.CraftClean, kv.CraftSkip} {
+			m, store, heap, cfg := kvSetup(sim.MachineA, "clht", sim.WindowPMEM, quick)
+			cfg.ValueSize = vsz
+			cfg.Craft = mode
+			ycsb.Load(m, store, heap, cfg)
+			amps[mode] = ycsb.Run(m, store, heap, cfg).WriteAmp
+		}
+		row(w, units.Bytes(uint64(vsz)),
+			f2(amps[kv.CraftBaseline]), f2(amps[kv.CraftClean]), f2(amps[kv.CraftSkip]))
+	}
+}
+
+func runKVB(w io.Writer, quick bool, which string) {
+	header(w, "machine", "baseline", "clean", "improvement")
+	for _, mk := range []struct {
+		name string
+		mk   func() *sim.Machine
+	}{{"B-fast", sim.MachineBFast}, {"B-slow", sim.MachineBSlow}} {
+		results := map[kv.CraftMode]ycsb.Result{}
+		// On ARM the "clean" patch compiles to dc cvau, which our
+		// machines model via CleanToPOU (paper §2 / §7.3.1).
+		for _, mode := range []kv.CraftMode{kv.CraftBaseline, kv.CraftClean} {
+			m, store, heap, cfg := kvSetup(mk.mk, which, sim.WindowRemote, quick)
+			cfg.ValueSize = 1024
+			cfg.Craft = mode
+			ycsb.Load(m, store, heap, cfg)
+			results[mode] = ycsb.Run(m, store, heap, cfg)
+		}
+		base, clean := results[kv.CraftBaseline], results[kv.CraftClean]
+		row(w, mk.name, mops(base.OpsPerSec), mops(clean.OpsPerSec),
+			pct(clean.OpsPerSec/base.OpsPerSec))
+	}
+}
+
+func runX9(w io.Writer, quick bool) {
+	iters := 20000
+	if quick {
+		iters = 4000
+	}
+	header(w, "machine", "base lat", "demote lat", "reduction")
+	for _, mk := range []struct {
+		name string
+		mk   func() *sim.Machine
+	}{{"B-fast", sim.MachineBFast}, {"B-slow", sim.MachineBSlow}} {
+		cfg := x9.Config{Iters: iters, MsgSize: 512, Seed: 3}
+		cfg.Mode = x9.Baseline
+		base := x9.Run(mk.mk(), cfg)
+		cfg.Mode = x9.Demote
+		dem := x9.Run(mk.mk(), cfg)
+		row(w, mk.name,
+			fmt.Sprintf("%.0f cyc", base.LatencyCyc),
+			fmt.Sprintf("%.0f cyc", dem.LatencyCyc),
+			fmt.Sprintf("-%.0f%%", 100*(1-dem.LatencyCyc/base.LatencyCyc)))
+	}
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"prestores/internal/sim"
+	"prestores/internal/workloads/kv"
+	"prestores/internal/workloads/ycsb"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ycsb-mixes",
+		Title: "CLHT on Machine A across YCSB mixes: pre-store gains track the write ratio",
+		Paper: "Section 7.2.3: read-only/read-mostly workloads (YCSB B-D) do not benefit from pre-storing",
+		Run:   runYCSBMixes,
+	})
+}
+
+func runYCSBMixes(w io.Writer, quick bool) {
+	mixes := []ycsb.Workload{ycsb.A, ycsb.B, ycsb.C, ycsb.F}
+	header(w, "mix", "write ratio", "baseline", "clean", "clean gain")
+	for _, mix := range mixes {
+		results := map[kv.CraftMode]ycsb.Result{}
+		for _, mode := range []kv.CraftMode{kv.CraftBaseline, kv.CraftClean} {
+			m, store, heap, cfg := kvSetup(sim.MachineA, "clht", sim.WindowPMEM, quick)
+			cfg.ValueSize = 1024
+			cfg.Workload = mix
+			cfg.Craft = mode
+			ycsb.Load(m, store, heap, cfg)
+			results[mode] = ycsb.Run(m, store, heap, cfg)
+		}
+		base, clean := results[kv.CraftBaseline], results[kv.CraftClean]
+		wr := "0%"
+		switch mix {
+		case ycsb.A, ycsb.F:
+			wr = "50%"
+		case ycsb.B:
+			wr = "5%"
+		}
+		row(w, mix.String(), wr, mops(base.OpsPerSec), mops(clean.OpsPerSec),
+			pct(clean.OpsPerSec/base.OpsPerSec))
+	}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "kv-threads",
+		Title: "CLHT YCSB-A (1KB) on Machine A: thread scaling of baseline and clean",
+		Paper: "Section 7.2.3 injects load with 10 threads, 'the configuration that provides the highest throughput'; the clean advantage requires enough threads to pressure the device",
+		Run:   runKVThreads,
+	})
+}
+
+func runKVThreads(w io.Writer, quick bool) {
+	threads := []int{1, 2, 5, 10}
+	if quick {
+		threads = []int{2, 10}
+	}
+	header(w, "threads", "baseline", "clean", "clean gain")
+	for _, th := range threads {
+		results := map[kv.CraftMode]ycsb.Result{}
+		for _, mode := range []kv.CraftMode{kv.CraftBaseline, kv.CraftClean} {
+			m, store, heap, cfg := kvSetup(sim.MachineA, "clht", sim.WindowPMEM, quick)
+			cfg.ValueSize = 1024
+			cfg.Threads = th
+			cfg.Craft = mode
+			ycsb.Load(m, store, heap, cfg)
+			results[mode] = ycsb.Run(m, store, heap, cfg)
+		}
+		base, clean := results[kv.CraftBaseline], results[kv.CraftClean]
+		row(w, fmt.Sprint(th), mops(base.OpsPerSec), mops(clean.OpsPerSec),
+			pct(clean.OpsPerSec/base.OpsPerSec))
+	}
+}

@@ -1,0 +1,331 @@
+// Package btree implements an in-memory B-tree keyed by uint64.
+//
+// DirtBuster stores one record per cache line touched by the traced
+// functions (paper §6.2.3: "The information is currently stored in a
+// B-Tree"); with large traces that is tens of millions of lines, so the
+// structure needs cache-friendly fan-out rather than a binary tree or a
+// hash map with unstable iteration order (reports iterate lines in
+// address order).
+package btree
+
+// degree is the minimum number of children of an internal node. Each
+// node holds between degree-1 and 2*degree-1 keys (except the root).
+const degree = 32
+
+const (
+	maxKeys = 2*degree - 1
+	minKeys = degree - 1
+)
+
+// Tree is a B-tree mapping uint64 keys to values of type V. The zero
+// value is an empty tree ready to use.
+type Tree[V any] struct {
+	root *node[V]
+	len  int
+}
+
+type node[V any] struct {
+	keys     []uint64
+	vals     []V
+	children []*node[V] // nil for leaves
+}
+
+func (n *node[V]) leaf() bool { return n.children == nil }
+
+// search returns the index of the first key >= k and whether it equals k.
+func (n *node[V]) search(k uint64) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == k
+}
+
+// Len returns the number of keys stored in the tree.
+func (t *Tree[V]) Len() int { return t.len }
+
+// Get returns the value stored for key k.
+func (t *Tree[V]) Get(k uint64) (V, bool) {
+	n := t.root
+	for n != nil {
+		i, ok := n.search(k)
+		if ok {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores v under key k, replacing any existing value.
+func (t *Tree[V]) Put(k uint64, v V) {
+	if t.root == nil {
+		t.root = &node[V]{keys: []uint64{k}, vals: []V{v}}
+		t.len = 1
+		return
+	}
+	if len(t.root.keys) == maxKeys {
+		old := t.root
+		t.root = &node[V]{children: []*node[V]{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insert(k, v) {
+		t.len++
+	}
+}
+
+// Update applies fn to the value stored under k, applying it to a
+// fresh zero value first if k is absent. It avoids a separate Get+Put
+// pair on the hot instrumentation path.
+func (t *Tree[V]) Update(k uint64, fn func(v *V)) {
+	if p := t.getPtr(k); p != nil {
+		fn(p)
+		return
+	}
+	var zero V
+	fn(&zero)
+	t.Put(k, zero)
+}
+
+// getPtr returns a pointer to the value stored under k, or nil. The
+// pointer is invalidated by the next mutation of the tree.
+func (t *Tree[V]) getPtr(k uint64) *V {
+	n := t.root
+	for n != nil {
+		i, ok := n.search(k)
+		if ok {
+			return &n.vals[i]
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	return nil
+}
+
+// insert adds k/v below n, which must not be full. It reports whether a
+// new key was inserted (false if an existing key was overwritten).
+func (n *node[V]) insert(k uint64, v V) bool {
+	for {
+		i, ok := n.search(k)
+		if ok {
+			n.vals[i] = v
+			return false
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = k
+			var zero V
+			n.vals = append(n.vals, zero)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = v
+			return true
+		}
+		if len(n.children[i].keys) == maxKeys {
+			n.splitChild(i)
+			// The promoted key may equal or precede k; re-search.
+			continue
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the full child at index i, promoting its median key
+// into n. n must not be full.
+func (n *node[V]) splitChild(i int) {
+	child := n.children[i]
+	mid := maxKeys / 2
+	midKey, midVal := child.keys[mid], child.vals[mid]
+
+	right := &node[V]{
+		keys: append([]uint64(nil), child.keys[mid+1:]...),
+		vals: append([]V(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node[V](nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = midKey
+	var zero V
+	n.vals = append(n.vals, zero)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = midVal
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key k, reporting whether it was present.
+//
+// Deletion uses the standard pre-emptive-merge CLRS algorithm so the
+// descent never needs to back up.
+func (t *Tree[V]) Delete(k uint64) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.root.delete(k)
+	if len(t.root.keys) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	if len(t.root.keys) == 0 && t.root.leaf() {
+		t.root = nil
+	}
+	if deleted {
+		t.len--
+	}
+	return deleted
+}
+
+func (n *node[V]) delete(k uint64) bool {
+	i, ok := n.search(k)
+	if n.leaf() {
+		if !ok {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	if ok {
+		// Replace with predecessor from the left subtree (growing it
+		// first if needed), then delete the predecessor.
+		if len(n.children[i].keys) > minKeys {
+			pk, pv := n.children[i].max()
+			n.keys[i], n.vals[i] = pk, pv
+			return n.children[i].delete(pk)
+		}
+		if len(n.children[i+1].keys) > minKeys {
+			sk, sv := n.children[i+1].min()
+			n.keys[i], n.vals[i] = sk, sv
+			return n.children[i+1].delete(sk)
+		}
+		n.mergeChildren(i)
+		return n.children[i].delete(k)
+	}
+	// Descend into child i, first ensuring it has > minKeys keys.
+	if len(n.children[i].keys) == minKeys {
+		switch {
+		case i > 0 && len(n.children[i-1].keys) > minKeys:
+			n.rotateRight(i)
+		case i < len(n.children)-1 && len(n.children[i+1].keys) > minKeys:
+			n.rotateLeft(i)
+		case i > 0:
+			n.mergeChildren(i - 1)
+			i--
+		default:
+			n.mergeChildren(i)
+		}
+	}
+	return n.children[i].delete(k)
+}
+
+func (n *node[V]) min() (uint64, V) {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+func (n *node[V]) max() (uint64, V) {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	last := len(n.keys) - 1
+	return n.keys[last], n.vals[last]
+}
+
+// rotateRight moves the last key of child i-1 up into n and n's
+// separator down into child i.
+func (n *node[V]) rotateRight(i int) {
+	left, right := n.children[i-1], n.children[i]
+	right.keys = append([]uint64{n.keys[i-1]}, right.keys...)
+	right.vals = append([]V{n.vals[i-1]}, right.vals...)
+	last := len(left.keys) - 1
+	n.keys[i-1], n.vals[i-1] = left.keys[last], left.vals[last]
+	left.keys = left.keys[:last]
+	left.vals = left.vals[:last]
+	if !left.leaf() {
+		right.children = append([]*node[V]{left.children[len(left.children)-1]}, right.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+// rotateLeft moves the first key of child i+1 up into n and n's
+// separator down into child i.
+func (n *node[V]) rotateLeft(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.vals = append(left.vals, n.vals[i])
+	n.keys[i], n.vals[i] = right.keys[0], right.vals[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	right.vals = append(right.vals[:0], right.vals[1:]...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// mergeChildren merges child i, separator i, and child i+1 into one node.
+func (n *node[V]) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.vals = append(left.vals, n.vals[i])
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, right.vals...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend calls fn for every key/value in ascending key order until fn
+// returns false.
+func (t *Tree[V]) Ascend(fn func(k uint64, v V) bool) {
+	t.root.ascend(0, ^uint64(0), fn)
+}
+
+// AscendRange calls fn for keys in [lo, hi] in ascending order until fn
+// returns false.
+func (t *Tree[V]) AscendRange(lo, hi uint64, fn func(k uint64, v V) bool) {
+	t.root.ascend(lo, hi, fn)
+}
+
+func (n *node[V]) ascend(lo, hi uint64, fn func(k uint64, v V) bool) bool {
+	if n == nil {
+		return true
+	}
+	i, _ := n.search(lo)
+	for ; i < len(n.keys); i++ {
+		if !n.leaf() && !n.children[i].ascend(lo, hi, fn) {
+			return false
+		}
+		if n.keys[i] > hi {
+			return true
+		}
+		if !fn(n.keys[i], n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(lo, hi, fn)
+	}
+	return true
+}

@@ -1,0 +1,319 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"prestores/internal/xrand"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree[int]
+	if tr.Len() != 0 {
+		t.Fatalf("empty tree Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get(42); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete(42) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	tr.Ascend(func(k uint64, v int) bool {
+		t.Fatal("Ascend on empty tree visited a key")
+		return true
+	})
+}
+
+func TestPutGet(t *testing.T) {
+	var tr Tree[string]
+	tr.Put(3, "three")
+	tr.Put(1, "one")
+	tr.Put(2, "two")
+	for k, want := range map[uint64]string{1: "one", 2: "two", 3: "three"} {
+		got, ok := tr.Get(k)
+		if !ok || got != want {
+			t.Errorf("Get(%d) = %q,%v want %q", k, got, ok, want)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	var tr Tree[int]
+	tr.Put(5, 50)
+	tr.Put(5, 51)
+	if v, _ := tr.Get(5); v != 51 {
+		t.Fatalf("overwrite lost: got %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", tr.Len())
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	var tr Tree[int]
+	tr.Update(7, func(v *int) { *v += 3 })
+	tr.Update(7, func(v *int) { *v += 4 })
+	if v, _ := tr.Get(7); v != 7 {
+		t.Fatalf("Update accumulated %d, want 7", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestManyInsertionsSplit(t *testing.T) {
+	var tr Tree[uint64]
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		tr.Put(i*7%n, i*7%n*10)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tr.Get(i); !ok || v != i*10 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	var tr Tree[int]
+	rng := xrand.New(77)
+	inserted := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64n(100000)
+		tr.Put(k, int(k))
+		inserted[k] = true
+	}
+	var prev uint64
+	first := true
+	count := 0
+	tr.Ascend(func(k uint64, v int) bool {
+		if !first && k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if int(k) != v {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		prev, first = k, false
+		count++
+		return true
+	})
+	if count != len(inserted) {
+		t.Fatalf("Ascend visited %d keys, want %d", count, len(inserted))
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree[int]
+	for i := uint64(0); i < 100; i++ {
+		tr.Put(i, int(i))
+	}
+	count := 0
+	tr.Ascend(func(k uint64, v int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	var tr Tree[int]
+	for i := uint64(0); i < 1000; i += 2 {
+		tr.Put(i, int(i))
+	}
+	var keys []uint64
+	tr.AscendRange(100, 110, func(k uint64, v int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []uint64{100, 102, 104, 106, 108, 110}
+	if len(keys) != len(want) {
+		t.Fatalf("range keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("range keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree[int]
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		tr.Put(i, int(i))
+	}
+	// Delete every third key.
+	for i := uint64(0); i < n; i += 3 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		_, ok := tr.Get(i)
+		if i%3 == 0 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%3 != 0 && !ok {
+			t.Fatalf("key %d lost by deletion of others", i)
+		}
+	}
+	if tr.Delete(12345678) {
+		t.Fatal("Delete of absent key returned true")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	var tr Tree[int]
+	rng := xrand.New(3)
+	keys := rng.Perm(2000)
+	for _, k := range keys {
+		tr.Put(uint64(k), k)
+	}
+	for _, k := range rng.Perm(2000) {
+		if !tr.Delete(uint64(k)) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after delete-all = %d", tr.Len())
+	}
+}
+
+// TestAgainstMapReference drives the tree and a map with the same
+// pseudo-random operation stream and checks they agree.
+func TestAgainstMapReference(t *testing.T) {
+	var tr Tree[uint64]
+	ref := map[uint64]uint64{}
+	rng := xrand.New(99)
+	for i := 0; i < 50000; i++ {
+		k := rng.Uint64n(4000)
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			tr.Put(k, v)
+			ref[k] = v
+		case 2:
+			gotDel := tr.Delete(k)
+			_, had := ref[k]
+			if gotDel != had {
+				t.Fatalf("step %d: Delete(%d) = %v, ref had %v", i, k, gotDel, had)
+			}
+			delete(ref, k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := tr.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// Ascend must match sorted ref keys exactly.
+	var want []uint64
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []uint64
+	tr.Ascend(func(k uint64, _ uint64) bool { got = append(got, k); return true })
+	if len(got) != len(want) {
+		t.Fatalf("Ascend count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickInsertLookup(t *testing.T) {
+	f := func(keys []uint64) bool {
+		var tr Tree[int]
+		ref := map[uint64]int{}
+		for i, k := range keys {
+			tr.Put(k, i)
+			ref[k] = i
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// invariants walks the tree checking B-tree structural invariants.
+func (t *Tree[V]) invariants(test *testing.T) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *node[V], depth int) int
+	var leafDepth = -1
+	walk = func(n *node[V], depth int) int {
+		if len(n.keys) > maxKeys {
+			test.Fatalf("node has %d keys > max %d", len(n.keys), maxKeys)
+		}
+		if n != t.root && len(n.keys) < minKeys {
+			test.Fatalf("non-root node has %d keys < min %d", len(n.keys), minKeys)
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				test.Fatalf("keys out of order in node: %v", n.keys)
+			}
+		}
+		if n.leaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				test.Fatalf("leaves at different depths: %d vs %d", leafDepth, depth)
+			}
+			return len(n.keys)
+		}
+		if len(n.children) != len(n.keys)+1 {
+			test.Fatalf("internal node: %d children for %d keys", len(n.children), len(n.keys))
+		}
+		total := len(n.keys)
+		for _, c := range n.children {
+			total += walk(c, depth+1)
+		}
+		return total
+	}
+	if got := walk(t.root, 0); got != t.len {
+		test.Fatalf("tree len %d, counted %d", t.len, got)
+	}
+}
+
+func TestStructuralInvariants(t *testing.T) {
+	var tr Tree[int]
+	rng := xrand.New(1234)
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64n(5000)
+		if rng.Intn(4) == 0 {
+			tr.Delete(k)
+		} else {
+			tr.Put(k, int(k))
+		}
+		if i%2000 == 0 {
+			tr.invariants(t)
+		}
+	}
+	tr.invariants(t)
+}

@@ -1,0 +1,76 @@
+package btree
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzOps interprets the input as an operation stream and checks the
+// tree against a map reference after every step.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 250, 20, 30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Tree[uint64]
+		ref := map[uint64]uint64{}
+		for i := 0; i+2 <= len(data); i += 2 {
+			op := data[i] % 4
+			key := uint64(data[i+1]) // small key space forces collisions
+			switch op {
+			case 0, 1:
+				v := uint64(i)
+				tr.Put(key, v)
+				ref[key] = v
+			case 2:
+				gotDel := tr.Delete(key)
+				_, had := ref[key]
+				if gotDel != had {
+					t.Fatalf("Delete(%d) = %v, ref %v", key, gotDel, had)
+				}
+				delete(ref, key)
+			case 3:
+				got, ok := tr.Get(key)
+				want, had := ref[key]
+				if ok != had || (ok && got != want) {
+					t.Fatalf("Get(%d) = %d,%v want %d,%v", key, got, ok, want, had)
+				}
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("Len %d != ref %d", tr.Len(), len(ref))
+			}
+		}
+		// Final ascend must be sorted and complete.
+		var prev uint64
+		first := true
+		count := 0
+		tr.Ascend(func(k uint64, _ uint64) bool {
+			if !first && k <= prev {
+				t.Fatalf("out of order: %d after %d", k, prev)
+			}
+			prev, first = k, false
+			count++
+			return true
+		})
+		if count != len(ref) {
+			t.Fatalf("ascend %d keys, ref %d", count, len(ref))
+		}
+	})
+}
+
+// FuzzWideKeys drives Put/Get with full-range keys.
+func FuzzWideKeys(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Tree[int]
+		ref := map[uint64]int{}
+		for i := 0; i+8 <= len(data); i += 8 {
+			k := binary.LittleEndian.Uint64(data[i : i+8])
+			tr.Put(k, i)
+			ref[k] = i
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get(k); !ok || got != v {
+				t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+			}
+		}
+	})
+}

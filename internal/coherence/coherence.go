@@ -1,0 +1,178 @@
+// Package coherence models the cache-coherence directory of the
+// simulated machines.
+//
+// The directory's *location* is the point the paper leans on (§4.2): on
+// the evaluated systems the directory is held on the cached device
+// itself — Intel parts keep it in DRAM/PMEM, and on Enzian the ARM core
+// maintains the status of cached FPGA memory in the FPGA. Every
+// cache-line state change therefore costs a device round trip, which is
+// why fences that must publish private writes stall for roughly the
+// device latency, and why demote pre-stores (which start the state
+// change early, in the background) recover that time.
+//
+// The simulator is functionally single-threaded, so the directory only
+// affects timing and statistics, not data correctness.
+package coherence
+
+import (
+	"prestores/internal/memdev"
+	"prestores/internal/units"
+)
+
+// lineState tracks which cores hold a line in their private caches.
+type lineState struct {
+	sharers   uint64 // bitmask of cores holding the line
+	exclusive int8   // core id holding it exclusively/dirty, or -1
+}
+
+// Directory tracks private-cache line ownership for all lines backed by
+// one set of devices. OnDie selects an ablation where directory state
+// changes are free (the paper's mechanism removed).
+type Directory struct {
+	dev   func(addr uint64) memdev.Device
+	lines map[uint64]*lineState
+	// OnDie, when true, makes directory updates cost nothing; used by
+	// the ablation bench to confirm that the on-device directory is
+	// what makes fences expensive.
+	OnDie bool
+
+	// C2CLat is the core-to-core transfer latency charged when a load
+	// must pull a dirty line out of another core's private cache.
+	C2CLat units.Cycles
+
+	// OnInvalidate, when set, is called for every remote private-cache
+	// copy an exclusive acquisition invalidates, so the machine can
+	// actually remove the line from those caches (a stale copy must
+	// not serve later hits).
+	OnInvalidate func(core int, line uint64)
+
+	stats Stats
+}
+
+// Stats counts directory activity.
+type Stats struct {
+	Reads         uint64 // read (shared) acquisitions processed
+	Writes        uint64 // exclusive (RFO) acquisitions processed
+	StateChanges  uint64 // transitions that required a device round trip
+	Invalidations uint64 // sharer copies invalidated by RFOs
+	DirtyForwards uint64 // dirty lines forwarded core-to-core
+}
+
+// New returns a directory; dev maps a line address to the device whose
+// on-device directory serves it.
+func New(dev func(addr uint64) memdev.Device) *Directory {
+	return &Directory{
+		dev:    dev,
+		lines:  make(map[uint64]*lineState),
+		C2CLat: 60,
+	}
+}
+
+func (d *Directory) state(line uint64) *lineState {
+	s := d.lines[line]
+	if s == nil {
+		s = &lineState{exclusive: -1}
+		d.lines[line] = s
+	}
+	return s
+}
+
+// dirAccess charges one directory round trip.
+func (d *Directory) dirAccess(now units.Cycles, line uint64) units.Cycles {
+	d.stats.StateChanges++
+	if d.OnDie {
+		return now
+	}
+	return d.dev(line).DirectoryAccess(now)
+}
+
+// Read records core acquiring the line in shared state and returns the
+// completion cycle plus whether a dirty copy had to be forwarded from
+// another core (the caller then skips the memory fill).
+func (d *Directory) Read(now units.Cycles, core int, line uint64) (done units.Cycles, dirtyForward bool) {
+	d.stats.Reads++
+	s := d.state(line)
+	done = now
+	if s.exclusive >= 0 && s.exclusive != int8(core) {
+		// Dirty elsewhere: downgrade the owner, forward the line.
+		done = d.dirAccess(done, line) + d.C2CLat
+		d.stats.DirtyForwards++
+		s.exclusive = -1
+		dirtyForward = true
+	}
+	s.sharers |= 1 << uint(core)
+	return done, dirtyForward
+}
+
+// Write records core acquiring the line exclusively (an RFO) and
+// returns the completion cycle plus the number of remote copies
+// invalidated. If the core already holds the line exclusively the
+// operation is free — that is the cache-hit fast path.
+func (d *Directory) Write(now units.Cycles, core int, line uint64) (done units.Cycles, invalidated int) {
+	d.stats.Writes++
+	s := d.state(line)
+	if s.exclusive == int8(core) {
+		return now, 0
+	}
+	done = d.dirAccess(now, line)
+	others := s.sharers &^ (1 << uint(core))
+	for c := 0; others != 0; c++ {
+		if others&1 != 0 {
+			invalidated++
+			if d.OnInvalidate != nil {
+				d.OnInvalidate(c, line)
+			}
+		}
+		others >>= 1
+	}
+	d.stats.Invalidations += uint64(invalidated)
+	if s.exclusive >= 0 && s.exclusive != int8(core) {
+		done += d.C2CLat // pull the dirty copy over
+		d.stats.DirtyForwards++
+	}
+	s.sharers = 1 << uint(core)
+	s.exclusive = int8(core)
+	return done, invalidated
+}
+
+// IsExclusive reports whether core already owns the line exclusively
+// (so a store to it needs no directory traffic).
+func (d *Directory) IsExclusive(core int, line uint64) bool {
+	s := d.lines[line]
+	return s != nil && s.exclusive == int8(core)
+}
+
+// Evicted records that core no longer holds the line in its private
+// caches. Silent evictions do not cost a directory round trip.
+func (d *Directory) Evicted(core int, line uint64) {
+	s := d.lines[line]
+	if s == nil {
+		return
+	}
+	s.sharers &^= 1 << uint(core)
+	if s.exclusive == int8(core) {
+		s.exclusive = -1
+	}
+	if s.sharers == 0 {
+		delete(d.lines, line)
+	}
+}
+
+// Downgrade clears exclusivity after the line's dirty data has been
+// made globally visible (demote/clean push it to the shared level) but
+// keeps the core as a sharer.
+func (d *Directory) Downgrade(core int, line uint64) {
+	s := d.lines[line]
+	if s != nil && s.exclusive == int8(core) {
+		s.exclusive = -1
+	}
+}
+
+// TrackedLines returns the number of lines with directory state (tests).
+func (d *Directory) TrackedLines() int { return len(d.lines) }
+
+// Stats returns accumulated counters.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// ResetStats clears counters.
+func (d *Directory) ResetStats() { d.stats = Stats{} }

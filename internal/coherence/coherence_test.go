@@ -1,0 +1,146 @@
+package coherence
+
+import (
+	"testing"
+
+	"prestores/internal/memdev"
+	"prestores/internal/units"
+)
+
+func testDir(onDie bool) (*Directory, *memdev.Remote) {
+	dev := memdev.NewRemote(memdev.Config{ReadLat: 100, Clock: 2000 * units.MHz, BandwidthBS: 10e9})
+	d := New(func(uint64) memdev.Device { return dev })
+	d.OnDie = onDie
+	return d, dev
+}
+
+func TestWriteAcquiresExclusive(t *testing.T) {
+	d, _ := testDir(false)
+	done, inv := d.Write(0, 1, 0x1000)
+	if inv != 0 {
+		t.Fatalf("first write invalidated %d", inv)
+	}
+	if done != 100 {
+		t.Fatalf("first RFO cost %d, want the directory round trip (100)", done)
+	}
+	if !d.IsExclusive(1, 0x1000) {
+		t.Fatal("writer not exclusive")
+	}
+	// Second write by the same core is free.
+	done, _ = d.Write(500, 1, 0x1000)
+	if done != 500 {
+		t.Fatalf("exclusive re-write cost %d cycles", done-500)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d, _ := testDir(false)
+	d.Read(0, 1, 0x1000)
+	d.Read(0, 2, 0x1000)
+	var invalidated []int
+	d.OnInvalidate = func(core int, line uint64) {
+		if line != 0x1000 {
+			t.Fatalf("invalidate wrong line %#x", line)
+		}
+		invalidated = append(invalidated, core)
+	}
+	_, n := d.Write(0, 3, 0x1000)
+	if n != 2 || len(invalidated) != 2 {
+		t.Fatalf("invalidated %d (%v), want cores 1 and 2", n, invalidated)
+	}
+	if !d.IsExclusive(3, 0x1000) {
+		t.Fatal("new writer not exclusive")
+	}
+	if d.IsExclusive(1, 0x1000) {
+		t.Fatal("old sharer still exclusive")
+	}
+}
+
+func TestReadForwardsDirty(t *testing.T) {
+	d, _ := testDir(false)
+	d.Write(0, 1, 0x2000)
+	done, fwd := d.Read(1000, 2, 0x2000)
+	if !fwd {
+		t.Fatal("dirty remote line not forwarded")
+	}
+	if done <= 1000 {
+		t.Fatal("forward was free")
+	}
+	if st := d.Stats(); st.DirtyForwards != 1 {
+		t.Fatalf("DirtyForwards = %d", st.DirtyForwards)
+	}
+	// After the downgrade a second read is clean and free.
+	done, fwd = d.Read(2000, 3, 0x2000)
+	if fwd || done != 2000 {
+		t.Fatalf("clean read: fwd=%v done=%d", fwd, done)
+	}
+}
+
+func TestOnDieIsFree(t *testing.T) {
+	d, _ := testDir(true)
+	done, _ := d.Write(0, 1, 0x1000)
+	if done != 0 {
+		t.Fatalf("on-die directory charged %d cycles", done)
+	}
+}
+
+func TestDowngrade(t *testing.T) {
+	d, _ := testDir(false)
+	d.Write(0, 1, 0x3000)
+	d.Downgrade(1, 0x3000)
+	if d.IsExclusive(1, 0x3000) {
+		t.Fatal("still exclusive after downgrade")
+	}
+	// A read after downgrade must not pay a dirty forward.
+	if _, fwd := d.Read(0, 2, 0x3000); fwd {
+		t.Fatal("downgraded line forwarded as dirty")
+	}
+}
+
+func TestEvicted(t *testing.T) {
+	d, _ := testDir(false)
+	d.Write(0, 1, 0x4000)
+	d.Evicted(1, 0x4000)
+	if d.TrackedLines() != 0 {
+		t.Fatalf("tracked lines = %d after sole owner evicted", d.TrackedLines())
+	}
+	// Evicting an untracked line is a no-op.
+	d.Evicted(2, 0x9999)
+}
+
+func TestEvictedKeepsOtherSharers(t *testing.T) {
+	d, _ := testDir(false)
+	d.Read(0, 1, 0x5000)
+	d.Read(0, 2, 0x5000)
+	d.Evicted(1, 0x5000)
+	if d.TrackedLines() != 1 {
+		t.Fatal("line dropped while another sharer holds it")
+	}
+}
+
+func TestDirectoryCostScalesWithDevice(t *testing.T) {
+	fastDev := memdev.NewRemote(memdev.Config{ReadLat: 60, Clock: 2000 * units.MHz, BandwidthBS: 10e9})
+	slowDev := memdev.NewRemote(memdev.Config{ReadLat: 200, Clock: 2000 * units.MHz, BandwidthBS: 10e9})
+	fast := New(func(uint64) memdev.Device { return fastDev })
+	slow := New(func(uint64) memdev.Device { return slowDev })
+	df, _ := fast.Write(0, 1, 0)
+	ds, _ := slow.Write(0, 1, 0)
+	if ds <= df {
+		t.Fatalf("slow-device directory (%d) not slower than fast (%d)", ds, df)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	d, _ := testDir(false)
+	d.Read(0, 1, 0)
+	d.Write(0, 2, 0)
+	d.Write(0, 2, 0) // exclusive fast path: no state change
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	d.ResetStats()
+	if d.Stats().Writes != 0 {
+		t.Fatal("ResetStats kept counters")
+	}
+}

@@ -1,0 +1,103 @@
+// Package core holds the pre-store advice model — the vocabulary shared
+// by DirtBuster (which produces advice) and the tooling and public API
+// (which consume it).
+//
+// A pre-store placement decision is one of four choices (paper §6.2.3):
+// demote when the data is re-written soon (keep it cached, publish it
+// early), clean when it is re-read but not re-written (write it back,
+// keep it cached), skip when it is neither (bypass the cache with
+// non-temporal stores), or no pre-store at all when the access pattern
+// would make one useless or harmful.
+package core
+
+import (
+	"fmt"
+
+	"prestores/internal/sim"
+)
+
+// Choice is a pre-store placement decision.
+type Choice int
+
+// Placement decisions, in the paper's decision order.
+const (
+	NoPrestore Choice = iota
+	Demote
+	Clean
+	Skip
+)
+
+// String returns the choice name as the paper's reports print it.
+func (c Choice) String() string {
+	switch c {
+	case NoPrestore:
+		return "none"
+	case Demote:
+		return "demote"
+	case Clean:
+		return "clean"
+	case Skip:
+		return "skip"
+	default:
+		return fmt.Sprintf("Choice(%d)", int(c))
+	}
+}
+
+// Decide applies the paper's decision procedure given the observed
+// behaviour of a write region:
+//
+//   - eligible: the writes are sequential or shortly followed by a
+//     fence (otherwise no pre-store helps);
+//   - rewritten: the data is re-written soon after being written;
+//   - reread: the data is re-read soon after being written.
+func Decide(eligible, rewritten, reread bool) Choice {
+	switch {
+	case !eligible:
+		return NoPrestore
+	case rewritten:
+		// Cleaning or skipping re-written data causes a memory write
+		// per rewrite; demote publishes it but keeps it cached.
+		return Demote
+	case reread:
+		return Clean
+	default:
+		return Skip
+	}
+}
+
+// Apply issues the pre-store matching a choice over [addr, addr+size)
+// on core cpu. Skip cannot be applied after the fact (non-temporal
+// stores replace the original stores; see FallbackForSkip), so Apply
+// treats it as Clean — the paper's recommended next-best option when
+// rewriting the store path is impractical.
+func Apply(cpu *sim.Core, addr, size uint64, c Choice) {
+	switch c {
+	case Demote:
+		cpu.Prestore(addr, size, sim.Demote)
+	case Clean, Skip:
+		cpu.Prestore(addr, size, sim.Clean)
+	case NoPrestore:
+	}
+}
+
+// FallbackForSkip returns the choice to apply when the store path
+// cannot be rewritten with non-temporal instructions (e.g. the paper's
+// Fortran kernels, or ARM targets without NT story): Clean.
+func FallbackForSkip(c Choice) Choice {
+	if c == Skip {
+		return Clean
+	}
+	return c
+}
+
+// Advice is one placement recommendation for a function.
+type Advice struct {
+	Function string
+	Choice   Choice
+	Reason   string
+}
+
+// String renders the advice in the paper's report style.
+func (a Advice) String() string {
+	return fmt.Sprintf("%s: pre-store choice: %s (%s)", a.Function, a.Choice, a.Reason)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"prestores/internal/sim"
+)
+
+func TestChoiceStrings(t *testing.T) {
+	for c, want := range map[Choice]string{
+		NoPrestore: "none", Demote: "demote", Clean: "clean", Skip: "skip",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestFallbackForSkip(t *testing.T) {
+	if FallbackForSkip(Skip) != Clean {
+		t.Fatal("skip fallback should be clean (paper: Fortran has no NT stores)")
+	}
+	for _, c := range []Choice{NoPrestore, Demote, Clean} {
+		if FallbackForSkip(c) != c {
+			t.Errorf("fallback changed %v", c)
+		}
+	}
+}
+
+func TestApplyDemote(t *testing.T) {
+	m := sim.MachineA()
+	c := m.Core(0)
+	addr := uint64(1 << 40)
+	c.Write(addr, make([]byte, 64))
+	c.Fence()
+	Apply(c, addr, 64, Demote)
+	if c.L1().Contains(addr) {
+		t.Fatal("demote advice did not demote")
+	}
+}
+
+func TestApplyCleanAndSkip(t *testing.T) {
+	for _, choice := range []Choice{Clean, Skip} {
+		m := sim.MachineA()
+		c := m.Core(0)
+		dev := m.Device(sim.WindowPMEM)
+		addr := uint64(1 << 40)
+		c.Write(addr, make([]byte, 64))
+		Apply(c, addr, 64, choice)
+		c.Fence()
+		if dev.Stats().BytesReceived == 0 {
+			t.Fatalf("%v advice produced no write-back", choice)
+		}
+	}
+}
+
+func TestApplyNone(t *testing.T) {
+	m := sim.MachineA()
+	c := m.Core(0)
+	addr := uint64(1 << 40)
+	c.Write(addr, make([]byte, 64))
+	before := c.Stats().Prestores
+	Apply(c, addr, 64, NoPrestore)
+	if c.Stats().Prestores != before {
+		t.Fatal("NoPrestore issued a pre-store")
+	}
+}
+
+func TestAdviceString(t *testing.T) {
+	a := Advice{Function: "f", Choice: Clean, Reason: "re-read soon"}
+	s := a.String()
+	if !strings.Contains(s, "f") || !strings.Contains(s, "clean") || !strings.Contains(s, "re-read soon") {
+		t.Fatalf("advice string %q", s)
+	}
+}

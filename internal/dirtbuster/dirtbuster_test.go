@@ -1,0 +1,271 @@
+package dirtbuster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prestores/internal/core"
+	"prestores/internal/sim"
+	"prestores/internal/xrand"
+)
+
+// wl builds a workload around a body function run on a fresh Machine A.
+func wl(name string, body func(c *sim.Core)) Workload {
+	return Workload{
+		Name:       name,
+		NewMachine: sim.MachineA,
+		Run:        func(m *sim.Machine) { body(m.Core(0)) },
+	}
+}
+
+const base = uint64(1) << 40 // PMEM window
+
+func TestSequentialNeverReusedRecommendsSkip(t *testing.T) {
+	rep := Analyze(wl("stream", func(c *sim.Core) {
+		c.PushFunc("stream.write")
+		buf := make([]byte, 4096)
+		for i := uint64(0); i < 2000; i++ {
+			c.Write(base+i*4096, buf)
+		}
+		c.PopFunc()
+	}), Config{})
+	if !rep.WriteIntensive {
+		t.Fatal("pure writer not write-intensive")
+	}
+	if got := rep.Advice("stream.write"); got != core.Skip {
+		t.Fatalf("advice = %v, want skip\n%s", got, rep.Render())
+	}
+	fr := rep.Functions[0]
+	if fr.SeqWriteShare < 0.95 {
+		t.Fatalf("seq share = %v, want ~1", fr.SeqWriteShare)
+	}
+}
+
+func TestSequentialRereadRecommendsClean(t *testing.T) {
+	rep := Analyze(wl("writeread", func(c *sim.Core) {
+		c.PushFunc("writeread.body")
+		buf := make([]byte, 1024)
+		for i := uint64(0); i < 3000; i++ {
+			addr := base + i*1024
+			c.Write(addr, buf)
+			c.ReadU64(addr) // immediate re-read
+		}
+		c.PopFunc()
+	}), Config{})
+	if got := rep.Advice("writeread.body"); got != core.Clean {
+		t.Fatalf("advice = %v, want clean\n%s", got, rep.Render())
+	}
+}
+
+func TestRewrittenBeforeFenceRecommendsDemote(t *testing.T) {
+	rep := Analyze(wl("msg", func(c *sim.Core) {
+		buf := make([]byte, 512)
+		c.PushFunc("msg.fill")
+		for i := 0; i < 3000; i++ {
+			slot := base + uint64(i%8)*512 // constantly rewritten ring
+			c.Write(slot, buf)
+			c.CAS(base+1<<20+uint64(i%8)*64, 0, 1)
+		}
+		c.PopFunc()
+	}), Config{})
+	if got := rep.Advice("msg.fill"); got != core.Demote {
+		t.Fatalf("advice = %v, want demote\n%s", got, rep.Render())
+	}
+	fr := rep.Functions[0]
+	if !fr.HasFences || fr.WritesBeforeFence < 0.5 {
+		t.Fatalf("fence detection: %+v", fr)
+	}
+}
+
+func TestRandomSmallWritesRecommendNothing(t *testing.T) {
+	rep := Analyze(wl("rank", func(c *sim.Core) {
+		rng := xrand.New(1)
+		c.PushFunc("rank.count")
+		for i := 0; i < 4000; i++ {
+			addr := base + rng.Uint64n(1<<26)&^7
+			c.WriteU64(addr, 1)
+			c.Compute(8)
+		}
+		c.PopFunc()
+	}), Config{})
+	if got := rep.Advice("rank.count"); got != core.NoPrestore {
+		t.Fatalf("advice = %v, want none\n%s", got, rep.Render())
+	}
+}
+
+func TestNotWriteIntensiveSkipsInstrumentation(t *testing.T) {
+	rep := Analyze(wl("readonly", func(c *sim.Core) {
+		// Seed some data, then read 50x more than written.
+		c.PushFunc("init")
+		c.Write(base, make([]byte, 64))
+		c.PopFunc()
+		var b [8]byte
+		c.PushFunc("reader.loop")
+		for i := 0; i < 5000; i++ {
+			c.Read(base+uint64(i%8)*8, b[:])
+			c.Compute(16)
+		}
+		c.PopFunc()
+	}), Config{})
+	if rep.WriteIntensive {
+		t.Fatalf("read-mostly app classified write-intensive (share %.2f)", rep.StoreShare)
+	}
+	for _, f := range rep.Functions {
+		if f.Choice != core.NoPrestore {
+			t.Fatalf("non-write-intensive app got advice %v", f.Choice)
+		}
+	}
+	if !strings.Contains(rep.Render(), "not write-intensive") {
+		t.Fatal("render missing the classification")
+	}
+}
+
+func TestHotRewrittenLineNotCleaned(t *testing.T) {
+	// Listing 3's pattern: one line rewritten constantly. DirtBuster
+	// must not recommend clean (re-write distance is tiny).
+	rep := Analyze(wl("hotline", func(c *sim.Core) {
+		c.PushFunc("hot.loop")
+		for i := 0; i < 5000; i++ {
+			c.Memset(base, 64, byte(i))
+			c.Compute(4)
+		}
+		c.PopFunc()
+	}), Config{})
+	got := rep.Advice("hot.loop")
+	if got == core.Clean || got == core.Skip {
+		t.Fatalf("advice = %v for a hot rewritten line\n%s", got, rep.Render())
+	}
+}
+
+func TestContextSizesReported(t *testing.T) {
+	rep := Analyze(wl("sizes", func(c *sim.Core) {
+		big := make([]byte, 64*1024)
+		small := make([]byte, 256)
+		c.PushFunc("sizes.mixed")
+		for i := uint64(0); i < 60; i++ {
+			c.Write(base+i*(1<<20), big)
+		}
+		for i := uint64(0); i < 60; i++ {
+			c.Write(base+1<<35+i*(1<<12), small)
+		}
+		c.PopFunc()
+	}), Config{})
+	if len(rep.Functions) == 0 {
+		t.Fatal("no functions")
+	}
+	sizes := map[uint64]bool{}
+	for _, cc := range rep.Functions[0].Contexts {
+		sizes[cc.Size] = true
+	}
+	if !sizes[64*1024] || !sizes[256] {
+		t.Fatalf("context sizes %v missing 64KiB or 256B\n%s", sizes, rep.Render())
+	}
+}
+
+func TestRenderPaperFormat(t *testing.T) {
+	rep := Analyze(wl("fmt", func(c *sim.Core) {
+		buf := make([]byte, 2048)
+		c.PushFunc("fmt.writer")
+		for i := uint64(0); i < 1500; i++ {
+			c.Write(base+i*2048, buf)
+		}
+		c.PopFunc()
+	}), Config{})
+	out := rep.Render()
+	for _, want := range []string{
+		"Location: fmt.writer",
+		"Perc. Seq. Writes:",
+		"Size:",
+		"re-read",
+		"re-write",
+		"Pre-store choice:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInfiniteDistanceRendering(t *testing.T) {
+	if distString(math.Inf(1)) != "inf" {
+		t.Fatal("inf distance")
+	}
+	if distString(23800) != "23.8K" {
+		t.Fatalf("23.8K, got %s", distString(23800))
+	}
+	if distString(42) != "42" {
+		t.Fatal("plain distance")
+	}
+}
+
+func TestRecommendationsList(t *testing.T) {
+	rep := Analyze(wl("recs", func(c *sim.Core) {
+		buf := make([]byte, 4096)
+		c.PushFunc("recs.writer")
+		for i := uint64(0); i < 1500; i++ {
+			c.Write(base+i*4096, buf)
+		}
+		c.PopFunc()
+	}), Config{})
+	recs := rep.Recommendations()
+	if len(recs) == 0 {
+		t.Fatal("no recommendations for a streaming writer")
+	}
+	if recs[0].Function != "recs.writer" || recs[0].Choice == core.NoPrestore {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestAdviceUnknownFunction(t *testing.T) {
+	rep := &Report{}
+	if rep.Advice("missing") != core.NoPrestore {
+		t.Fatal("unknown function advice")
+	}
+}
+
+func TestDecide(t *testing.T) {
+	cases := []struct {
+		eligible, rewritten, reread bool
+		want                        core.Choice
+	}{
+		{false, true, true, core.NoPrestore},
+		{true, true, false, core.Demote},
+		{true, true, true, core.Demote}, // rewrite dominates
+		{true, false, true, core.Clean},
+		{true, false, false, core.Skip},
+	}
+	for _, c := range cases {
+		if got := core.Decide(c.eligible, c.rewritten, c.reread); got != c.want {
+			t.Errorf("Decide(%v,%v,%v) = %v, want %v",
+				c.eligible, c.rewritten, c.reread, got, c.want)
+		}
+	}
+}
+
+// TestMixedSizeClassesVetoSkip reproduces the paper's TensorFlow
+// finding (§7.2.1): a function whose writes are dominated by huge
+// never-re-read tensors but that also writes small immediately-re-read
+// tensors must be advised to clean, not skip — skipping would evict the
+// small tensors that are re-read within a couple of instructions.
+func TestMixedSizeClassesVetoSkip(t *testing.T) {
+	rep := Analyze(wl("mixed", func(c *sim.Core) {
+		big := make([]byte, 64*1024)
+		small := make([]byte, 256)
+		c.PushFunc("mixed.eval")
+		for i := uint64(0); i < 100; i++ {
+			// Large output tensor: written once, never revisited.
+			c.Write(base+i*(1<<20), big)
+			// Small tensors: written and re-read immediately, often.
+			for j := uint64(0); j < 40; j++ {
+				addr := base + 1<<37 + (i*40+j)*512
+				c.Write(addr, small)
+				c.ReadU64(addr)
+			}
+		}
+		c.PopFunc()
+	}), Config{})
+	if got := rep.Advice("mixed.eval"); got != core.Clean {
+		t.Fatalf("advice = %v, want clean\n%s", got, rep.Render())
+	}
+}

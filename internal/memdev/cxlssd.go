@@ -1,0 +1,188 @@
+package memdev
+
+import (
+	"container/list"
+
+	"prestores/internal/units"
+)
+
+// CXLSSD models byte-addressable CXL-attached flash storage — the
+// fourth row of the paper's Table 1 ("CXL SSD, 256B/512B with current
+// technologies"). It combines the two pathologies the paper studies:
+// a remote-memory access latency *and* an internal write granularity
+// far above the CPU line size, so non-sequential evictions amplify
+// writes even more than on Optane, and fences stall on the link.
+//
+// The model mirrors PMEM's: incoming line write-backs stage in an
+// internal write buffer keyed by flash-page-sized blocks; fully
+// populated blocks retire with one media program, partially populated
+// ones cost a read-modify-write (charged as a media read plus the
+// program).
+type CXLSSD struct {
+	cfg    Config
+	qRead  queue
+	qWrite queue
+
+	backlogWindow units.Cycles
+
+	entries map[uint64]*wcEntry
+	lru     *list.List
+	stats   Stats
+}
+
+// NewCXLSSD returns a CXL SSD device. Zero config fields get defaults
+// representative of current CXL flash prototypes: 512 B internal pages,
+// ~1.2 µs reads, ~2 GB/s programs.
+func NewCXLSSD(cfg Config) *CXLSSD {
+	if cfg.Name == "" {
+		cfg.Name = "cxl-ssd"
+	}
+	if cfg.ReadLat == 0 {
+		cfg.ReadLat = 2500 // ~1.2us at 2.1GHz
+	}
+	if cfg.WriteLat == 0 {
+		cfg.WriteLat = 300
+	}
+	if cfg.DirLat == 0 {
+		cfg.DirLat = 600 // link round trip
+	}
+	if cfg.Granularity == 0 {
+		cfg.Granularity = 512
+	}
+	if cfg.BandwidthBS == 0 {
+		cfg.BandwidthBS = 2e9
+	}
+	if cfg.ReadBandwidthBS == 0 {
+		cfg.ReadBandwidthBS = 6e9
+	}
+	if cfg.Clock == 0 {
+		cfg.Clock = 2100 * units.MHz
+	}
+	if cfg.BufferEntries == 0 {
+		cfg.BufferEntries = 32
+	}
+	d := &CXLSSD{
+		cfg:     cfg,
+		entries: make(map[uint64]*wcEntry),
+		lru:     list.New(),
+	}
+	d.backlogWindow = 4 * units.Cycles(cfg.BufferEntries) * cfg.cyclesFor(cfg.Granularity)
+	return d
+}
+
+// Name implements Device.
+func (d *CXLSSD) Name() string { return d.cfg.Name }
+
+// Kind implements Device.
+func (d *CXLSSD) Kind() Kind { return KindRemote }
+
+// InternalGranularity implements Device.
+func (d *CXLSSD) InternalGranularity() uint64 { return d.cfg.Granularity }
+
+// ReadLatency implements Device.
+func (d *CXLSSD) ReadLatency() units.Cycles { return d.cfg.ReadLat }
+
+// ReadLine implements Device.
+func (d *CXLSSD) ReadLine(now units.Cycles, addr, size uint64) units.Cycles {
+	d.stats.LineReads++
+	block := units.AlignDown(addr, d.cfg.Granularity)
+	if _, buffered := d.entries[block]; buffered {
+		return now + d.cfg.WriteLat
+	}
+	d.stats.MediaBytesRead += d.cfg.Granularity
+	done, waited := d.qRead.admit(now, d.cfg.cyclesForRead(d.cfg.Granularity))
+	d.stats.StallCycles += waited
+	return done + d.cfg.ReadLat
+}
+
+// WriteLine implements Device.
+func (d *CXLSSD) WriteLine(now units.Cycles, addr, size uint64) units.Cycles {
+	d.stats.LineWrites++
+	d.stats.BytesReceived += size
+	gran := d.cfg.Granularity
+	for cur := units.AlignDown(addr, gran); cur < addr+size; cur += gran {
+		d.stageLine(now, cur, addr, size)
+	}
+	accepted := now + d.cfg.WriteLat
+	if lag := d.qWrite.busyUntil; lag > now+d.backlogWindow {
+		accepted = lag - d.backlogWindow + d.cfg.WriteLat
+	}
+	return accepted
+}
+
+func (d *CXLSSD) stageLine(now units.Cycles, cur, addr, size uint64) {
+	gran := d.cfg.Granularity
+	const lineSize = 64
+	e := d.entries[cur]
+	if e == nil {
+		if len(d.entries) >= d.cfg.BufferEntries {
+			d.evictOldest(now)
+		}
+		e = &wcEntry{block: cur, lines: uint(gran / lineSize)}
+		e.elem = d.lru.PushFront(e)
+		d.entries[cur] = e
+	} else {
+		d.lru.MoveToFront(e.elem)
+	}
+	lo, hi := addr, addr+size
+	if lo < cur {
+		lo = cur
+	}
+	if hi > cur+gran {
+		hi = cur + gran
+	}
+	for b := units.AlignDown(lo, lineSize); b < hi; b += lineSize {
+		e.dirty |= 1 << ((b - cur) / lineSize)
+	}
+	if e.full() {
+		d.stats.BlockFills++
+		d.retire(now, e, false)
+	}
+}
+
+func (d *CXLSSD) evictOldest(now units.Cycles) {
+	e := d.lru.Back().Value.(*wcEntry)
+	if !e.full() {
+		d.stats.PartialFlush++
+		// Partial flash pages need a read-modify-write.
+		d.stats.MediaBytesRead += d.cfg.Granularity
+		_, waited := d.qRead.admit(now, d.cfg.cyclesForRead(d.cfg.Granularity))
+		d.stats.StallCycles += waited
+	}
+	d.retire(now, e, true)
+}
+
+func (d *CXLSSD) retire(now units.Cycles, e *wcEntry, evict bool) {
+	d.stats.MediaBytesWritten += d.cfg.Granularity
+	_, waited := d.qWrite.admit(now, d.cfg.cyclesFor(d.cfg.Granularity))
+	d.stats.StallCycles += waited
+	d.lru.Remove(e.elem)
+	delete(d.entries, e.block)
+}
+
+// DirectoryAccess implements Device.
+func (d *CXLSSD) DirectoryAccess(now units.Cycles) units.Cycles {
+	d.stats.DirectoryOps++
+	return now + d.cfg.DirLat
+}
+
+// Flush implements Device.
+func (d *CXLSSD) Flush(now units.Cycles) units.Cycles {
+	for d.lru.Len() > 0 {
+		d.evictOldest(now)
+	}
+	done := now
+	if d.qWrite.busyUntil > done {
+		done = d.qWrite.busyUntil
+	}
+	if d.qRead.busyUntil > done {
+		done = d.qRead.busyUntil
+	}
+	return done
+}
+
+// Stats implements Device.
+func (d *CXLSSD) Stats() Stats { return d.stats }
+
+// ResetStats implements Device.
+func (d *CXLSSD) ResetStats() { d.stats = Stats{} }

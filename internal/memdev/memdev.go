@@ -1,0 +1,153 @@
+// Package memdev models the memory devices that sit below the simulated
+// cache hierarchy: conventional DRAM, Optane-style persistent memory
+// with a 256 B internal write granularity, and remote (CXL/FPGA) memory
+// with configurable latency and bandwidth.
+//
+// Two properties of these devices drive the paper's results and are
+// modeled explicitly:
+//
+//   - PMEM internally reads and writes 256 B blocks, four times the CPU
+//     line size. Incoming 64 B line write-backs land in a small internal
+//     write-combining buffer; a block whose lines all arrive before the
+//     buffer entry is evicted costs one media write, while scattered
+//     write-backs evict partially-filled entries and waste media
+//     bandwidth. The ratio of media bytes written to bytes received is
+//     the write amplification the paper measures with ipmctl.
+//
+//   - Remote memory has a long access latency, and the coherence
+//     directory lives on the device (as on Enzian and on Intel parts,
+//     where the directory is held in DRAM/PMEM). Every cache-line state
+//     change therefore costs a device round trip.
+package memdev
+
+import (
+	"fmt"
+
+	"prestores/internal/units"
+)
+
+// Kind identifies the device technology.
+type Kind int
+
+// Device kinds.
+const (
+	KindDRAM Kind = iota
+	KindPMEM
+	KindRemote // CXL- or FPGA-attached memory
+)
+
+// String returns the device-kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindDRAM:
+		return "DRAM"
+	case KindPMEM:
+		return "PMEM"
+	case KindRemote:
+		return "Remote"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Stats aggregates device-side traffic counters.
+type Stats struct {
+	LineReads  uint64 // line fills served to the cache
+	LineWrites uint64 // line write-backs received from the cache
+
+	BytesReceived     uint64 // line-write bytes received from the cache
+	MediaBytesRead    uint64 // bytes read from the internal medium
+	MediaBytesWritten uint64 // bytes written to the internal medium
+
+	BlockFills    uint64 // internal buffer entries that filled completely
+	PartialFlush  uint64 // internal buffer entries evicted partially dirty
+	DirectoryOps  uint64 // coherence-directory accesses served
+	StallCycles   uint64 // cycles requests waited on device bandwidth
+	PeakQueueOver uint64 // max observed backlog (cycles) behind the queue
+}
+
+// WriteAmplification returns media bytes written per byte received.
+// It returns 1 when the device has received no writes.
+func (s Stats) WriteAmplification() float64 {
+	if s.BytesReceived == 0 {
+		return 1
+	}
+	return float64(s.MediaBytesWritten) / float64(s.BytesReceived)
+}
+
+// Device is a memory device attached below the cache hierarchy.
+//
+// All methods take the requester's current cycle and return the cycle
+// at which the operation completes; the simulator is single-threaded,
+// so devices serialize internally with simple busy-until bookkeeping.
+type Device interface {
+	Name() string
+	Kind() Kind
+	// InternalGranularity is the device's internal read/write unit in
+	// bytes (Table 1 in the paper).
+	InternalGranularity() uint64
+	// ReadLatency is the unloaded media read latency in CPU cycles.
+	ReadLatency() units.Cycles
+
+	// ReadLine fetches the line at addr; returns the completion cycle.
+	ReadLine(now units.Cycles, addr, size uint64) units.Cycles
+	// WriteLine accepts a line write-back; returns the cycle at which
+	// the device has accepted the data (media persistence may lag).
+	WriteLine(now units.Cycles, addr, size uint64) units.Cycles
+	// DirectoryAccess performs one coherence-directory state change.
+	DirectoryAccess(now units.Cycles) units.Cycles
+	// Flush drains internal buffers (end of run / explicit drain);
+	// returns the completion cycle.
+	Flush(now units.Cycles) units.Cycles
+
+	Stats() Stats
+	ResetStats()
+}
+
+// Config carries the tunables shared by all device models.
+type Config struct {
+	Name        string
+	ReadLat     units.Cycles // unloaded read latency, CPU cycles
+	WriteLat    units.Cycles // unloaded write-accept latency, CPU cycles
+	DirLat      units.Cycles // directory round-trip latency, CPU cycles
+	Granularity uint64       // internal media block size, bytes
+	BandwidthBS float64      // media write bandwidth, bytes per second
+	// ReadBandwidthBS is the media read bandwidth; zero means same as
+	// BandwidthBS. Optane reads ~3x faster than it writes.
+	ReadBandwidthBS float64
+	Clock           units.Hz // CPU clock used to convert bandwidth
+	// BufferEntries is the number of internal write-combining entries
+	// (PMEM only); each entry covers one Granularity-sized block.
+	BufferEntries int
+}
+
+func (c Config) cyclesFor(bytes uint64) units.Cycles {
+	return units.CyclesForBytes(bytes, c.BandwidthBS, c.Clock)
+}
+
+func (c Config) cyclesForRead(bytes uint64) units.Cycles {
+	bw := c.ReadBandwidthBS
+	if bw == 0 {
+		bw = c.BandwidthBS
+	}
+	return units.CyclesForBytes(bytes, bw, c.Clock)
+}
+
+// queue models a single shared bandwidth channel with busy-until
+// semantics: a request arriving at cycle `now` that needs `service`
+// cycles of channel time completes at max(now, busyUntil) + service.
+type queue struct {
+	busyUntil units.Cycles
+}
+
+// admit reserves service cycles on the channel starting no earlier than
+// now, returning the completion cycle and the cycles spent waiting.
+func (q *queue) admit(now, service units.Cycles) (done, waited units.Cycles) {
+	start := now
+	if q.busyUntil > start {
+		waited = q.busyUntil - start
+		start = q.busyUntil
+	}
+	q.busyUntil = start + service
+	return q.busyUntil, waited
+}

@@ -1,0 +1,204 @@
+package memdev
+
+import (
+	"testing"
+
+	"prestores/internal/units"
+)
+
+func TestKindString(t *testing.T) {
+	if KindDRAM.String() != "DRAM" || KindPMEM.String() != "PMEM" || KindRemote.String() != "Remote" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestDRAMDefaults(t *testing.T) {
+	d := NewDRAM(Config{})
+	if d.InternalGranularity() != 64 {
+		t.Fatalf("granularity = %d", d.InternalGranularity())
+	}
+	if d.Kind() != KindDRAM {
+		t.Fatal("kind")
+	}
+	done := d.ReadLine(100, 0, 64)
+	if done <= 100 {
+		t.Fatal("read has no latency")
+	}
+}
+
+func TestDRAMNoAmplification(t *testing.T) {
+	d := NewDRAM(Config{})
+	var now units.Cycles
+	for i := 0; i < 100; i++ {
+		now = d.WriteLine(now, uint64(i)*64, 64)
+	}
+	if amp := d.Stats().WriteAmplification(); amp != 1.0 {
+		t.Fatalf("DRAM amplification = %v, want 1.0", amp)
+	}
+}
+
+func TestPMEMSequentialNoAmplification(t *testing.T) {
+	p := NewPMEM(Config{})
+	var now units.Cycles
+	// Write 1 MiB of 64B lines strictly in order.
+	for addr := uint64(0); addr < 1<<20; addr += 64 {
+		now = p.WriteLine(now, addr, 64)
+	}
+	p.Flush(now)
+	st := p.Stats()
+	if amp := st.WriteAmplification(); amp != 1.0 {
+		t.Fatalf("sequential amplification = %v, want exactly 1.0", amp)
+	}
+	if st.BlockFills == 0 {
+		t.Fatal("no full-block retirements for a sequential stream")
+	}
+	if st.PartialFlush != 0 {
+		t.Fatalf("sequential stream caused %d partial flushes", st.PartialFlush)
+	}
+}
+
+func TestPMEMRandomAmplification(t *testing.T) {
+	p := NewPMEM(Config{})
+	var now units.Cycles
+	// One isolated 64B line per 256B block, far apart: worst case.
+	for i := 0; i < 1000; i++ {
+		now = p.WriteLine(now, uint64(i)*4096, 64)
+	}
+	p.Flush(now)
+	if amp := p.Stats().WriteAmplification(); amp != 4.0 {
+		t.Fatalf("isolated-line amplification = %v, want 4.0", amp)
+	}
+}
+
+func TestPMEMCoalescingWindow(t *testing.T) {
+	// Lines of a block written within the buffer window coalesce even
+	// when interleaved with other blocks.
+	p := NewPMEM(Config{BufferEntries: 8})
+	var now units.Cycles
+	for i := 0; i < 400; i += 4 {
+		blockA := uint64(i) * 256
+		blockB := uint64(i+100000) * 256
+		for sub := uint64(0); sub < 4; sub++ {
+			now = p.WriteLine(now, blockA+sub*64, 64)
+			now = p.WriteLine(now, blockB+sub*64, 64)
+		}
+	}
+	p.Flush(now)
+	if amp := p.Stats().WriteAmplification(); amp != 1.0 {
+		t.Fatalf("two interleaved streams should coalesce: amp = %v", amp)
+	}
+}
+
+func TestPMEMWindowOverflow(t *testing.T) {
+	// More concurrent streams than buffer entries: partial flushes.
+	p := NewPMEM(Config{BufferEntries: 4})
+	var now units.Cycles
+	const streams = 32
+	for round := 0; round < 64; round++ {
+		for s := uint64(0); s < streams; s++ {
+			addr := s*1<<20 + uint64(round)*64
+			now = p.WriteLine(now, addr, 64)
+		}
+	}
+	p.Flush(now)
+	if amp := p.Stats().WriteAmplification(); amp < 2.0 {
+		t.Fatalf("buffer-thrashing streams should amplify: amp = %v", amp)
+	}
+}
+
+func TestPMEMReadBuffer(t *testing.T) {
+	p := NewPMEM(Config{})
+	var now units.Cycles
+	// Four line fills within one 256B block: one media read.
+	for sub := uint64(0); sub < 4; sub++ {
+		now = p.ReadLine(now, 4096+sub*64, 64)
+	}
+	if got := p.Stats().MediaBytesRead; got != 256 {
+		t.Fatalf("media read %d bytes, want 256 (read combining)", got)
+	}
+}
+
+func TestPMEMWriteBufferServesReads(t *testing.T) {
+	p := NewPMEM(Config{})
+	p.WriteLine(0, 8192, 64)
+	before := p.Stats().MediaBytesRead
+	p.ReadLine(10, 8192, 64)
+	if p.Stats().MediaBytesRead != before {
+		t.Fatal("read of write-buffered block went to media")
+	}
+}
+
+func TestPMEMFlushDrainsBuffer(t *testing.T) {
+	p := NewPMEM(Config{})
+	p.WriteLine(0, 0, 64)
+	if p.BufferedBlocks() != 1 {
+		t.Fatalf("buffered = %d", p.BufferedBlocks())
+	}
+	p.Flush(100)
+	if p.BufferedBlocks() != 0 {
+		t.Fatal("flush left buffered blocks")
+	}
+	if p.Stats().MediaBytesWritten != 256 {
+		t.Fatalf("flush wrote %d media bytes", p.Stats().MediaBytesWritten)
+	}
+}
+
+func TestPMEMBackpressure(t *testing.T) {
+	// Sustained isolated-line writes must eventually slow acceptance to
+	// the media rate.
+	p := NewPMEM(Config{})
+	var now units.Cycles
+	var last units.Cycles
+	for i := 0; i < 5000; i++ {
+		last = p.WriteLine(now, uint64(i)*4096, 64)
+		now += 10 // core issues much faster than media writes drain
+	}
+	if last <= now {
+		t.Fatalf("no back-pressure: accept %d <= issue %d", last, now)
+	}
+}
+
+func TestRemoteLatencyConfig(t *testing.T) {
+	fast := NewRemote(Config{ReadLat: 60, BandwidthBS: 10e9, Clock: 2000 * units.MHz})
+	slow := NewRemote(Config{ReadLat: 200, BandwidthBS: 1.5e9, Clock: 2000 * units.MHz})
+	df := fast.ReadLine(0, 0, 128)
+	ds := slow.ReadLine(0, 0, 128)
+	if ds <= df {
+		t.Fatalf("slow read (%d) not slower than fast (%d)", ds, df)
+	}
+	if fast.DirectoryAccess(0) != 60 {
+		t.Fatalf("directory access = %d, want the device latency", fast.DirectoryAccess(0))
+	}
+}
+
+func TestRemoteBandwidthQueue(t *testing.T) {
+	r := NewRemote(Config{ReadLat: 60, BandwidthBS: 1.5e9, Clock: 2000 * units.MHz})
+	// Burst of writes at the same instant must serialize on bandwidth.
+	var lastDone units.Cycles
+	for i := 0; i < 10; i++ {
+		done := r.WriteLine(0, uint64(i)*128, 128)
+		if done <= lastDone {
+			t.Fatalf("write %d finished at %d, not after %d", i, done, lastDone)
+		}
+		lastDone = done
+	}
+	if r.Stats().StallCycles == 0 {
+		t.Fatal("burst caused no queueing")
+	}
+}
+
+func TestStatsWriteAmplificationZero(t *testing.T) {
+	var s Stats
+	if s.WriteAmplification() != 1 {
+		t.Fatal("zero-traffic amplification should be 1")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := NewPMEM(Config{})
+	p.WriteLine(0, 0, 64)
+	p.ResetStats()
+	if p.Stats().LineWrites != 0 {
+		t.Fatal("ResetStats kept counters")
+	}
+}

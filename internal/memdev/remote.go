@@ -1,0 +1,95 @@
+package memdev
+
+import "prestores/internal/units"
+
+// Remote models cache-coherent memory reached over a long-latency link:
+// the Enzian FPGA memory the paper evaluates as Machine B, or a
+// CXL-attached memory expander. Latency and bandwidth are configurable,
+// mirroring the paper's two configurations:
+//
+//   - Machine B-Fast: 60-cycle access, 10 GB/s (high-end CXL memory)
+//   - Machine B-Slow: 200-cycle access, 1.5 GB/s (medium-tier CXL)
+//
+// The coherence directory lives on the device (as on Enzian, where the
+// ARM core maintains the state of cached FPGA memory in the FPGA), so
+// every line state change pays the link latency. That round trip,
+// serialized behind fences, is what demote pre-stores overlap.
+type Remote struct {
+	cfg   Config
+	q     queue
+	stats Stats
+}
+
+// NewRemote returns a remote-memory device. Latency and bandwidth must
+// be set by the caller; other zero fields get defaults.
+func NewRemote(cfg Config) *Remote {
+	if cfg.Name == "" {
+		cfg.Name = "remote"
+	}
+	if cfg.WriteLat == 0 {
+		cfg.WriteLat = cfg.ReadLat
+	}
+	if cfg.DirLat == 0 {
+		cfg.DirLat = cfg.ReadLat
+	}
+	if cfg.Granularity == 0 {
+		cfg.Granularity = 128 // ThunderX line size
+	}
+	if cfg.Clock == 0 {
+		cfg.Clock = 2000 * units.MHz
+	}
+	return &Remote{cfg: cfg}
+}
+
+// Name implements Device.
+func (r *Remote) Name() string { return r.cfg.Name }
+
+// Kind implements Device.
+func (r *Remote) Kind() Kind { return KindRemote }
+
+// InternalGranularity implements Device.
+func (r *Remote) InternalGranularity() uint64 { return r.cfg.Granularity }
+
+// ReadLatency implements Device.
+func (r *Remote) ReadLatency() units.Cycles { return r.cfg.ReadLat }
+
+// ReadLine implements Device.
+func (r *Remote) ReadLine(now units.Cycles, addr, size uint64) units.Cycles {
+	r.stats.LineReads++
+	r.stats.MediaBytesRead += size
+	done, waited := r.q.admit(now, r.cfg.cyclesForRead(size))
+	r.stats.StallCycles += waited
+	return done + r.cfg.ReadLat
+}
+
+// WriteLine implements Device. The FPGA interleaves requests across
+// multiple internal memory controllers, so (unlike PMEM) sequentiality
+// does not matter; only latency and aggregate bandwidth do.
+func (r *Remote) WriteLine(now units.Cycles, addr, size uint64) units.Cycles {
+	r.stats.LineWrites++
+	r.stats.BytesReceived += size
+	r.stats.MediaBytesWritten += size
+	done, waited := r.q.admit(now, r.cfg.cyclesFor(size))
+	r.stats.StallCycles += waited
+	return done + r.cfg.WriteLat
+}
+
+// DirectoryAccess implements Device.
+func (r *Remote) DirectoryAccess(now units.Cycles) units.Cycles {
+	r.stats.DirectoryOps++
+	return now + r.cfg.DirLat
+}
+
+// Flush implements Device.
+func (r *Remote) Flush(now units.Cycles) units.Cycles {
+	if r.q.busyUntil > now {
+		return r.q.busyUntil
+	}
+	return now
+}
+
+// Stats implements Device.
+func (r *Remote) Stats() Stats { return r.stats }
+
+// ResetStats implements Device.
+func (r *Remote) ResetStats() { r.stats = Stats{} }

@@ -1,0 +1,234 @@
+// Package memspace provides the simulated physical address space: a
+// sparse byte-addressable backing store plus a region allocator that
+// hands out address ranges inside per-device windows.
+//
+// The backing store holds real bytes so that workloads built on the
+// simulator (key-value stores, matrices, message rings) are functionally
+// correct, not just timing models: a value written through the simulated
+// hierarchy reads back byte-identical.
+package memspace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"prestores/internal/units"
+)
+
+// PageSize is the granularity of the sparse backing store.
+const PageSize = 1 << 12
+
+type page [PageSize]byte
+
+// Store is a sparse byte-addressable memory. The zero value is empty
+// and ready to use; unwritten bytes read as zero.
+type Store struct {
+	pages map[uint64]*page
+}
+
+// NewStore returns an empty sparse store.
+func NewStore() *Store {
+	return &Store{pages: make(map[uint64]*page)}
+}
+
+func (s *Store) pageFor(addr uint64, create bool) (*page, uint64) {
+	pn := addr / PageSize
+	p := s.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		s.pages[pn] = p
+	}
+	return p, addr % PageSize
+}
+
+// Write copies data into the store at addr.
+func (s *Store) Write(addr uint64, data []byte) {
+	for len(data) > 0 {
+		p, off := s.pageFor(addr, true)
+		n := copy(p[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read copies len(buf) bytes starting at addr into buf. Unwritten
+// bytes read as zero.
+func (s *Store) Read(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		p, off := s.pageFor(addr, false)
+		n := PageSize - int(off)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if p == nil {
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		} else {
+			copy(buf[:n], p[off:])
+		}
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// WriteU64 stores v little-endian at addr.
+func (s *Store) WriteU64(addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.Write(addr, b[:])
+}
+
+// ReadU64 loads a little-endian uint64 from addr.
+func (s *Store) ReadU64(addr uint64) uint64 {
+	var b [8]byte
+	s.Read(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Fill sets n bytes starting at addr to v.
+func (s *Store) Fill(addr uint64, n uint64, v byte) {
+	for n > 0 {
+		p, off := s.pageFor(addr, true)
+		chunk := PageSize - off
+		if chunk > n {
+			chunk = n
+		}
+		seg := p[off : off+chunk]
+		for i := range seg {
+			seg[i] = v
+		}
+		addr += chunk
+		n -= chunk
+	}
+}
+
+// PagesAllocated returns the number of backing pages materialized so
+// far (a measure of simulated footprint).
+func (s *Store) PagesAllocated() int { return len(s.pages) }
+
+// Region is a named, allocated address range bound to a device window.
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+	// Window identifies the device window the region was carved from.
+	Window string
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// Window is an address range served by one memory device.
+type Window struct {
+	Name string
+	Base uint64
+	Size uint64
+	next uint64 // bump pointer
+}
+
+// Arena allocates regions inside device windows. Windows must not
+// overlap; Arena validates this at AddWindow time.
+type Arena struct {
+	windows map[string]*Window
+	regions []Region
+	sorted  []*Window // by base, for address->window lookup
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{windows: make(map[string]*Window)}
+}
+
+// AddWindow registers an address window served by a device.
+func (a *Arena) AddWindow(name string, base, size uint64) error {
+	if _, dup := a.windows[name]; dup {
+		return fmt.Errorf("memspace: duplicate window %q", name)
+	}
+	for _, w := range a.sorted {
+		if base < w.Base+w.Size && w.Base < base+size {
+			return fmt.Errorf("memspace: window %q [%#x,%#x) overlaps %q", name, base, base+size, w.Name)
+		}
+	}
+	w := &Window{Name: name, Base: base, Size: size, next: base}
+	a.windows[name] = w
+	a.sorted = append(a.sorted, w)
+	sort.Slice(a.sorted, func(i, j int) bool { return a.sorted[i].Base < a.sorted[j].Base })
+	return nil
+}
+
+// Alloc carves an aligned region out of the named window.
+func (a *Arena) Alloc(window, name string, size, align uint64) (Region, error) {
+	w, ok := a.windows[window]
+	if !ok {
+		return Region{}, fmt.Errorf("memspace: unknown window %q", window)
+	}
+	if size == 0 {
+		return Region{}, fmt.Errorf("memspace: zero-size allocation %q", name)
+	}
+	if align == 0 {
+		align = 1
+	}
+	if !units.IsPow2(align) {
+		return Region{}, fmt.Errorf("memspace: alignment %d is not a power of two", align)
+	}
+	base := units.AlignUp(w.next, align)
+	if base+size > w.Base+w.Size {
+		return Region{}, fmt.Errorf("memspace: window %q exhausted: need %s, %s free",
+			window, units.Bytes(size), units.Bytes(w.Base+w.Size-w.next))
+	}
+	w.next = base + size
+	r := Region{Name: name, Base: base, Size: size, Window: window}
+	a.regions = append(a.regions, r)
+	return r, nil
+}
+
+// MustAlloc is Alloc but panics on failure; used by workloads whose
+// footprints are fixed by the experiment configuration.
+func (a *Arena) MustAlloc(window, name string, size, align uint64) Region {
+	r, err := a.Alloc(window, name, size, align)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// WindowOf returns the name of the window containing addr, or "".
+func (a *Arena) WindowOf(addr uint64) string {
+	i := sort.Search(len(a.sorted), func(i int) bool { return a.sorted[i].Base+a.sorted[i].Size > addr })
+	if i < len(a.sorted) && addr >= a.sorted[i].Base {
+		return a.sorted[i].Name
+	}
+	return ""
+}
+
+// RegionOf returns the allocated region containing addr, if any.
+func (a *Arena) RegionOf(addr uint64) (Region, bool) {
+	for _, r := range a.regions {
+		if r.Contains(addr) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Regions returns all allocations made so far, in allocation order.
+func (a *Arena) Regions() []Region {
+	return append([]Region(nil), a.regions...)
+}
+
+// Reset rewinds every window's bump pointer and forgets regions. The
+// backing Store is not cleared; callers that reuse an arena across
+// experiment repetitions rely on re-initializing their data.
+func (a *Arena) Reset() {
+	for _, w := range a.windows {
+		w.next = w.Base
+	}
+	a.regions = a.regions[:0]
+}

@@ -1,0 +1,184 @@
+// Package profile implements the sampling profiler DirtBuster's first
+// step relies on — the simulator's stand-in for `perf record` with
+// memory-access sampling (paper §6.2.1).
+//
+// The sampler observes every Nth memory operation, recording its kind,
+// instruction pointer surrogate (the function annotation) and the full
+// callchain. Sampling keeps the observation overhead negligible (the
+// paper reports <1% for perf) at the cost of precision, which is why
+// DirtBuster's later steps switch to full instrumentation: sampling one
+// access every ~10K instructions is too coarse to detect sequential
+// strides or compute re-use distances (§6.1).
+package profile
+
+import (
+	"sort"
+	"strings"
+
+	"prestores/internal/sim"
+)
+
+// Sample is one recorded memory access.
+type Sample struct {
+	Kind      sim.OpKind
+	Fn        string
+	Callchain string // "outer>inner" joined chain
+	Addr      uint64
+}
+
+// Sampler records every Nth load/store/fence-ish operation, and counts
+// (without sampling) the instruction mix so that store *time* share can
+// be estimated the way the paper screens applications.
+type Sampler struct {
+	Interval uint64 // sample every Interval-th eligible op
+	counter  uint64
+	samples  []Sample
+
+	loadOps  uint64
+	storeOps uint64
+
+	// Time attribution (cycles), perf-style: the share of time spent
+	// in store instructions is what screens applications (§7.1).
+	storeTime   uint64 // stores, NT stores, atomics
+	loadTime    uint64
+	computeTime uint64
+	otherTime   uint64 // fences, pre-stores
+}
+
+// New returns a sampler with the given sampling interval (default 97 —
+// co-prime with common loop lengths to avoid aliasing).
+func New(interval uint64) *Sampler {
+	if interval == 0 {
+		interval = 97
+	}
+	return &Sampler{Interval: interval}
+}
+
+// Hook returns a sim.Hook that feeds the sampler.
+func (s *Sampler) Hook() sim.Hook {
+	return func(ev sim.Event, core *sim.Core) {
+		switch ev.Kind {
+		case sim.OpLoad:
+			s.loadOps++
+			s.loadTime += ev.Cost
+		case sim.OpStore, sim.OpStoreNT, sim.OpAtomic:
+			s.storeOps++
+			s.storeTime += ev.Cost
+		case sim.OpCompute:
+			s.computeTime += ev.Cost
+			return
+		case sim.OpFence, sim.OpPrestoreClean, sim.OpPrestoreDemote:
+			s.otherTime += ev.Cost
+			return
+		default:
+			return
+		}
+		s.counter++
+		if s.counter%s.Interval != 0 {
+			return
+		}
+		s.samples = append(s.samples, Sample{
+			Kind:      ev.Kind,
+			Fn:        ev.Fn,
+			Callchain: strings.Join(core.Callchain(), ">"),
+			Addr:      ev.Addr,
+		})
+	}
+}
+
+// Samples returns the raw samples.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// Reset discards collected samples and counters.
+func (s *Sampler) Reset() {
+	s.samples = s.samples[:0]
+	s.counter = 0
+	s.loadOps, s.storeOps = 0, 0
+	s.storeTime, s.loadTime, s.computeTime, s.otherTime = 0, 0, 0, 0
+}
+
+// FuncStat summarizes the sampled activity of one function.
+type FuncStat struct {
+	Fn         string
+	Loads      uint64
+	Stores     uint64  // includes non-temporal stores and atomics
+	StoreShare float64 // fraction of all sampled stores in this function
+	// Callchains lists the most common chains leading here, most
+	// frequent first — the paper uses these to find the application
+	// code to patch when writes happen in generic library functions.
+	Callchains []string
+}
+
+// Report aggregates samples per function, ordered by store count
+// (write-intensive functions first).
+func (s *Sampler) Report() []FuncStat {
+	type agg struct {
+		loads, stores uint64
+		chains        map[string]int
+	}
+	byFn := make(map[string]*agg)
+	var totalStores uint64
+	for _, smp := range s.samples {
+		a := byFn[smp.Fn]
+		if a == nil {
+			a = &agg{chains: make(map[string]int)}
+			byFn[smp.Fn] = a
+		}
+		switch smp.Kind {
+		case sim.OpLoad:
+			a.loads++
+		default:
+			a.stores++
+			totalStores++
+			a.chains[smp.Callchain]++
+		}
+	}
+	out := make([]FuncStat, 0, len(byFn))
+	for fn, a := range byFn {
+		fs := FuncStat{Fn: fn, Loads: a.loads, Stores: a.stores}
+		if totalStores > 0 {
+			fs.StoreShare = float64(a.stores) / float64(totalStores)
+		}
+		type cc struct {
+			chain string
+			n     int
+		}
+		chains := make([]cc, 0, len(a.chains))
+		for ch, n := range a.chains {
+			chains = append(chains, cc{ch, n})
+		}
+		sort.Slice(chains, func(i, j int) bool {
+			if chains[i].n != chains[j].n {
+				return chains[i].n > chains[j].n
+			}
+			return chains[i].chain < chains[j].chain
+		})
+		for i, ch := range chains {
+			if i == 3 {
+				break
+			}
+			fs.Callchains = append(fs.Callchains, ch.chain)
+		}
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stores != out[j].Stores {
+			return out[i].Stores > out[j].Stores
+		}
+		return out[i].Fn < out[j].Fn
+	})
+	return out
+}
+
+// StoreTimeShare estimates the fraction of execution time spent in
+// store instructions (including atomics) — the paper's "spend less
+// than 10% of their time issuing store instructions" screen for
+// Table 2, measured the way perf attributes cycles: stores to slow
+// memories accumulate stall time far beyond their instruction count.
+func (s *Sampler) StoreTimeShare() float64 {
+	total := s.storeTime + s.loadTime + s.computeTime + s.otherTime
+	if total == 0 {
+		return 0
+	}
+	return float64(s.storeTime) / float64(total)
+}

@@ -1,0 +1,139 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"prestores/internal/sim"
+)
+
+func TestSamplingInterval(t *testing.T) {
+	s := New(10)
+	m := sim.MachineA()
+	m.SetHook(s.Hook())
+	c := m.Core(0)
+	for i := uint64(0); i < 100; i++ {
+		c.Write(1<<40+i*64, []byte{1})
+	}
+	m.SetHook(nil)
+	// 100 eligible ops at interval 10 -> 10 samples.
+	if got := len(s.Samples()); got != 10 {
+		t.Fatalf("samples = %d, want 10", got)
+	}
+}
+
+func TestNonMemoryOpsNotSampled(t *testing.T) {
+	s := New(1)
+	m := sim.MachineA()
+	m.SetHook(s.Hook())
+	c := m.Core(0)
+	c.Compute(100)
+	c.PushFunc("f")
+	c.PopFunc()
+	m.SetHook(nil)
+	if len(s.Samples()) != 0 {
+		t.Fatalf("sampled %d non-memory ops", len(s.Samples()))
+	}
+}
+
+func TestReportRanksByStores(t *testing.T) {
+	s := New(1)
+	m := sim.MachineA()
+	m.SetHook(s.Hook())
+	c := m.Core(0)
+	c.PushFunc("writer")
+	for i := uint64(0); i < 50; i++ {
+		c.Write(1<<40+i*64, []byte{1})
+	}
+	c.PopFunc()
+	c.PushFunc("reader")
+	var b [1]byte
+	for i := uint64(0); i < 50; i++ {
+		c.Read(1<<40+i*64, b[:])
+	}
+	c.Write(1<<40, []byte{2}) // one store in reader
+	c.PopFunc()
+	m.SetHook(nil)
+	rep := s.Report()
+	if len(rep) != 2 {
+		t.Fatalf("report has %d functions", len(rep))
+	}
+	if rep[0].Fn != "writer" {
+		t.Fatalf("top function = %q", rep[0].Fn)
+	}
+	if rep[0].StoreShare <= rep[1].StoreShare {
+		t.Fatal("store shares not ordered")
+	}
+	if rep[1].Loads == 0 {
+		t.Fatal("reader loads not counted")
+	}
+}
+
+func TestCallchains(t *testing.T) {
+	s := New(1)
+	m := sim.MachineA()
+	m.SetHook(s.Hook())
+	c := m.Core(0)
+	c.PushFunc("app")
+	c.PushFunc("memcpy")
+	c.Write(1<<40, []byte{1})
+	c.PopFunc()
+	c.PopFunc()
+	m.SetHook(nil)
+	rep := s.Report()
+	if len(rep) == 0 || len(rep[0].Callchains) == 0 {
+		t.Fatal("no callchains recorded")
+	}
+	if !strings.Contains(rep[0].Callchains[0], "app>memcpy") {
+		t.Fatalf("callchain = %q", rep[0].Callchains[0])
+	}
+}
+
+func TestStoreTimeShare(t *testing.T) {
+	// Time attribution: a write-heavy PMEM streamer spends most of its
+	// time in stores; a compute loop with rare stores does not — the
+	// paper's 10%-of-time screen.
+	measure := func(writeHeavy bool) float64 {
+		s := New(1)
+		m := sim.MachineA()
+		m.SetHook(s.Hook())
+		c := m.Core(0)
+		buf := make([]byte, 4096)
+		for i := uint64(0); i < 3000; i++ {
+			if writeHeavy {
+				c.Write(1<<40+i*4096, buf)
+			} else {
+				c.Compute(500)
+				if i%50 == 0 {
+					c.Write(1<<40+i*64, []byte{1})
+				}
+			}
+		}
+		m.SetHook(nil)
+		return s.StoreTimeShare()
+	}
+	if got := measure(true); got < 0.5 {
+		t.Fatalf("PMEM streamer store-time share = %v, want > 0.5", got)
+	}
+	if got := measure(false); got >= 0.10 {
+		t.Fatalf("compute loop store-time share = %v, want < 0.10", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(1)
+	m := sim.MachineA()
+	m.SetHook(s.Hook())
+	m.Core(0).Write(1<<40, []byte{1})
+	m.SetHook(nil)
+	s.Reset()
+	if len(s.Samples()) != 0 || s.StoreTimeShare() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	if New(0).Interval != 97 {
+		t.Fatal("default interval")
+	}
+}

@@ -1,0 +1,265 @@
+// Package sim assembles the full machine model: cores with store
+// buffers and private caches, a shared last-level cache, a coherence
+// directory, a write-back queue, and the memory devices underneath.
+//
+// It exposes the two machine configurations the paper evaluates
+// (Machine A: x86 + Optane PMEM; Machine B: ARM + FPGA memory in fast
+// and slow variants) and the pre-store operations (demote and clean)
+// plus non-temporal stores (skip).
+//
+// The simulator is deterministic and functionally single-threaded:
+// simulated threads are interleaved cooperatively (RunInterleaved), and
+// each core carries its own cycle clock, with devices arbitrating
+// bandwidth through busy-until queues. Simulated data is real — bytes
+// written through a core read back byte-identical — so the workloads
+// built on top (key-value stores, matrices, message rings) are
+// functionally testable, not just timing models.
+package sim
+
+import (
+	"prestores/internal/cache"
+	"prestores/internal/memdev"
+	"prestores/internal/units"
+)
+
+// DrainMode selects when the store buffer publishes writes.
+type DrainMode int
+
+const (
+	// DrainEager models x86-TSO: stores begin acquiring their cache
+	// line as soon as they issue, so by the time a fence executes most
+	// of the buffer has already drained. This is why the paper expects
+	// (and finds) little benefit from demote pre-stores on Machine A.
+	DrainEager DrainMode = iota
+	// DrainLazy models weak memory architectures (ARM): the CPU keeps
+	// modifications private until forced by a fence, an atomic, or
+	// buffer capacity — Problem #2 in the paper.
+	DrainLazy
+)
+
+// String returns the drain-mode name.
+func (m DrainMode) String() string {
+	if m == DrainEager {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// WindowSpec binds an address window to a memory device.
+type WindowSpec struct {
+	Name   string
+	Base   uint64
+	Size   uint64
+	Device memdev.Device
+}
+
+// Config describes a machine.
+type Config struct {
+	Name     string
+	Clock    units.Hz
+	Cores    int
+	LineSize uint64
+
+	L1  cache.Config // per-core
+	L2  cache.Config // per-core; Size==0 disables the level
+	LLC cache.Config // shared
+
+	Drain DrainMode
+	// LazyDrainAge is how long a lazily-buffered store stays private
+	// before background retirement begins anyway (weak-memory CPUs
+	// drain old write-buffer entries opportunistically). Demote
+	// pre-stores matter for stores *younger* than this at the fence.
+	LazyDrainAge units.Cycles
+	SBEntries    int // store-buffer entries per core
+	MLP          int // concurrent RFOs a fence drain can keep in flight
+	WCEntries    int // non-temporal write-combining buffers per core
+	WBQueueCap   int // machine write-back queue depth
+
+	// DirOnDevice charges a device round trip for coherence-directory
+	// state changes (Machine B / Enzian). When false the directory
+	// update is considered folded into the memory access itself.
+	DirOnDevice bool
+
+	// CleanToPOU makes clean pre-stores write to the point of
+	// unification (the shared cache level) instead of memory, as ARM's
+	// dc cvau does (paper §2); Machine B sets this.
+	CleanToPOU bool
+
+	// PrefetchDepth enables a next-line hardware prefetcher: a demand
+	// load miss pulls the following PrefetchDepth lines toward the
+	// cache in the background. Pre-fetching moves data *up* the
+	// hierarchy — the paper's framing makes pre-stores its converse —
+	// and notably does nothing for write-back ordering (Problem #1).
+	PrefetchDepth int
+
+	Windows []WindowSpec
+	Seed    uint64
+}
+
+// Standard window names used by the presets.
+const (
+	WindowDRAM   = "dram"
+	WindowPMEM   = "pmem"
+	WindowRemote = "fpga"
+	WindowCXL    = "cxlssd"
+)
+
+func fillDefaults(cfg *Config) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	if cfg.LineSize == 0 {
+		cfg.LineSize = 64
+	}
+	if cfg.Clock == 0 {
+		cfg.Clock = 2100 * units.MHz
+	}
+	if cfg.SBEntries == 0 {
+		cfg.SBEntries = 56
+	}
+	if cfg.MLP == 0 {
+		cfg.MLP = 4
+	}
+	if cfg.WCEntries == 0 {
+		cfg.WCEntries = 8
+	}
+	if cfg.WBQueueCap == 0 {
+		cfg.WBQueueCap = 32
+	}
+	if cfg.LazyDrainAge == 0 {
+		cfg.LazyDrainAge = 1000
+	}
+}
+
+// MachineA returns the paper's Machine A: a 2.1 GHz x86 Xeon-like
+// socket with 64 B lines, an eager (TSO) store buffer, and Optane
+// persistent memory behind the LLC. Cache sizes are scaled down ~8×
+// from the physical part so the simulated working sets stay tractable;
+// every experiment scales its footprint with the LLC so the ratios that
+// produce each effect are preserved (DESIGN.md §6).
+func MachineA() *Machine { return NewMachine(ConfigA()) }
+
+// ConfigA returns Machine A's configuration, for experiments that need
+// to ablate one knob before construction.
+func ConfigA() Config {
+	clock := 2100 * units.MHz
+	cfg := Config{
+		Name:     "machine-A (x86 + Optane PMEM)",
+		Clock:    clock,
+		Cores:    10,
+		LineSize: 64,
+		L1: cache.Config{
+			Name: "L1d", Size: 32 * units.KiB, Ways: 8, LineSize: 64,
+			Policy: cache.PLRU, HitLat: 4,
+		},
+		L2: cache.Config{
+			Name: "L2", Size: 256 * units.KiB, Ways: 8, LineSize: 64,
+			Policy: cache.PLRU, HitLat: 14,
+		},
+		LLC: cache.Config{
+			Name: "LLC", Size: 4 * units.MiB, Ways: 16, LineSize: 64,
+			Policy: cache.QLRU, RandomMix: 0.6, HitLat: 42,
+		},
+		Drain:       DrainEager,
+		MLP:         10,
+		DirOnDevice: false,
+		Windows: []WindowSpec{
+			{Name: WindowDRAM, Base: 0, Size: 64 * units.GiB,
+				Device: memdev.NewDRAM(memdev.Config{Name: "ddr4", Clock: clock})},
+			{Name: WindowPMEM, Base: 1 << 40, Size: 256 * units.GiB,
+				Device: memdev.NewPMEM(memdev.Config{Name: "optane", Clock: clock})},
+		},
+	}
+	return cfg
+}
+
+// MachineBConfig parameterizes the Enzian-like Machine B.
+type MachineBConfig struct {
+	// FPGALatency is the unloaded FPGA access latency in CPU cycles.
+	FPGALatency units.Cycles
+	// FPGABandwidth is the FPGA link bandwidth in bytes per second.
+	FPGABandwidth float64
+}
+
+// MachineBFast returns Machine B with the low-latency FPGA
+// configuration (60 cycles, 10 GB/s — future high-end CXL memory).
+func MachineBFast() *Machine {
+	return MachineB(MachineBConfig{FPGALatency: 60, FPGABandwidth: 10e9})
+}
+
+// MachineBSlow returns Machine B with the high-latency FPGA
+// configuration (200 cycles, 1.5 GB/s — medium-tier CXL storage).
+func MachineBSlow() *Machine {
+	return MachineB(MachineBConfig{FPGALatency: 200, FPGABandwidth: 1.5e9})
+}
+
+// MachineB returns the paper's Machine B: an ARM ThunderX-1-like CPU
+// (128 B lines, weak memory model, lazy store-buffer drain) that
+// transparently caches FPGA memory; the coherence directory lives on
+// the FPGA.
+func MachineB(bc MachineBConfig) *Machine { return NewMachine(ConfigB(bc)) }
+
+// ConfigB returns Machine B's configuration for the given FPGA tuning,
+// for experiments that need to ablate one knob before construction.
+func ConfigB(bc MachineBConfig) Config {
+	clock := 2000 * units.MHz
+	name := "machine-B-fast (ARM + FPGA)"
+	if bc.FPGALatency >= 100 {
+		name = "machine-B-slow (ARM + FPGA)"
+	}
+	cfg := Config{
+		Name:     name,
+		Clock:    clock,
+		Cores:    12,
+		LineSize: 128,
+		L1: cache.Config{
+			Name: "L1d", Size: 32 * units.KiB, Ways: 32, LineSize: 128,
+			Policy: cache.LRU, HitLat: 5,
+		},
+		// ThunderX-1 has no private L2; the shared L2 acts as the LLC.
+		LLC: cache.Config{
+			Name: "L2", Size: 4 * units.MiB, Ways: 16, LineSize: 128,
+			Policy: cache.Random, HitLat: 40,
+		},
+		Drain:       DrainLazy,
+		MLP:         2, // narrow in-order core: little memory-level parallelism
+		DirOnDevice: true,
+		CleanToPOU:  true,
+		Windows: []WindowSpec{
+			{Name: WindowDRAM, Base: 0, Size: 64 * units.GiB,
+				Device: memdev.NewDRAM(memdev.Config{Name: "ddr4", Clock: clock, Granularity: 128})},
+			{Name: WindowRemote, Base: 1 << 40, Size: 64 * units.GiB,
+				Device: memdev.NewRemote(memdev.Config{
+					Name:        "fpga",
+					ReadLat:     bc.FPGALatency,
+					BandwidthBS: bc.FPGABandwidth,
+					Granularity: 128,
+					Clock:       clock,
+				})},
+		},
+	}
+	return cfg
+}
+
+// MachineC returns an extension configuration beyond the paper's
+// testbeds: the x86 socket of Machine A fronting byte-addressable
+// CXL-attached flash (Table 1's "CXL SSD" row, 512 B internal pages).
+// Both of the paper's problems compound here: evictions amplify writes
+// against the big flash pages, and the CXL link makes directory traffic
+// expensive.
+func MachineC() *Machine { return NewMachine(ConfigC()) }
+
+// ConfigC returns Machine C's configuration.
+func ConfigC() Config {
+	cfg := ConfigA()
+	cfg.Name = "machine-C (x86 + CXL SSD)"
+	for i := range cfg.Windows {
+		if cfg.Windows[i].Name == WindowPMEM {
+			cfg.Windows[i] = WindowSpec{
+				Name: WindowCXL, Base: cfg.Windows[i].Base, Size: cfg.Windows[i].Size,
+				Device: memdev.NewCXLSSD(memdev.Config{Clock: cfg.Clock}),
+			}
+		}
+	}
+	return cfg
+}

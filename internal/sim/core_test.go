@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"prestores/internal/xrand"
+)
+
+// pmemAddr returns an address inside Machine A's PMEM window.
+func pmemAddr(off uint64) uint64 { return 1<<40 + off }
+
+func TestReadAfterWrite(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	c.Write(pmemAddr(0), data)
+	got := make([]byte, len(data))
+	c.Read(pmemAddr(0), got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read-after-write mismatch: %q", got)
+	}
+}
+
+func TestReadAfterWriteQuick(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := pmemAddr(uint64(off))
+		c.Write(addr, data)
+		got := make([]byte, len(data))
+		c.Read(addr, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteNTDataIntegrity(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	c.WriteNT(pmemAddr(4096), data)
+	got := make([]byte, len(data))
+	c.Read(pmemAddr(4096), got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("NT write data lost")
+	}
+}
+
+func TestMemsetMemcpy(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	c.Memset(pmemAddr(0), 300, 0x5A)
+	c.Memcpy(pmemAddr(1000), pmemAddr(0), 300)
+	got := make([]byte, 300)
+	c.Read(pmemAddr(1000), got)
+	for i, b := range got {
+		if b != 0x5A {
+			t.Fatalf("memcpy byte %d = %#x", i, b)
+		}
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	rng := xrand.New(4)
+	prev := c.Now()
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			c.Write(pmemAddr(rng.Uint64n(1<<20)), []byte{1, 2, 3})
+		case 1:
+			var b [8]byte
+			c.Read(pmemAddr(rng.Uint64n(1<<20)), b[:])
+		case 2:
+			c.Fence()
+		case 3:
+			c.Prestore(pmemAddr(rng.Uint64n(1<<20)), 64, Clean)
+		case 4:
+			c.CAS(pmemAddr(rng.Uint64n(1<<20)&^7), 0, 1)
+		}
+		if now := c.Now(); now < prev {
+			t.Fatalf("clock went backwards: %d -> %d", prev, now)
+		} else {
+			prev = now
+		}
+	}
+}
+
+func TestLazyFenceStallsMoreThanEager(t *testing.T) {
+	measure := func(drain DrainMode) uint64 {
+		cfg := ConfigB(MachineBConfig{FPGALatency: 200, FPGABandwidth: 10e9})
+		cfg.Drain = drain
+		m := NewMachine(cfg)
+		c := m.Core(0)
+		for i := uint64(0); i < 200; i++ {
+			c.Memset(pmemAddr(i*128), 128, byte(i))
+			// Independent work the eager drain can overlap with.
+			c.Compute(400)
+			c.Fence()
+		}
+		return uint64(c.Stats().FenceStall)
+	}
+	lazy, eager := measure(DrainLazy), measure(DrainEager)
+	if lazy <= eager {
+		t.Fatalf("lazy fence stall (%d) not greater than eager (%d)", lazy, eager)
+	}
+}
+
+func TestDemoteReducesFenceStall(t *testing.T) {
+	measure := func(demote bool) uint64 {
+		m := MachineBSlow()
+		c := m.Core(0)
+		for i := uint64(0); i < 200; i++ {
+			addr := pmemAddr(i * 128)
+			c.Memset(addr, 128, byte(i))
+			if demote {
+				c.Prestore(addr, 128, Demote)
+			}
+			// Window shorter than the lazy drain age: without a
+			// demote the store stays private until the fence.
+			c.Compute(300)
+			c.Fence()
+		}
+		return uint64(c.Stats().FenceStall)
+	}
+	base, dem := measure(false), measure(true)
+	if dem >= base {
+		t.Fatalf("demote did not reduce fence stalls: %d vs %d", dem, base)
+	}
+}
+
+func TestCleanWritesBackAndKeepsCached(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	dev := m.Device(WindowPMEM)
+	addr := pmemAddr(0)
+	c.Write(addr, make([]byte, 64))
+	c.Fence()
+	before := dev.Stats().BytesReceived
+	c.Prestore(addr, 64, Clean)
+	c.Fence()
+	if got := dev.Stats().BytesReceived; got != before+64 {
+		t.Fatalf("clean pushed %d bytes, want 64", got-before)
+	}
+	if !c.L1().Contains(addr) {
+		t.Fatal("clean evicted the line from L1 (must keep it cached)")
+	}
+	if c.L1().IsDirty(addr) {
+		t.Fatal("line still dirty after clean")
+	}
+}
+
+func TestCleanOfCleanLineIsFree(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	dev := m.Device(WindowPMEM)
+	addr := pmemAddr(0)
+	c.Write(addr, make([]byte, 64))
+	c.Prestore(addr, 64, Clean)
+	c.Fence()
+	before := dev.Stats().BytesReceived
+	c.Prestore(addr, 64, Clean) // second clean: nothing dirty
+	c.Fence()
+	if got := dev.Stats().BytesReceived; got != before {
+		t.Fatalf("idempotent clean wrote %d bytes", got-before)
+	}
+}
+
+func TestDemoteMovesToLLC(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	addr := pmemAddr(0)
+	c.Write(addr, make([]byte, 64))
+	c.Fence()
+	if !c.L1().Contains(addr) {
+		t.Fatal("setup: line not in L1")
+	}
+	c.Prestore(addr, 64, Demote)
+	if c.L1().Contains(addr) {
+		t.Fatal("demote left the line in L1")
+	}
+	if !m.LLC().Contains(addr) {
+		t.Fatal("demote did not place the line in the LLC")
+	}
+	if !m.LLC().IsDirty(addr) {
+		t.Fatal("demoted dirty line lost its dirty bit")
+	}
+}
+
+func TestDemoteDoesNotWriteToMemory(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	dev := m.Device(WindowPMEM)
+	addr := pmemAddr(0)
+	c.Write(addr, make([]byte, 64))
+	c.Fence()
+	before := dev.Stats().BytesReceived
+	c.Prestore(addr, 64, Demote)
+	c.Fence()
+	if got := dev.Stats().BytesReceived; got != before {
+		t.Fatalf("demote wrote %d bytes to memory", got-before)
+	}
+}
+
+func TestNTStoreBypassesCache(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	addr := pmemAddr(0)
+	c.WriteNT(addr, make([]byte, 64))
+	c.Fence()
+	if c.L1().Contains(addr) || m.LLC().Contains(addr) {
+		t.Fatal("NT store left the line cached")
+	}
+	if got := m.Device(WindowPMEM).Stats().BytesReceived; got != 64 {
+		t.Fatalf("NT store sent %d bytes to the device", got)
+	}
+}
+
+func TestNTStoreInvalidatesCachedCopy(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	addr := pmemAddr(0)
+	c.Write(addr, []byte{1})
+	c.Fence()
+	c.WriteNT(addr, make([]byte, 64))
+	if c.L1().Contains(addr) {
+		t.Fatal("cached copy survived an NT store")
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	addr := pmemAddr(0)
+	c.WriteU64(addr, 5)
+	c.Fence()
+	if c.CAS(addr, 4, 9) {
+		t.Fatal("CAS with wrong expected value succeeded")
+	}
+	if !c.CAS(addr, 5, 9) {
+		t.Fatal("CAS with right expected value failed")
+	}
+	if got := c.ReadU64(addr); got != 9 {
+		t.Fatalf("after CAS value = %d", got)
+	}
+}
+
+func TestAtomicAdd(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	addr := pmemAddr(0)
+	for i := uint64(1); i <= 10; i++ {
+		if got := c.AtomicAdd(addr, 1); got != i {
+			t.Fatalf("AtomicAdd #%d = %d", i, got)
+		}
+	}
+}
+
+func TestAtomicDrainsStoreBuffer(t *testing.T) {
+	cfg := ConfigB(MachineBConfig{FPGALatency: 200, FPGABandwidth: 10e9})
+	m := NewMachine(cfg)
+	c := m.Core(0)
+	c.Memset(pmemAddr(0), 1024, 1)
+	before := c.Stats().FenceStall
+	c.CAS(pmemAddr(8192), 0, 1)
+	if c.Stats().FenceStall == before {
+		t.Fatal("atomic did not wait for buffered stores")
+	}
+}
+
+func TestStoreStallsOnInflightWriteback(t *testing.T) {
+	// Rewriting a line whose clean is still in flight must wait —
+	// Listing 3's pathology.
+	m := MachineA()
+	c := m.Core(0)
+	addr := pmemAddr(0)
+	for i := 0; i < 200; i++ {
+		c.Memset(addr, 64, byte(i))
+		c.Prestore(addr, 64, Clean)
+	}
+	perIter := float64(c.Now()) / 200
+	if perIter < 50 {
+		t.Fatalf("clean-rewrite loop too cheap: %.1f cyc/iter (no in-flight stall?)", perIter)
+	}
+}
+
+func TestFunctionAnnotations(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	c.PushFunc("outer")
+	c.PushFunc("inner")
+	if got := c.CurrentFunc(); got != "inner" {
+		t.Fatalf("CurrentFunc = %q", got)
+	}
+	chain := c.Callchain()
+	if len(chain) != 2 || chain[0] != "outer" || chain[1] != "inner" {
+		t.Fatalf("Callchain = %v", chain)
+	}
+	c.PopFunc()
+	if got := c.CurrentFunc(); got != "outer" {
+		t.Fatalf("after pop CurrentFunc = %q", got)
+	}
+	c.PopFunc()
+	c.PopFunc() // extra pop is harmless
+}
+
+func TestHookSeesOps(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	var kinds []OpKind
+	m.SetHook(func(ev Event, _ *Core) { kinds = append(kinds, ev.Kind) })
+	c.Write(pmemAddr(0), []byte{1})
+	var b [1]byte
+	c.Read(pmemAddr(0), b[:])
+	c.Fence()
+	c.Prestore(pmemAddr(0), 64, Clean)
+	m.SetHook(nil)
+	c.Write(pmemAddr(64), []byte{1}) // not observed
+	want := []OpKind{OpStore, OpLoad, OpFence, OpPrestoreClean}
+	if len(kinds) != len(want) {
+		t.Fatalf("hook saw %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestComputeAdvancesClockAndInstr(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	n0, i0 := c.Now(), c.Instructions()
+	c.Compute(123)
+	if c.Now()-n0 != 123 || c.Instructions()-i0 != 123 {
+		t.Fatal("Compute accounting wrong")
+	}
+}
+
+func TestSBForwarding(t *testing.T) {
+	cfg := ConfigB(MachineBConfig{FPGALatency: 200, FPGABandwidth: 10e9})
+	m := NewMachine(cfg) // lazy drain keeps the store buffered
+	c := m.Core(0)
+	c.Write(pmemAddr(0), []byte{42})
+	var b [1]byte
+	c.Read(pmemAddr(0), b[:])
+	if b[0] != 42 {
+		t.Fatal("forwarded wrong data")
+	}
+	if c.Stats().SBForwards == 0 {
+		t.Fatal("load did not forward from the store buffer")
+	}
+}
+
+func TestPrefetcherFillsNextLines(t *testing.T) {
+	cfg := ConfigA()
+	cfg.PrefetchDepth = 2
+	m := NewMachine(cfg)
+	c := m.Core(0)
+	var b [8]byte
+	c.Read(pmemAddr(0), b[:]) // demand miss
+	if c.Stats().Prefetches != 2 {
+		t.Fatalf("prefetches = %d, want 2", c.Stats().Prefetches)
+	}
+	if !m.LLC().Contains(pmemAddr(64)) || !m.LLC().Contains(pmemAddr(128)) {
+		t.Fatal("next lines not prefetched into the LLC")
+	}
+	// The prefetched line must now be an LLC hit for another access.
+	before := c.Stats().LoadMemFills
+	c.Read(pmemAddr(64), b[:])
+	if c.Stats().LoadMemFills != before {
+		t.Fatal("prefetched line still missed to memory")
+	}
+}
+
+func TestPrefetcherOffByDefault(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	var b [8]byte
+	c.Read(pmemAddr(0), b[:])
+	if c.Stats().Prefetches != 0 {
+		t.Fatal("prefetcher active without configuration")
+	}
+}

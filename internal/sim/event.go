@@ -1,0 +1,75 @@
+package sim
+
+import "fmt"
+
+// OpKind identifies a simulated operation for instrumentation hooks.
+type OpKind int
+
+// Operation kinds delivered to hooks.
+const (
+	OpLoad OpKind = iota
+	OpStore
+	OpStoreNT
+	OpFence
+	OpAtomic // CAS / fetch-add; fence semantics
+	OpPrestoreClean
+	OpPrestoreDemote
+	OpCompute
+	OpFuncEnter
+	OpFuncExit
+)
+
+// String returns the op-kind name.
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpStoreNT:
+		return "store-nt"
+	case OpFence:
+		return "fence"
+	case OpAtomic:
+		return "atomic"
+	case OpPrestoreClean:
+		return "prestore-clean"
+	case OpPrestoreDemote:
+		return "prestore-demote"
+	case OpCompute:
+		return "compute"
+	case OpFuncEnter:
+		return "func-enter"
+	case OpFuncExit:
+		return "func-exit"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// IsFenceSemantics reports whether the op orders memory accesses (the
+// paper groups explicit fences and atomic instructions together).
+func (k OpKind) IsFenceSemantics() bool { return k == OpFence || k == OpAtomic }
+
+// Event describes one simulated operation, delivered to the machine's
+// hook (DirtBuster's instrumentation layer and the profiler subscribe
+// here — this is the simulator's equivalent of Intel PIN).
+type Event struct {
+	Core  int
+	Kind  OpKind
+	Addr  uint64
+	Size  uint64
+	Fn    string // innermost function annotation at the time of the op
+	Instr uint64 // core instruction counter after the op
+	// Cost is the number of cycles the operation advanced the issuing
+	// core's clock — the basis for perf-style time attribution (the
+	// paper classifies applications by the share of *time* spent in
+	// store instructions, which on slow memories far exceeds the
+	// instruction share).
+	Cost uint64
+}
+
+// Hook receives every simulated operation when installed. The core
+// pointer gives access to the function-annotation stack for callchain
+// sampling. Hooks must not mutate machine state.
+type Hook func(ev Event, core *Core)

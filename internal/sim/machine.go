@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"prestores/internal/cache"
+	"prestores/internal/coherence"
+	"prestores/internal/memdev"
+	"prestores/internal/memspace"
+	"prestores/internal/units"
+)
+
+// Machine is a complete simulated system: cores, caches, directory,
+// write-back queue, devices, and the byte-addressable backing store.
+type Machine struct {
+	cfg     Config
+	cores   []*Core
+	llc     *cache.Cache
+	dir     *coherence.Directory
+	wbq     *wbQueue
+	arena   *memspace.Arena
+	backing *memspace.Store
+
+	windows []WindowSpec // sorted by base
+	hook    Hook
+}
+
+// NewMachine builds a machine from cfg. It panics on malformed
+// configurations (overlapping windows, bad cache geometry) so that
+// machine presets fail loudly.
+func NewMachine(cfg Config) *Machine {
+	fillDefaults(&cfg)
+	if len(cfg.Windows) == 0 {
+		panic("sim: machine needs at least one memory window")
+	}
+	m := &Machine{
+		cfg:     cfg,
+		arena:   memspace.NewArena(),
+		backing: memspace.NewStore(),
+	}
+	m.windows = append(m.windows, cfg.Windows...)
+	sort.Slice(m.windows, func(i, j int) bool { return m.windows[i].Base < m.windows[j].Base })
+	for _, w := range cfg.Windows {
+		if err := m.arena.AddWindow(w.Name, w.Base, w.Size); err != nil {
+			panic(err)
+		}
+	}
+	llcCfg := cfg.LLC
+	llcCfg.Seed = cfg.Seed ^ 0xbeef
+	m.llc = cache.New(llcCfg)
+	m.dir = coherence.New(m.deviceFor)
+	m.dir.OnDie = !cfg.DirOnDevice
+	m.dir.OnInvalidate = func(core int, line uint64) {
+		c := m.cores[core]
+		c.l1.Invalidate(line)
+		if c.l2 != nil {
+			c.l2.Invalidate(line)
+		}
+	}
+	m.wbq = &wbQueue{cap: cfg.WBQueueCap}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, newCore(m, i))
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.cfg.Name }
+
+// LineSize returns the CPU cache-line size.
+func (m *Machine) LineSize() uint64 { return m.cfg.LineSize }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Cores returns the number of cores.
+func (m *Machine) Cores() int { return len(m.cores) }
+
+// LLC returns the shared last-level cache (for stats and tests).
+func (m *Machine) LLC() *cache.Cache { return m.llc }
+
+// Directory returns the coherence directory (for stats and ablations).
+func (m *Machine) Directory() *coherence.Directory { return m.dir }
+
+// Backing returns the byte-addressable backing store. Reads through it
+// bypass all timing — use for test verification and workload setup.
+func (m *Machine) Backing() *memspace.Store { return m.backing }
+
+// Arena returns the region allocator.
+func (m *Machine) Arena() *memspace.Arena { return m.arena }
+
+// SetHook installs the instrumentation hook (nil removes it).
+func (m *Machine) SetHook(h Hook) { m.hook = h }
+
+// deviceFor returns the device serving addr. It panics on an address
+// outside every window — that is a workload bug worth failing loudly.
+func (m *Machine) deviceFor(addr uint64) memdev.Device {
+	for i := range m.windows {
+		w := &m.windows[i]
+		if addr >= w.Base && addr < w.Base+w.Size {
+			return w.Device
+		}
+	}
+	panic(fmt.Sprintf("sim: address %#x outside every memory window", addr))
+}
+
+// Device returns the device serving the named window, or nil.
+func (m *Machine) Device(window string) memdev.Device {
+	for _, w := range m.cfg.Windows {
+		if w.Name == window {
+			return w.Device
+		}
+	}
+	return nil
+}
+
+// Alloc carves a line-aligned region from the named window.
+func (m *Machine) Alloc(window, name string, size uint64) memspace.Region {
+	return m.arena.MustAlloc(window, name, size, m.cfg.LineSize)
+}
+
+// AllocAligned carves a region with explicit alignment.
+func (m *Machine) AllocAligned(window, name string, size, align uint64) memspace.Region {
+	return m.arena.MustAlloc(window, name, size, align)
+}
+
+// Drain completes all outstanding work: fences every core, flushes
+// non-temporal buffers, drains the write-back queue and device write
+// buffers. The completion time is charged back to every core's clock —
+// deferred write-backs are real work, and experiments that measure
+// elapsed time must not get them for free. Call before reading device
+// statistics.
+func (m *Machine) Drain() {
+	for _, c := range m.cores {
+		c.Fence()
+	}
+	var now units.Cycles
+	for _, c := range m.cores {
+		if c.now > now {
+			now = c.now
+		}
+	}
+	now = m.wbq.drainAll(now)
+	for _, w := range m.cfg.Windows {
+		if t := w.Device.Flush(now); t > now {
+			now = t
+		}
+	}
+	for _, c := range m.cores {
+		c.now = now
+	}
+}
+
+// FlushCaches writes every dirty line in every cache level back to its
+// device (in arbitrary, set-major order — like a wbinvd) and
+// invalidates nothing. Used between experiment phases.
+func (m *Machine) FlushCaches() {
+	var now units.Cycles
+	for _, c := range m.cores {
+		c.Fence()
+		if c.now > now {
+			now = c.now
+		}
+	}
+	flushLevel := func(cc *cache.Cache) {
+		var lines []uint64
+		cc.DirtyLines(func(addr uint64) { lines = append(lines, addr) })
+		for _, addr := range lines {
+			cc.CleanLine(addr)
+			now, _ = m.wbq.enqueue(now, now, addr, m.cfg.LineSize, m.deviceFor)
+		}
+	}
+	for _, c := range m.cores {
+		flushLevel(c.l1)
+		if c.l2 != nil {
+			flushLevel(c.l2)
+		}
+	}
+	flushLevel(m.llc)
+	m.Drain()
+}
+
+// ResetStats clears all cache, directory, device and queue counters
+// (cache and device *contents* are preserved).
+func (m *Machine) ResetStats() {
+	for _, c := range m.cores {
+		c.l1.ResetStats()
+		if c.l2 != nil {
+			c.l2.ResetStats()
+		}
+		c.stats = CoreStats{}
+	}
+	m.llc.ResetStats()
+	m.dir.ResetStats()
+	m.wbq.stalls = 0
+	for _, w := range m.cfg.Windows {
+		w.Device.ResetStats()
+	}
+}
+
+// MaxCycles returns the highest core clock — the elapsed simulated time
+// of a parallel region when cores started from a common point.
+func (m *Machine) MaxCycles() units.Cycles {
+	var max units.Cycles
+	for _, c := range m.cores {
+		if c.now > max {
+			max = c.now
+		}
+	}
+	return max
+}
+
+// SyncCores advances every core's clock to the machine-wide maximum — a
+// barrier, used between experiment phases.
+func (m *Machine) SyncCores() {
+	max := m.MaxCycles()
+	for _, c := range m.cores {
+		c.now = max
+	}
+}
+
+// Seconds converts cycles to seconds at this machine's clock.
+func (m *Machine) Seconds(c units.Cycles) float64 {
+	return units.Seconds(c, m.cfg.Clock)
+}
+
+// wbQueue is the machine-wide write-back queue: CLWB cleans, dirty
+// evictions and non-temporal streams pass through it to the devices.
+// It drains in FIFO order — which is precisely why clean pre-stores
+// issued in program order reach the device sequentially, while dirty
+// evictions arrive in whatever order the replacement policy produced.
+type wbQueue struct {
+	cap      int
+	pending  []units.Cycles          // device-accept completion times, FIFO
+	inflight map[uint64]units.Cycles // line base -> accept completion
+	stalls   uint64                  // cycles cores stalled on a full queue
+}
+
+// enqueue submits a write-back of size bytes at line-aligned addr. The
+// write-back is asynchronous: the issuing core proceeds immediately
+// unless the queue is full, in which case it stalls until the oldest
+// entry is accepted by its device — the back-pressure that turns write
+// amplification into lost time. dataReady is the earliest cycle the
+// line's data is available (e.g. a buffered store still completing its
+// acquisition). It returns the core's (possibly advanced) clock and the
+// device-accept completion cycle.
+func (q *wbQueue) enqueue(coreNow, dataReady units.Cycles, addr, size uint64, dev func(uint64) memdev.Device) (units.Cycles, units.Cycles) {
+	if q.inflight == nil {
+		q.inflight = make(map[uint64]units.Cycles)
+	}
+	q.reap(coreNow)
+	if len(q.pending) >= q.cap {
+		wait := q.pending[0]
+		if wait > coreNow {
+			q.stalls += wait - coreNow
+			coreNow = wait
+		}
+		q.reap(coreNow)
+		if len(q.pending) >= q.cap { // still full: force the oldest out
+			q.pending = q.pending[1:]
+		}
+	}
+	start := coreNow
+	if dataReady > start {
+		start = dataReady
+	}
+	// Write-backs of the same line serialize: a new one cannot start
+	// until the previous one has been accepted downstream. This chain
+	// is what makes clean-then-rewrite loops run at memory-write
+	// latency (the paper's Listing 3 measures ~75x).
+	if t := q.inflight[addr]; t > start {
+		start = t
+	}
+	accept := dev(addr).WriteLine(start, addr, size)
+	q.pending = append(q.pending, accept)
+	q.track(addr, accept, coreNow)
+	return coreNow, accept
+}
+
+// track records the accept time of an in-flight write-back so that a
+// store to the same line can be made to wait for it (a store cannot
+// regain write permission on a line while its write-back is in flight).
+func (q *wbQueue) track(line uint64, accept, now units.Cycles) {
+	if len(q.inflight) > 1<<16 {
+		for l, t := range q.inflight {
+			if t <= now {
+				delete(q.inflight, l)
+			}
+		}
+	}
+	if q.inflight[line] < accept {
+		q.inflight[line] = accept
+	}
+}
+
+// inflightUntil returns the accept completion of any in-flight
+// write-back of the line, or 0.
+func (q *wbQueue) inflightUntil(line uint64) units.Cycles {
+	return q.inflight[line]
+}
+
+// reap removes entries whose device accept has completed.
+func (q *wbQueue) reap(now units.Cycles) {
+	i := 0
+	for i < len(q.pending) && q.pending[i] <= now {
+		i++
+	}
+	if i > 0 {
+		q.pending = append(q.pending[:0], q.pending[i:]...)
+	}
+}
+
+// drainAll waits for every pending write-back, returning the final
+// completion cycle.
+func (q *wbQueue) drainAll(now units.Cycles) units.Cycles {
+	for _, t := range q.pending {
+		if t > now {
+			now = t
+		}
+	}
+	q.pending = q.pending[:0]
+	return now
+}
+
+// Stalls returns total cycles cores spent stalled on the full queue.
+func (q *wbQueue) Stalls() uint64 { return q.stalls }

@@ -1,0 +1,40 @@
+package sim
+
+import "prestores/internal/units"
+
+// RunInterleaved executes iters iterations of body on each of the given
+// cores, round-robin one iteration at a time. This cooperative
+// interleaving is the simulator's model of concurrent threads: it mixes
+// the cores' access streams at the shared LLC the way hardware
+// multi-threading does (which is what degrades eviction sequentiality,
+// §4.1), while keeping the simulation deterministic.
+//
+// body receives (thread index, iteration, core).
+func RunInterleaved(cores []*Core, iters int, body func(t, i int, c *Core)) {
+	for i := 0; i < iters; i++ {
+		for t, c := range cores {
+			body(t, i, c)
+		}
+	}
+}
+
+// Elapsed measures the simulated wall-clock of fn across the given
+// cores: all cores are first synchronized, fn runs, and the result is
+// the maximum per-core cycle advance.
+func Elapsed(m *Machine, cores []*Core, fn func()) units.Cycles {
+	m.SyncCores()
+	start := m.MaxCycles()
+	fn()
+	var end units.Cycles
+	for _, c := range cores {
+		if c.now > end {
+			end = c.now
+		}
+	}
+	return end - start
+}
+
+// ElapsedAll is Elapsed over every core of the machine.
+func ElapsedAll(m *Machine, fn func()) units.Cycles {
+	return Elapsed(m, m.cores, fn)
+}

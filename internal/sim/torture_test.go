@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+
+	"prestores/internal/units"
+	"prestores/internal/xrand"
+)
+
+// TestTortureRandomOps drives a machine with a long random operation
+// stream across several cores and checks the global invariants the
+// rest of the repository relies on:
+//
+//   - data read back always matches a reference model (per byte);
+//   - core clocks never move backwards;
+//   - instruction counters are monotonic;
+//   - cache levels never exceed capacity;
+//   - a final drain leaves no dirty private state behind a Flush.
+func TestTortureRandomOps(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		mk   func() *Machine
+	}{
+		{"machineA", MachineA},
+		{"machineB", MachineBFast},
+	} {
+		mk := mk
+		t.Run(mk.name, func(t *testing.T) {
+			m := mk.mk()
+			rng := xrand.New(0xf00d)
+			const span = 1 << 22 // 4 MiB working window
+			base := uint64(1) << 40
+			ref := make([]byte, span)
+
+			cores := []*Core{m.Core(0), m.Core(1), m.Core(2)}
+			prevNow := make([]units.Cycles, len(cores))
+			prevInstr := make([]uint64, len(cores))
+
+			buf := make([]byte, 512)
+			for step := 0; step < 30000; step++ {
+				ci := rng.Intn(len(cores))
+				c := cores[ci]
+				off := rng.Uint64n(span - 512)
+				n := rng.Uint64n(511) + 1
+				switch rng.Intn(8) {
+				case 0, 1, 2: // write
+					for i := uint64(0); i < n; i++ {
+						buf[i] = byte(rng.Uint32())
+					}
+					c.Write(base+off, buf[:n])
+					copy(ref[off:], buf[:n])
+				case 3: // NT write
+					for i := uint64(0); i < n; i++ {
+						buf[i] = byte(rng.Uint32())
+					}
+					c.WriteNT(base+off, buf[:n])
+					copy(ref[off:], buf[:n])
+				case 4, 5: // read + verify
+					c.Read(base+off, buf[:n])
+					for i := uint64(0); i < n; i++ {
+						if buf[i] != ref[off+i] {
+							t.Fatalf("step %d: byte %#x = %#x, want %#x",
+								step, off+i, buf[i], ref[off+i])
+						}
+					}
+				case 6: // pre-store
+					op := Clean
+					if rng.Uint32()%2 == 0 {
+						op = Demote
+					}
+					c.Prestore(base+off, n, op)
+				case 7: // ordering ops
+					switch rng.Intn(3) {
+					case 0:
+						c.Fence()
+					case 1:
+						a := base + (off &^ 7)
+						cur := m.Backing().ReadU64(a)
+						c.CAS(a, cur, cur+1)
+						var scratch [8]byte
+						m.Backing().Read(a, scratch[:])
+						copy(ref[off&^7:], scratch[:])
+					case 2:
+						c.Compute(rng.Uint64n(100))
+					}
+				}
+				if now := c.Now(); now < prevNow[ci] {
+					t.Fatalf("step %d: core %d clock went backwards", step, ci)
+				} else {
+					prevNow[ci] = now
+				}
+				if in := c.Instructions(); in < prevInstr[ci] {
+					t.Fatalf("step %d: core %d instructions went backwards", step, ci)
+				} else {
+					prevInstr[ci] = in
+				}
+			}
+
+			// Capacity invariants.
+			for _, c := range cores {
+				capacity := int(c.l1.Config().Size / c.l1.Config().LineSize)
+				if v := c.l1.ValidLines(); v > capacity {
+					t.Fatalf("L1 over capacity: %d > %d", v, capacity)
+				}
+			}
+			llcCap := int(m.LLC().Config().Size / m.LLC().Config().LineSize)
+			if v := m.LLC().ValidLines(); v > llcCap {
+				t.Fatalf("LLC over capacity: %d > %d", v, llcCap)
+			}
+
+			// Flush leaves nothing dirty, and the data still matches.
+			m.FlushCaches()
+			dirty := 0
+			for _, c := range cores {
+				c.l1.DirtyLines(func(uint64) { dirty++ })
+			}
+			m.LLC().DirtyLines(func(uint64) { dirty++ })
+			if dirty != 0 {
+				t.Fatalf("%d dirty lines after FlushCaches", dirty)
+			}
+			final := make([]byte, span)
+			m.Backing().Read(base, final)
+			for i := range final {
+				if final[i] != ref[i] {
+					t.Fatalf("final byte %#x = %#x, want %#x", i, final[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTortureDeterminism re-runs an identical random stream and demands
+// cycle-identical machines.
+func TestTortureDeterminism(t *testing.T) {
+	run := func() units.Cycles {
+		m := MachineA()
+		rng := xrand.New(0xcafe)
+		c := m.Core(0)
+		buf := make([]byte, 256)
+		for step := 0; step < 20000; step++ {
+			off := rng.Uint64n(1 << 22)
+			switch rng.Intn(4) {
+			case 0, 1:
+				c.Write(1<<40+off, buf)
+			case 2:
+				c.Read(1<<40+off, buf)
+			case 3:
+				c.Prestore(1<<40+off, 256, Clean)
+			}
+		}
+		m.Drain()
+		return c.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical streams diverged: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the trace decoder: it must
+// return an error or a valid buffer, never panic or hang.
+func FuzzDecode(f *testing.F) {
+	// Seed with a real encoding.
+	b := NewBuffer()
+	b.records = append(b.records, Record{Core: 1, Addr: 64, Size: 8, Fn: b.intern("f"), Instr: 3, Cost: 5})
+	var seed bytes.Buffer
+	if err := b.Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("PSTR"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must replay and re-encode cleanly.
+		count := 0
+		tb.Replay(func(Record, string) { count++ })
+		if count != tb.Len() {
+			t.Fatalf("replay visited %d of %d records", count, tb.Len())
+		}
+		var out bytes.Buffer
+		if err := tb.Encode(&out); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+	})
+}
+
+// FuzzRoundtrip checks that any record content survives encode/decode.
+func FuzzRoundtrip(f *testing.F) {
+	f.Add(uint16(0), uint8(1), uint64(64), uint64(8), uint64(10), uint64(4), "fn")
+	f.Fuzz(func(t *testing.T, core uint16, kind uint8, addr, size, instr, cost uint64, fn string) {
+		b := NewBuffer()
+		b.records = append(b.records, Record{
+			Core: core, Kind: 0, Addr: addr, Size: size,
+			Fn: b.intern(fn), Instr: instr, Cost: cost,
+		})
+		_ = kind
+		var buf bytes.Buffer
+		if err := b.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var orig, dec Record
+		var origFn, decFn string
+		b.Replay(func(r Record, n string) { orig, origFn = r, n })
+		got.Replay(func(r Record, n string) { dec, decFn = r, n })
+		if orig != dec || origFn != decFn {
+			t.Fatalf("roundtrip mismatch: %+v/%q vs %+v/%q", orig, origFn, dec, decFn)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package trace records the simulator's operation stream — the
+// equivalent of the Intel PIN instrumentation DirtBuster uses in its
+// second step — and can persist it for offline analysis.
+//
+// A Buffer subscribes to a machine's hook and stores one compact record
+// per operation, interning function names. Traces encode to a simple
+// length-prefixed binary format (encoding/binary) so an application can
+// be traced once and analyzed many times, mirroring the paper's
+// "intended usage ... executed offline, as an optimization pass".
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"prestores/internal/sim"
+)
+
+// Record is one traced operation.
+type Record struct {
+	Core  uint16
+	Kind  sim.OpKind
+	Addr  uint64
+	Size  uint64
+	Fn    uint32 // interned function id; see Buffer.FuncName
+	Instr uint64 // issuing core's instruction counter
+	Cost  uint64 // cycles the op advanced the issuing core
+}
+
+// Buffer accumulates trace records in memory.
+type Buffer struct {
+	records []Record
+	fnIDs   map[string]uint32
+	fnNames []string
+	// Filter, when non-nil, drops records whose function name does not
+	// satisfy it (DirtBuster only instruments the write-intensive
+	// functions found by sampling).
+	Filter func(fn string) bool
+}
+
+// NewBuffer returns an empty trace buffer.
+func NewBuffer() *Buffer {
+	return &Buffer{fnIDs: make(map[string]uint32)}
+}
+
+// Hook returns a sim.Hook that appends every operation to the buffer.
+func (b *Buffer) Hook() sim.Hook {
+	return func(ev sim.Event, _ *sim.Core) {
+		if b.Filter != nil && !b.Filter(ev.Fn) {
+			return
+		}
+		b.records = append(b.records, Record{
+			Core:  uint16(ev.Core),
+			Kind:  ev.Kind,
+			Addr:  ev.Addr,
+			Size:  ev.Size,
+			Fn:    b.intern(ev.Fn),
+			Instr: ev.Instr,
+			Cost:  ev.Cost,
+		})
+	}
+}
+
+func (b *Buffer) intern(fn string) uint32 {
+	if id, ok := b.fnIDs[fn]; ok {
+		return id
+	}
+	id := uint32(len(b.fnNames))
+	b.fnIDs[fn] = id
+	b.fnNames = append(b.fnNames, fn)
+	return id
+}
+
+// Len returns the number of records.
+func (b *Buffer) Len() int { return len(b.records) }
+
+// FuncName resolves an interned function id.
+func (b *Buffer) FuncName(id uint32) string {
+	if int(id) < len(b.fnNames) {
+		return b.fnNames[id]
+	}
+	return "?"
+}
+
+// Replay calls fn for every record in order.
+func (b *Buffer) Replay(fn func(r Record, fnName string)) {
+	for _, r := range b.records {
+		fn(r, b.FuncName(r.Fn))
+	}
+}
+
+// Reset drops all records but keeps the interning table.
+func (b *Buffer) Reset() { b.records = b.records[:0] }
+
+const magic = 0x50535452 // "PSTR"
+
+// Encode writes the trace in binary form.
+func (b *Buffer) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(b.fnNames)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(b.records)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, name := range b.fnNames {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+	var rec [39]byte
+	for _, r := range b.records {
+		binary.LittleEndian.PutUint16(rec[0:], r.Core)
+		rec[2] = byte(r.Kind)
+		binary.LittleEndian.PutUint64(rec[3:], r.Addr)
+		binary.LittleEndian.PutUint64(rec[11:], r.Size)
+		binary.LittleEndian.PutUint32(rec[19:], r.Fn)
+		binary.LittleEndian.PutUint64(rec[23:], r.Instr)
+		binary.LittleEndian.PutUint64(rec[31:], r.Cost)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace written by Encode.
+func Decode(r io.Reader) (*Buffer, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	nFns := binary.LittleEndian.Uint32(hdr[4:])
+	nRecs := binary.LittleEndian.Uint32(hdr[8:])
+	b := NewBuffer()
+	for i := uint32(0); i < nFns; i++ {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > 1<<16 {
+			return nil, fmt.Errorf("trace: function name length %d too large", n)
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		b.intern(string(name))
+	}
+	// Cap the preallocation: the header is untrusted input, and a
+	// corrupt count must not force a huge allocation before the reads
+	// fail naturally.
+	prealloc := nRecs
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	b.records = make([]Record, 0, prealloc)
+	var rec [39]byte
+	for i := uint32(0); i < nRecs; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, err
+		}
+		b.records = append(b.records, Record{
+			Core:  binary.LittleEndian.Uint16(rec[0:]),
+			Kind:  sim.OpKind(rec[2]),
+			Addr:  binary.LittleEndian.Uint64(rec[3:]),
+			Size:  binary.LittleEndian.Uint64(rec[11:]),
+			Fn:    binary.LittleEndian.Uint32(rec[19:]),
+			Instr: binary.LittleEndian.Uint64(rec[23:]),
+			Cost:  binary.LittleEndian.Uint64(rec[31:]),
+		})
+	}
+	return b, nil
+}
+
+// FnTime is the per-function time attribution of a trace.
+type FnTime struct {
+	Fn        string
+	Cycles    uint64 // total cycles attributed to the function's ops
+	StoreCyc  uint64 // cycles in stores/NT stores/atomics
+	LoadCyc   uint64
+	Ops       uint64
+	TimeShare float64 // fraction of the trace's total cycles
+}
+
+// TimeByFunction aggregates per-function cycle attribution — a
+// perf-report-style view of a recording.
+func (b *Buffer) TimeByFunction() []FnTime {
+	agg := map[string]*FnTime{}
+	var total uint64
+	b.Replay(func(r Record, fn string) {
+		ft := agg[fn]
+		if ft == nil {
+			ft = &FnTime{Fn: fn}
+			agg[fn] = ft
+		}
+		ft.Cycles += r.Cost
+		ft.Ops++
+		total += r.Cost
+		switch r.Kind {
+		case sim.OpStore, sim.OpStoreNT, sim.OpAtomic:
+			ft.StoreCyc += r.Cost
+		case sim.OpLoad:
+			ft.LoadCyc += r.Cost
+		}
+	})
+	out := make([]FnTime, 0, len(agg))
+	for _, ft := range agg {
+		if total > 0 {
+			ft.TimeShare = float64(ft.Cycles) / float64(total)
+		}
+		out = append(out, *ft)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Fn < out[j].Fn
+	})
+	return out
+}

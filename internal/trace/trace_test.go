@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prestores/internal/sim"
+)
+
+func recordSome(t *testing.T) *Buffer {
+	t.Helper()
+	b := NewBuffer()
+	m := sim.MachineA()
+	m.SetHook(b.Hook())
+	c := m.Core(0)
+	c.PushFunc("alpha")
+	c.Write(1<<40, []byte{1, 2, 3})
+	var buf [3]byte
+	c.Read(1<<40, buf[:])
+	c.PopFunc()
+	c.PushFunc("beta")
+	c.Fence()
+	c.PopFunc()
+	m.SetHook(nil)
+	return b
+}
+
+func TestRecording(t *testing.T) {
+	b := recordSome(t)
+	if b.Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	var kinds []sim.OpKind
+	var fns []string
+	b.Replay(func(r Record, fn string) {
+		kinds = append(kinds, r.Kind)
+		fns = append(fns, fn)
+	})
+	// Expect func-enter, store, load, func-exit, func-enter, fence, func-exit.
+	wantKinds := []sim.OpKind{
+		sim.OpFuncEnter, sim.OpStore, sim.OpLoad, sim.OpFuncExit,
+		sim.OpFuncEnter, sim.OpFence, sim.OpFuncExit,
+	}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("recorded %v", kinds)
+	}
+	for i := range wantKinds {
+		if kinds[i] != wantKinds[i] {
+			t.Fatalf("record %d = %v, want %v", i, kinds[i], wantKinds[i])
+		}
+	}
+	if fns[1] != "alpha" || fns[5] != "beta" {
+		t.Fatalf("function attribution: %v", fns)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBuffer()
+	b.Filter = func(fn string) bool { return fn == "keep" }
+	m := sim.MachineA()
+	m.SetHook(b.Hook())
+	c := m.Core(0)
+	c.PushFunc("keep")
+	c.Write(1<<40, []byte{1})
+	c.PopFunc()
+	c.PushFunc("drop")
+	c.Write(1<<40+64, []byte{1})
+	c.PopFunc()
+	m.SetHook(nil)
+	count := 0
+	b.Replay(func(r Record, fn string) {
+		if r.Kind == sim.OpStore {
+			count++
+			if fn != "keep" {
+				t.Fatalf("filtered record from %q", fn)
+			}
+		}
+	})
+	if count != 1 {
+		t.Fatalf("kept %d stores, want 1", count)
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	b := recordSome(t)
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != b.Len() {
+		t.Fatalf("decoded %d records, want %d", got.Len(), b.Len())
+	}
+	var orig, decoded []Record
+	var origFns, decodedFns []string
+	b.Replay(func(r Record, fn string) { orig = append(orig, r); origFns = append(origFns, fn) })
+	got.Replay(func(r Record, fn string) { decoded = append(decoded, r); decodedFns = append(decodedFns, fn) })
+	for i := range orig {
+		if orig[i] != decoded[i] || origFns[i] != decodedFns[i] {
+			t.Fatalf("record %d mismatch: %+v (%q) vs %+v (%q)",
+				i, orig[i], origFns[i], decoded[i], decodedFns[i])
+		}
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	b := recordSome(t)
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := recordSome(t)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("Reset kept records")
+	}
+	// Interning table survives.
+	if b.FuncName(0) == "?" {
+		t.Fatal("Reset dropped the function table")
+	}
+}
+
+func TestFuncNameUnknown(t *testing.T) {
+	b := NewBuffer()
+	if b.FuncName(42) != "?" {
+		t.Fatal("unknown id did not map to ?")
+	}
+}
+
+func TestTimeByFunction(t *testing.T) {
+	b := NewBuffer()
+	m := sim.MachineA()
+	m.SetHook(b.Hook())
+	c := m.Core(0)
+	c.PushFunc("writer")
+	for i := uint64(0); i < 200; i++ {
+		c.Write(1<<40+i*4096, make([]byte, 256))
+	}
+	c.PopFunc()
+	c.PushFunc("thinker")
+	c.Compute(50)
+	c.PopFunc()
+	m.SetHook(nil)
+	rep := b.TimeByFunction()
+	if len(rep) < 2 {
+		t.Fatalf("report has %d functions", len(rep))
+	}
+	if rep[0].Fn != "writer" {
+		t.Fatalf("top function %q, want writer", rep[0].Fn)
+	}
+	if rep[0].StoreCyc == 0 || rep[0].TimeShare <= 0 {
+		t.Fatalf("writer attribution: %+v", rep[0])
+	}
+	var total float64
+	for _, ft := range rep {
+		total += ft.TimeShare
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("time shares sum to %v", total)
+	}
+}

@@ -1,0 +1,89 @@
+// Package units provides size and cycle helpers shared across the
+// simulator: byte-size constants, human-readable formatting, alignment
+// arithmetic, and conversions between simulated cycles and wall time.
+package units
+
+import "fmt"
+
+// Byte-size constants.
+const (
+	B   uint64 = 1
+	KiB uint64 = 1 << 10
+	MiB uint64 = 1 << 20
+	GiB uint64 = 1 << 30
+	TiB uint64 = 1 << 40
+)
+
+// Bytes formats a byte count with a binary-prefix unit, e.g. "16.2MiB".
+func Bytes(n uint64) string {
+	switch {
+	case n >= TiB:
+		return fmt.Sprintf("%.1fTiB", float64(n)/float64(TiB))
+	case n >= GiB:
+		return fmt.Sprintf("%.1fGiB", float64(n)/float64(GiB))
+	case n >= MiB:
+		return fmt.Sprintf("%.1fMiB", float64(n)/float64(MiB))
+	case n >= KiB:
+		return fmt.Sprintf("%.1fKiB", float64(n)/float64(KiB))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// AlignDown rounds addr down to a multiple of align. align must be a
+// power of two.
+func AlignDown(addr, align uint64) uint64 {
+	return addr &^ (align - 1)
+}
+
+// AlignUp rounds addr up to a multiple of align. align must be a power
+// of two.
+func AlignUp(addr, align uint64) uint64 {
+	return (addr + align - 1) &^ (align - 1)
+}
+
+// IsPow2 reports whether v is a non-zero power of two.
+func IsPow2(v uint64) bool {
+	return v != 0 && v&(v-1) == 0
+}
+
+// Log2 returns floor(log2(v)) for v > 0.
+func Log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Cycles represents a simulated cycle count.
+type Cycles = uint64
+
+// Hz represents a clock frequency in cycles per second.
+type Hz uint64
+
+// Common clock frequencies for the evaluated machines.
+const (
+	GHz Hz = 1e9
+	MHz Hz = 1e6
+)
+
+// Seconds converts a cycle count at frequency f to seconds.
+func Seconds(c Cycles, f Hz) float64 {
+	return float64(c) / float64(f)
+}
+
+// CyclesForBytes returns the number of cycles needed to transfer n
+// bytes at bandwidth bytesPerSec on a clock of frequency f.
+func CyclesForBytes(n uint64, bytesPerSec float64, f Hz) Cycles {
+	if bytesPerSec <= 0 {
+		return 0
+	}
+	return Cycles(float64(n) / bytesPerSec * float64(f))
+}
+
+// Pct formats a ratio as a signed percentage, e.g. 1.47 -> "+47.0%".
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}

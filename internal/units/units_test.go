@@ -1,0 +1,127 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesFormatting(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{0, "0B"},
+		{1, "1B"},
+		{1023, "1023B"},
+		{1024, "1.0KiB"},
+		{1536, "1.5KiB"},
+		{MiB, "1.0MiB"},
+		{16*MiB + 200*KiB, "16.2MiB"},
+		{GiB, "1.0GiB"},
+		{TiB, "1.0TiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.in); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAlignDown(t *testing.T) {
+	cases := []struct{ addr, align, want uint64 }{
+		{0, 64, 0},
+		{63, 64, 0},
+		{64, 64, 64},
+		{65, 64, 64},
+		{255, 256, 0},
+		{1000, 8, 1000},
+	}
+	for _, c := range cases {
+		if got := AlignDown(c.addr, c.align); got != c.want {
+			t.Errorf("AlignDown(%d,%d) = %d, want %d", c.addr, c.align, got, c.want)
+		}
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct{ addr, align, want uint64 }{
+		{0, 64, 0},
+		{1, 64, 64},
+		{64, 64, 64},
+		{65, 64, 128},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.addr, c.align); got != c.want {
+			t.Errorf("AlignUp(%d,%d) = %d, want %d", c.addr, c.align, got, c.want)
+		}
+	}
+}
+
+func TestAlignProperties(t *testing.T) {
+	f := func(addr uint64, shift uint8) bool {
+		align := uint64(1) << (shift % 12)
+		d := AlignDown(addr, align)
+		u := AlignUp(addr, align)
+		if d > addr || d%align != 0 {
+			return false
+		}
+		if u < addr || u%align != 0 {
+			return false
+		}
+		// Up and down differ by less than one alignment unit.
+		return u-d < align || (u == d && addr%align == 0) || u-d == align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 64, 1 << 40} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 6, 100, 1<<40 + 1} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint
+	}{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {64, 6}, {1 << 20, 20}}
+	for _, c := range cases {
+		if got := Log2(c.in); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(2_100_000_000, 2100*MHz); got != 1.0 {
+		t.Errorf("Seconds = %v, want 1.0", got)
+	}
+}
+
+func TestCyclesForBytes(t *testing.T) {
+	// 64 B at 2.1 GB/s on a 2.1 GHz clock = 64 cycles.
+	if got := CyclesForBytes(64, 2.1e9, 2100*MHz); got != 64 {
+		t.Errorf("CyclesForBytes = %d, want 64", got)
+	}
+	if got := CyclesForBytes(64, 0, 2100*MHz); got != 0 {
+		t.Errorf("CyclesForBytes with zero bandwidth = %d, want 0", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(1.47); got != "+47.0%" {
+		t.Errorf("Pct(1.47) = %q", got)
+	}
+	if got := Pct(0.8); got != "-20.0%" {
+		t.Errorf("Pct(0.8) = %q", got)
+	}
+}

@@ -1,0 +1,214 @@
+// Package clht implements a cache-line hash table in simulated memory,
+// following the CLHT design the paper evaluates (David, Guerraoui,
+// Trigonakis: "Asynchronized Concurrency"): each bucket is exactly one
+// cache line holding a lock word, a chain pointer, and key/value slots;
+// readers are lock-free, writers lock the bucket with an atomic
+// operation.
+//
+// The locking atomic is what couples CLHT to pre-stores on weak-memory
+// machines: inserting an object computes its hash and locks its bucket,
+// and "the atomic operations used in the lock have a fence semantics
+// and force the CPU to make the crafted value visible to all the cores"
+// (§7.3.1). Pre-storing the value after crafting overlaps that
+// publication with the hash computation and bucket traversal.
+package clht
+
+import (
+	"fmt"
+
+	"prestores/internal/memspace"
+	"prestores/internal/sim"
+	"prestores/internal/units"
+	"prestores/internal/xrand"
+)
+
+// Bucket layout (one cache line):
+//
+//	offset 0:  lock word (0 free / 1 held)
+//	offset 8:  next bucket address (0 = end of chain)
+//	offset 16: slots: {key u64, valref u64} pairs filling the line
+//
+// A valref packs the value address (lower 48 bits) and length (upper 16
+// bits). Key 0 marks an empty slot; user keys are offset by 1.
+const (
+	offLock  = 0
+	offNext  = 8
+	offSlots = 16
+	slotSize = 16
+)
+
+func packRef(addr uint64, n uint32) uint64 { return addr | uint64(n)<<48 }
+func unpackRef(ref uint64) (uint64, uint32) {
+	return ref & (1<<48 - 1), uint32(ref >> 48)
+}
+
+// Stats counts table activity.
+type Stats struct {
+	Puts      uint64
+	Gets      uint64
+	Hits      uint64
+	Updates   uint64
+	Inserts   uint64
+	Chained   uint64 // overflow buckets allocated
+	LockSpins uint64
+}
+
+// Table is a CLHT-style hash table resident in simulated memory.
+type Table struct {
+	m        *sim.Machine
+	buckets  memspace.Region
+	overflow memspace.Region
+	nBuckets uint64
+	lineSize uint64
+	slots    uint64 // slots per bucket
+	nextOvf  uint64
+	stats    Stats
+}
+
+// Config sizes the table.
+type Config struct {
+	Buckets  uint64 // power of two; default 1<<16
+	Window   string // memory window; default PMEM
+	Overflow uint64 // overflow pool bytes; default buckets/4 lines
+}
+
+// New allocates the bucket array and overflow pool on m.
+func New(m *sim.Machine, cfg Config) *Table {
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 1 << 16
+	}
+	if !units.IsPow2(cfg.Buckets) {
+		panic(fmt.Sprintf("clht: bucket count %d not a power of two", cfg.Buckets))
+	}
+	if cfg.Window == "" {
+		cfg.Window = sim.WindowPMEM
+	}
+	line := m.LineSize()
+	if cfg.Overflow == 0 {
+		cfg.Overflow = cfg.Buckets / 4 * line
+	}
+	return &Table{
+		m:        m,
+		buckets:  m.Alloc(cfg.Window, "clht.buckets", cfg.Buckets*line),
+		overflow: m.Alloc(cfg.Window, "clht.overflow", cfg.Overflow),
+		nBuckets: cfg.Buckets,
+		lineSize: line,
+		slots:    (line - offSlots) / slotSize,
+	}
+}
+
+// Name implements kv.Store.
+func (t *Table) Name() string { return "clht" }
+
+// Stats returns activity counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+func (t *Table) bucketAddr(c *sim.Core, key uint64) uint64 {
+	// CLHT hashes the full key (YCSB keys are ~23-byte strings); the
+	// hash plus bucket arithmetic is the window a pre-store of the
+	// crafted value overlaps with (§7.3.1).
+	c.Compute(96)
+	h := xrand.Hash64(key + 1)
+	return t.buckets.Base + (h&(t.nBuckets-1))*t.lineSize
+}
+
+// lock acquires the bucket lock with test-and-test-and-set: the lock
+// word is read first (fetching the bucket line — often a remote-memory
+// miss), then claimed with a CAS. The CAS has fence semantics — it is
+// the instruction that forces crafted values out of private buffers
+// (§7.3.1) — while the preceding load is the window a pre-store
+// overlaps with.
+func (t *Table) lock(c *sim.Core, bucket uint64) {
+	for {
+		if c.ReadU64(bucket+offLock) != 0 {
+			t.stats.LockSpins++
+			c.Compute(4) // back-off
+			continue
+		}
+		if c.CAS(bucket+offLock, 0, 1) {
+			return
+		}
+		t.stats.LockSpins++
+		c.Compute(4)
+	}
+}
+
+// unlock releases the bucket lock (release store: fence, then store).
+func (t *Table) unlock(c *sim.Core, bucket uint64) {
+	c.Fence()
+	c.WriteU64(bucket+offLock, 0)
+}
+
+// Put inserts or updates key -> (valAddr, valLen), returning any
+// replaced value's location so the caller can free it.
+func (t *Table) Put(c *sim.Core, key, valAddr uint64, valLen uint32) (uint64, uint32, bool) {
+	t.stats.Puts++
+	c.PushFunc("clht.put")
+	defer c.PopFunc()
+	ukey := key + 1
+	bucket := t.bucketAddr(c, key)
+	t.lock(c, bucket)
+	cur := bucket
+	var freeSlot uint64
+	for {
+		for s := uint64(0); s < t.slots; s++ {
+			slotAddr := cur + offSlots + s*slotSize
+			k := c.ReadU64(slotAddr)
+			switch k {
+			case ukey:
+				oldAddr, oldLen := unpackRef(c.ReadU64(slotAddr + 8))
+				c.WriteU64(slotAddr+8, packRef(valAddr, valLen))
+				t.stats.Updates++
+				t.unlock(c, bucket)
+				return oldAddr, oldLen, true
+			case 0:
+				if freeSlot == 0 {
+					freeSlot = slotAddr
+				}
+			}
+		}
+		next := c.ReadU64(cur + offNext)
+		if next == 0 {
+			break
+		}
+		cur = next
+	}
+	if freeSlot == 0 {
+		// Chain a fresh overflow bucket.
+		if t.nextOvf+t.lineSize > t.overflow.Size {
+			panic("clht: overflow pool exhausted; size the table for the key count")
+		}
+		nb := t.overflow.Base + t.nextOvf
+		t.nextOvf += t.lineSize
+		t.stats.Chained++
+		c.Memset(nb, t.lineSize, 0)
+		c.WriteU64(cur+offNext, nb)
+		freeSlot = nb + offSlots
+	}
+	c.WriteU64(freeSlot+8, packRef(valAddr, valLen))
+	c.WriteU64(freeSlot, ukey)
+	t.stats.Inserts++
+	t.unlock(c, bucket)
+	return 0, 0, false
+}
+
+// Get returns the value reference for key. Reads are lock-free.
+func (t *Table) Get(c *sim.Core, key uint64) (uint64, uint32, bool) {
+	t.stats.Gets++
+	c.PushFunc("clht.get")
+	defer c.PopFunc()
+	ukey := key + 1
+	cur := t.bucketAddr(c, key)
+	for cur != 0 {
+		for s := uint64(0); s < t.slots; s++ {
+			slotAddr := cur + offSlots + s*slotSize
+			if c.ReadU64(slotAddr) == ukey {
+				addr, n := unpackRef(c.ReadU64(slotAddr + 8))
+				t.stats.Hits++
+				return addr, n, true
+			}
+		}
+		cur = c.ReadU64(cur + offNext)
+	}
+	return 0, 0, false
+}

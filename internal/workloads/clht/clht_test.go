@@ -1,0 +1,153 @@
+package clht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prestores/internal/sim"
+	"prestores/internal/units"
+	"prestores/internal/xrand"
+)
+
+func newTable(t *testing.T) (*sim.Machine, *Table) {
+	t.Helper()
+	m := sim.MachineA()
+	return m, New(m, Config{Buckets: 1 << 12, Overflow: 4 * units.MiB})
+}
+
+func TestPutGet(t *testing.T) {
+	m, tab := newTable(t)
+	c := m.Core(0)
+	tab.Put(c, 1, 0x10000001000, 64)
+	tab.Put(c, 2, 0x10000002000, 128)
+	addr, n, ok := tab.Get(c, 1)
+	if !ok || addr != 0x10000001000 || n != 64 {
+		t.Fatalf("Get(1) = %#x,%d,%v", addr, n, ok)
+	}
+	addr, n, ok = tab.Get(c, 2)
+	if !ok || addr != 0x10000002000 || n != 128 {
+		t.Fatalf("Get(2) = %#x,%d,%v", addr, n, ok)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	m, tab := newTable(t)
+	if _, _, ok := tab.Get(m.Core(0), 999); ok {
+		t.Fatal("Get of missing key succeeded")
+	}
+}
+
+func TestKeyZero(t *testing.T) {
+	m, tab := newTable(t)
+	c := m.Core(0)
+	tab.Put(c, 0, 0x10000000040, 8)
+	if _, _, ok := tab.Get(c, 0); !ok {
+		t.Fatal("key 0 not stored (empty-slot sentinel clash?)")
+	}
+}
+
+func TestUpdateReturnsOld(t *testing.T) {
+	m, tab := newTable(t)
+	c := m.Core(0)
+	if _, _, replaced := tab.Put(c, 7, 0x10000001000, 64); replaced {
+		t.Fatal("fresh insert reported replacement")
+	}
+	old, oldLen, replaced := tab.Put(c, 7, 0x10000002000, 128)
+	if !replaced || old != 0x10000001000 || oldLen != 64 {
+		t.Fatalf("replace = %#x,%d,%v", old, oldLen, replaced)
+	}
+	if addr, n, _ := tab.Get(c, 7); addr != 0x10000002000 || n != 128 {
+		t.Fatal("update lost")
+	}
+	if tab.Stats().Updates != 1 || tab.Stats().Inserts != 1 {
+		t.Fatalf("stats %+v", tab.Stats())
+	}
+}
+
+func TestChaining(t *testing.T) {
+	m := sim.MachineA()
+	// Tiny table: 16 buckets x 3 slots, force chains.
+	tab := New(m, Config{Buckets: 16, Overflow: units.MiB})
+	c := m.Core(0)
+	const n = 300
+	for k := uint64(0); k < n; k++ {
+		tab.Put(c, k, 0x10000000000+k*64, 64)
+	}
+	if tab.Stats().Chained == 0 {
+		t.Fatal("no overflow buckets despite 300 keys in 16 buckets")
+	}
+	for k := uint64(0); k < n; k++ {
+		addr, _, ok := tab.Get(c, k)
+		if !ok || addr != 0x10000000000+k*64 {
+			t.Fatalf("chained Get(%d) = %#x,%v", k, addr, ok)
+		}
+	}
+}
+
+func TestAgainstMapReference(t *testing.T) {
+	m, tab := newTable(t)
+	c := m.Core(0)
+	ref := map[uint64]uint64{}
+	rng := xrand.New(31)
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64n(3000)
+		v := 0x10000000000 + rng.Uint64n(1<<20)&^63
+		tab.Put(c, k, v, 64)
+		ref[k] = v
+	}
+	for k, v := range ref {
+		got, _, ok := tab.Get(c, k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %#x,%v want %#x", k, got, ok, v)
+		}
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	m, tab := newTable(t)
+	c := m.Core(0)
+	f := func(key uint64, off uint32) bool {
+		key %= 1 << 30
+		v := 0x10000000000 + uint64(off)&^63
+		tab.Put(c, key, v, 64)
+		got, _, ok := tab.Get(c, key)
+		return ok && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-pow2 buckets accepted")
+		}
+	}()
+	New(sim.MachineA(), Config{Buckets: 100})
+}
+
+func TestLockCyclesAreCounted(t *testing.T) {
+	m, tab := newTable(t)
+	c := m.Core(0)
+	before := c.Stats().Atomics
+	tab.Put(c, 1, 0x10000001000, 64)
+	if c.Stats().Atomics == before {
+		t.Fatal("put did not use an atomic for the bucket lock")
+	}
+}
+
+func TestMachineBLineSize(t *testing.T) {
+	// On Machine B (128B lines) buckets hold 7 slots.
+	m := sim.MachineBFast()
+	tab := New(m, Config{Buckets: 1 << 10, Window: sim.WindowRemote})
+	c := m.Core(0)
+	for k := uint64(0); k < 500; k++ {
+		tab.Put(c, k, 0x10000000000+k*128, 128)
+	}
+	for k := uint64(0); k < 500; k++ {
+		if _, _, ok := tab.Get(c, k); !ok {
+			t.Fatalf("B-machine Get(%d) failed", k)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package kv defines the key-value store interface shared by the CLHT
+// and Masstree implementations, and the value heap that the YCSB driver
+// crafts values into.
+//
+// The paper's KV experiments (§7.2.3, §7.3.1) hinge on how the *value*
+// is crafted before insertion: written normally (baseline), written and
+// then cleaned with a pre-store, or written with non-temporal stores
+// (skipping the cache). The index structures themselves are ordinary;
+// it is the value traffic that dominates the write stream.
+package kv
+
+import (
+	"prestores/internal/memspace"
+	"prestores/internal/sim"
+)
+
+// Store is a key-value index over values held in simulated memory.
+// Implementations are exercised by the YCSB driver.
+type Store interface {
+	Name() string
+	// Put maps key to the value at [valAddr, valAddr+valLen). If the
+	// key was already mapped, the previous value's location is
+	// returned so the caller can free it (real stores recycle value
+	// allocations through malloc; that recycling keeps hot values
+	// cache-resident).
+	Put(c *sim.Core, key, valAddr uint64, valLen uint32) (oldAddr uint64, oldLen uint32, replaced bool)
+	// Get returns the current value location for key.
+	Get(c *sim.Core, key uint64) (valAddr uint64, valLen uint32, ok bool)
+}
+
+// Scanner is the optional range-scan interface ordered stores
+// implement (Masstree does; a hash table cannot).
+type Scanner interface {
+	// Scan visits up to limit entries with key >= start in key order,
+	// stopping early when fn returns false.
+	Scan(c *sim.Core, start uint64, limit int, fn func(key, valAddr uint64, valLen uint32) bool)
+}
+
+// CraftMode selects how values are written before insertion.
+type CraftMode int
+
+// Crafting treatments (paper Listing 6 and §7.2.3).
+const (
+	CraftBaseline CraftMode = iota // plain stores
+	CraftClean                     // stores + clean pre-store
+	CraftSkip                      // non-temporal stores
+	CraftDemote                    // stores + demote pre-store
+)
+
+// String returns the mode name.
+func (m CraftMode) String() string {
+	switch m {
+	case CraftBaseline:
+		return "baseline"
+	case CraftClean:
+		return "clean"
+	case CraftSkip:
+		return "skip"
+	case CraftDemote:
+		return "demote"
+	default:
+		return "?"
+	}
+}
+
+// ValueHeap is a malloc-like allocator for value storage: each Put
+// crafts its value into a fresh slot, and superseded values are freed
+// back onto per-size free lists. Recycling matters for realism: a hot
+// key's successive values land on recently-freed, still-cached lines,
+// exactly as ptmalloc-style allocators behave under the YCSB update
+// stream.
+type ValueHeap struct {
+	region memspace.Region
+	next   uint64
+	align  uint64
+	free   map[uint64][]uint64 // size class -> free slot addresses (LIFO)
+}
+
+// NewValueHeap carves size bytes from the window for value storage.
+func NewValueHeap(m *sim.Machine, window string, size uint64) *ValueHeap {
+	return &ValueHeap{
+		region: m.Alloc(window, "kv.valueheap", size),
+		align:  m.LineSize(),
+		free:   make(map[uint64][]uint64),
+	}
+}
+
+func (h *ValueHeap) class(n uint64) uint64 {
+	return (n + h.align - 1) &^ (h.align - 1)
+}
+
+// Alloc reserves n bytes (line-aligned) and returns the address,
+// preferring the most recently freed slot of the same size class.
+func (h *ValueHeap) Alloc(n uint64) uint64 {
+	sz := h.class(n)
+	if list := h.free[sz]; len(list) > 0 {
+		addr := list[len(list)-1]
+		h.free[sz] = list[:len(list)-1]
+		return addr
+	}
+	if h.next+sz > h.region.Size {
+		// Heap exhausted with nothing freed: wrap (degenerate case for
+		// insert-only workloads that out-size the heap).
+		h.next = 0
+	}
+	addr := h.region.Base + h.next
+	h.next += sz
+	return addr
+}
+
+// Free returns a slot to its size-class free list.
+func (h *ValueHeap) Free(addr uint64, n uint32) {
+	sz := h.class(uint64(n))
+	h.free[sz] = append(h.free[sz], addr)
+}
+
+// Craft writes val into a fresh slot using the given mode and returns
+// its address. This is the paper's craftValue + optional prestore:
+//
+//	void *value = craftValue(...);
+//	prestore(value, size, clean);     // CraftClean
+func (h *ValueHeap) Craft(c *sim.Core, val []byte, mode CraftMode) uint64 {
+	addr := h.Alloc(uint64(len(val)))
+	// Generating the value contents (YCSB builds each field) costs real
+	// on-core work before and between the stores.
+	c.Compute(uint64(len(val)) / 8)
+	switch mode {
+	case CraftSkip:
+		c.WriteNT(addr, val)
+	default:
+		c.Write(addr, val)
+		switch mode {
+		case CraftClean:
+			c.Prestore(addr, uint64(len(val)), sim.Clean)
+		case CraftDemote:
+			c.Prestore(addr, uint64(len(val)), sim.Demote)
+		}
+	}
+	return addr
+}

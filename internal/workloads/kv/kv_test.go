@@ -1,0 +1,103 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+
+	"prestores/internal/sim"
+	"prestores/internal/units"
+)
+
+func TestHeapAllocAlignment(t *testing.T) {
+	m := sim.MachineA()
+	h := NewValueHeap(m, sim.WindowPMEM, units.MiB)
+	a := h.Alloc(100)
+	b := h.Alloc(100)
+	if a%64 != 0 || b%64 != 0 {
+		t.Fatal("allocations not line-aligned")
+	}
+	if b < a+128 {
+		t.Fatalf("allocations too close: %#x then %#x", a, b)
+	}
+}
+
+func TestHeapFreeListRecycles(t *testing.T) {
+	m := sim.MachineA()
+	h := NewValueHeap(m, sim.WindowPMEM, units.MiB)
+	a := h.Alloc(1024)
+	h.Free(a, 1024)
+	b := h.Alloc(1024)
+	if b != a {
+		t.Fatalf("free slot not recycled: %#x vs %#x", b, a)
+	}
+	// Different size class must not reuse it.
+	h.Free(b, 1024)
+	c := h.Alloc(64)
+	if c == a {
+		t.Fatal("size classes mixed")
+	}
+}
+
+func TestHeapLIFO(t *testing.T) {
+	m := sim.MachineA()
+	h := NewValueHeap(m, sim.WindowPMEM, units.MiB)
+	a := h.Alloc(256)
+	b := h.Alloc(256)
+	h.Free(a, 256)
+	h.Free(b, 256)
+	if got := h.Alloc(256); got != b {
+		t.Fatalf("free list not LIFO: got %#x, want %#x", got, b)
+	}
+}
+
+func TestCraftModes(t *testing.T) {
+	val := make([]byte, 512)
+	for i := range val {
+		val[i] = byte(i * 11)
+	}
+	for _, mode := range []CraftMode{CraftBaseline, CraftClean, CraftSkip, CraftDemote} {
+		m := sim.MachineA()
+		h := NewValueHeap(m, sim.WindowPMEM, units.MiB)
+		c := m.Core(0)
+		addr := h.Craft(c, val, mode)
+		got := make([]byte, len(val))
+		c.Read(addr, got)
+		if !bytes.Equal(got, val) {
+			t.Fatalf("%v: crafted value corrupted", mode)
+		}
+	}
+}
+
+func TestCraftCleanPushesToDevice(t *testing.T) {
+	m := sim.MachineA()
+	h := NewValueHeap(m, sim.WindowPMEM, units.MiB)
+	c := m.Core(0)
+	dev := m.Device(sim.WindowPMEM)
+	h.Craft(c, make([]byte, 1024), CraftClean)
+	c.Fence()
+	if dev.Stats().BytesReceived < 1024 {
+		t.Fatalf("clean craft pushed only %d bytes", dev.Stats().BytesReceived)
+	}
+}
+
+func TestCraftSkipBypassesCache(t *testing.T) {
+	m := sim.MachineA()
+	h := NewValueHeap(m, sim.WindowPMEM, units.MiB)
+	c := m.Core(0)
+	addr := h.Craft(c, make([]byte, 256), CraftSkip)
+	c.Fence()
+	if c.L1().Contains(addr) {
+		t.Fatal("skip-crafted value is cached")
+	}
+}
+
+func TestCraftModeString(t *testing.T) {
+	for mode, want := range map[CraftMode]string{
+		CraftBaseline: "baseline", CraftClean: "clean",
+		CraftSkip: "skip", CraftDemote: "demote",
+	} {
+		if mode.String() != want {
+			t.Errorf("%d.String() = %q", mode, mode.String())
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Package masstree implements a Masstree-style B+tree in simulated
+// memory (Mao, Kohler, Morris: "Cache craftiness for fast multicore
+// key-value storage"), specialized to 8-byte keys.
+//
+// The structure matters to the paper through its concurrency protocol
+// (§7.3.1, Listing 7): every object carries a version number; readers
+// and writers check the version, fence, manipulate the node, fence, and
+// re-check the version to detect concurrent changes. "The fences are
+// mandatory for correctness, but they may cause the CPU to stall if the
+// crafted value has not been made visible to all the cores" — which is
+// exactly the stall a demote/clean pre-store on the crafted value
+// removes.
+package masstree
+
+import (
+	"prestores/internal/memspace"
+	"prestores/internal/sim"
+)
+
+// Node layout (one nodeSize-byte block):
+//
+//	offset 0:   version word (bit 0 = lock, higher bits = counter)
+//	offset 8:   key count
+//	offset 16:  node type (0 = leaf, 1 = internal)
+//	offset 24:  next-leaf address (leaves only)
+//	offset 32:  keys   [fanout]u64
+//	offset 152: leaf value refs [fanout]u64 / internal children [fanout+1]u64
+const (
+	nodeSize = 512
+	fanout   = 15
+
+	offVersion = 0
+	offCount   = 8
+	offType    = 16
+	offNext    = 24
+	offKeys    = 32
+	offVals    = offKeys + 8*fanout // 152
+)
+
+const (
+	typeLeaf     = 0
+	typeInternal = 1
+)
+
+func packRef(addr uint64, n uint32) uint64 { return addr | uint64(n)<<48 }
+func unpackRef(ref uint64) (uint64, uint32) {
+	return ref & (1<<48 - 1), uint32(ref >> 48)
+}
+
+// Stats counts tree activity.
+type Stats struct {
+	Puts     uint64
+	Gets     uint64
+	Hits     uint64
+	Updates  uint64
+	Inserts  uint64
+	Splits   uint64
+	Restarts uint64
+	Depth    int
+}
+
+// Tree is the Masstree-style index.
+type Tree struct {
+	m        *sim.Machine
+	pool     memspace.Region
+	rootCell uint64 // address of the root pointer
+	nextNode uint64
+	stats    Stats
+}
+
+// Config sizes the tree.
+type Config struct {
+	Window string // default PMEM
+	// PoolNodes is the node-pool capacity; default 1<<17 nodes.
+	PoolNodes uint64
+}
+
+// New allocates the node pool and an empty root leaf.
+func New(m *sim.Machine, cfg Config) *Tree {
+	if cfg.Window == "" {
+		cfg.Window = sim.WindowPMEM
+	}
+	if cfg.PoolNodes == 0 {
+		cfg.PoolNodes = 1 << 17
+	}
+	t := &Tree{
+		m:    m,
+		pool: m.AllocAligned(cfg.Window, "masstree.nodes", cfg.PoolNodes*nodeSize+8, nodeSize),
+	}
+	t.rootCell = t.pool.Base
+	t.nextNode = nodeSize // node storage starts one block in
+	root := t.allocNode(typeLeaf)
+	t.m.Backing().WriteU64(t.rootCell, root)
+	return t
+}
+
+// Name implements kv.Store.
+func (t *Tree) Name() string { return "masstree" }
+
+// Stats returns activity counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// allocNode carves a zeroed node from the pool (setup-time, untimed
+// except for the type word the caller writes).
+func (t *Tree) allocNode(typ uint64) uint64 {
+	if t.nextNode+nodeSize > t.pool.Size {
+		panic("masstree: node pool exhausted; size the tree for the key count")
+	}
+	addr := t.pool.Base + t.nextNode
+	t.nextNode += nodeSize
+	t.m.Backing().Fill(addr, nodeSize, 0)
+	t.m.Backing().WriteU64(addr+offType, typ)
+	return addr
+}
+
+func (t *Tree) root(c *sim.Core) uint64 { return c.ReadU64(t.rootCell) }
+
+// readVersion reads a node's version word.
+func readVersion(c *sim.Core, node uint64) uint64 { return c.ReadU64(node + offVersion) }
+
+func isLocked(v uint64) bool { return v&1 == 1 }
+
+// lockNode acquires the node's version lock with a CAS loop.
+func (t *Tree) lockNode(c *sim.Core, node uint64) uint64 {
+	for {
+		v := readVersion(c, node)
+		if !isLocked(v) && c.CAS(node+offVersion, v, v|1) {
+			return v
+		}
+		c.Compute(4)
+	}
+}
+
+// unlockNode bumps the version counter and clears the lock bit.
+func (t *Tree) unlockNode(c *sim.Core, node, v uint64) {
+	c.Fence()
+	c.WriteU64(node+offVersion, v+2)
+}
+
+// search returns the index of the first key >= key within the node and
+// whether it matches exactly, issuing the loads for the scanned keys.
+func (t *Tree) search(c *sim.Core, node, key uint64) (int, bool) {
+	n := int(c.ReadU64(node + offCount))
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k := c.ReadU64(node + offKeys + uint64(mid)*8)
+		if k < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	exact := false
+	if lo < n {
+		exact = c.ReadU64(node+offKeys+uint64(lo)*8) == key
+	}
+	return lo, exact
+}
+
+// Get looks key up with the optimistic version-validation protocol of
+// Listing 7.
+func (t *Tree) Get(c *sim.Core, key uint64) (uint64, uint32, bool) {
+	t.stats.Gets++
+	c.PushFunc("masstree.get")
+	defer c.PopFunc()
+	ukey := key + 1
+restart:
+	node := t.root(c)
+	for {
+		v := readVersion(c, node)
+		if isLocked(v) {
+			t.stats.Restarts++
+			c.Compute(4)
+			goto restart
+		}
+		c.Fence()
+		typ := c.ReadU64(node + offType)
+		i, exact := t.search(c, node, ukey)
+		var next, ref uint64
+		if typ == typeInternal {
+			ci := i
+			if exact {
+				ci = i + 1
+			}
+			next = c.ReadU64(node + offVals + uint64(ci)*8)
+		} else if exact {
+			ref = c.ReadU64(node + offVals + uint64(i)*8)
+		}
+		c.Fence()
+		if readVersion(c, node) != v {
+			t.stats.Restarts++
+			goto restart
+		}
+		if typ == typeLeaf {
+			if !exact {
+				return 0, 0, false
+			}
+			addr, n := unpackRef(ref)
+			t.stats.Hits++
+			return addr, n, true
+		}
+		node = next
+	}
+}
+
+// Put inserts or updates key -> (valAddr, valLen), locking the leaf
+// (and ancestors during splits) with version locks. It returns any
+// replaced value's location so the caller can free it.
+func (t *Tree) Put(c *sim.Core, key, valAddr uint64, valLen uint32) (uint64, uint32, bool) {
+	t.stats.Puts++
+	c.PushFunc("masstree.put")
+	defer c.PopFunc()
+	ukey := key + 1
+
+restart:
+	// Descend, remembering the path for splits.
+	var path []uint64
+	node := t.root(c)
+	for {
+		v := readVersion(c, node)
+		if isLocked(v) {
+			t.stats.Restarts++
+			c.Compute(4)
+			goto restart
+		}
+		c.Fence()
+		typ := c.ReadU64(node + offType)
+		if typ == typeLeaf {
+			break
+		}
+		i, exact := t.search(c, node, ukey)
+		ci := i
+		if exact {
+			ci = i + 1
+		}
+		next := c.ReadU64(node + offVals + uint64(ci)*8)
+		c.Fence()
+		if readVersion(c, node) != v {
+			t.stats.Restarts++
+			goto restart
+		}
+		path = append(path, node)
+		node = next
+	}
+
+	v := t.lockNode(c, node)
+	i, exact := t.search(c, node, ukey)
+	if exact {
+		oldAddr, oldLen := unpackRef(c.ReadU64(node + offVals + uint64(i)*8))
+		c.WriteU64(node+offVals+uint64(i)*8, packRef(valAddr, valLen))
+		t.stats.Updates++
+		t.unlockNode(c, node, v)
+		return oldAddr, oldLen, true
+	}
+	n := int(c.ReadU64(node + offCount))
+	if n < fanout {
+		t.insertAt(c, node, n, i, ukey, packRef(valAddr, valLen))
+		t.stats.Inserts++
+		t.unlockNode(c, node, v)
+		return 0, 0, false
+	}
+	// Leaf full: split, then insert into the proper half.
+	right, sep := t.splitLeaf(c, node)
+	if ukey >= sep {
+		vi, _ := t.search(c, right, ukey)
+		rn := int(c.ReadU64(right + offCount))
+		t.insertAt(c, right, rn, vi, ukey, packRef(valAddr, valLen))
+	} else {
+		vi, _ := t.search(c, node, ukey)
+		ln := int(c.ReadU64(node + offCount))
+		t.insertAt(c, node, ln, vi, ukey, packRef(valAddr, valLen))
+	}
+	t.stats.Inserts++
+	t.insertParent(c, path, node, right, sep)
+	t.unlockNode(c, node, v)
+	return 0, 0, false
+}
+
+// insertAt shifts keys/vals right from index i and writes the new pair.
+func (t *Tree) insertAt(c *sim.Core, node uint64, n, i int, key, val uint64) {
+	for j := n; j > i; j-- {
+		c.WriteU64(node+offKeys+uint64(j)*8, c.ReadU64(node+offKeys+uint64(j-1)*8))
+		c.WriteU64(node+offVals+uint64(j)*8, c.ReadU64(node+offVals+uint64(j-1)*8))
+	}
+	c.WriteU64(node+offKeys+uint64(i)*8, key)
+	c.WriteU64(node+offVals+uint64(i)*8, val)
+	c.WriteU64(node+offCount, uint64(n+1))
+}
+
+// splitLeaf moves the upper half of node into a fresh leaf and returns
+// (rightNode, separatorKey).
+func (t *Tree) splitLeaf(c *sim.Core, node uint64) (uint64, uint64) {
+	t.stats.Splits++
+	right := t.allocNode(typeLeaf)
+	half := fanout / 2
+	moved := fanout - half
+	for j := 0; j < moved; j++ {
+		c.WriteU64(right+offKeys+uint64(j)*8, c.ReadU64(node+offKeys+uint64(half+j)*8))
+		c.WriteU64(right+offVals+uint64(j)*8, c.ReadU64(node+offVals+uint64(half+j)*8))
+	}
+	c.WriteU64(right+offCount, uint64(moved))
+	c.WriteU64(right+offNext, c.ReadU64(node+offNext))
+	c.WriteU64(node+offNext, right)
+	c.WriteU64(node+offCount, uint64(half))
+	sep := c.ReadU64(right + offKeys)
+	return right, sep
+}
+
+// insertParent links a freshly split right node under the parent chain,
+// splitting internal nodes as needed (path holds the descent ancestors,
+// root first).
+func (t *Tree) insertParent(c *sim.Core, path []uint64, left, right, sep uint64) {
+	if len(path) == 0 {
+		// Split of the root: grow the tree.
+		newRoot := t.allocNode(typeInternal)
+		c.WriteU64(newRoot+offCount, 1)
+		c.WriteU64(newRoot+offKeys, sep)
+		c.WriteU64(newRoot+offVals, left)
+		c.WriteU64(newRoot+offVals+8, right)
+		c.Fence()
+		c.WriteU64(t.rootCell, newRoot)
+		t.stats.Depth++
+		return
+	}
+	parent := path[len(path)-1]
+	pv := t.lockNode(c, parent)
+	n := int(c.ReadU64(parent + offCount))
+	i, _ := t.search(c, parent, sep)
+	if n < fanout {
+		// Shift keys and children right of position i.
+		for j := n; j > i; j-- {
+			c.WriteU64(parent+offKeys+uint64(j)*8, c.ReadU64(parent+offKeys+uint64(j-1)*8))
+		}
+		for j := n + 1; j > i+1; j-- {
+			c.WriteU64(parent+offVals+uint64(j)*8, c.ReadU64(parent+offVals+uint64(j-1)*8))
+		}
+		c.WriteU64(parent+offKeys+uint64(i)*8, sep)
+		c.WriteU64(parent+offVals+uint64(i+1)*8, right)
+		c.WriteU64(parent+offCount, uint64(n+1))
+		t.unlockNode(c, parent, pv)
+		return
+	}
+	// Internal split: move upper half (keys after the median) right.
+	t.stats.Splits++
+	newRight := t.allocNode(typeInternal)
+	half := fanout / 2
+	midKey := c.ReadU64(parent + offKeys + uint64(half)*8)
+	moved := fanout - half - 1
+	for j := 0; j < moved; j++ {
+		c.WriteU64(newRight+offKeys+uint64(j)*8, c.ReadU64(parent+offKeys+uint64(half+1+j)*8))
+	}
+	for j := 0; j <= moved; j++ {
+		c.WriteU64(newRight+offVals+uint64(j)*8, c.ReadU64(parent+offVals+uint64(half+1+j)*8))
+	}
+	c.WriteU64(newRight+offCount, uint64(moved))
+	c.WriteU64(parent+offCount, uint64(half))
+	// Now insert sep/right into the proper half.
+	target := parent
+	if sep >= midKey {
+		target = newRight
+	}
+	tn := int(c.ReadU64(target + offCount))
+	ti, _ := t.search(c, target, sep)
+	for j := tn; j > ti; j-- {
+		c.WriteU64(target+offKeys+uint64(j)*8, c.ReadU64(target+offKeys+uint64(j-1)*8))
+	}
+	for j := tn + 1; j > ti+1; j-- {
+		c.WriteU64(target+offVals+uint64(j)*8, c.ReadU64(target+offVals+uint64(j-1)*8))
+	}
+	c.WriteU64(target+offKeys+uint64(ti)*8, sep)
+	c.WriteU64(target+offVals+uint64(ti+1)*8, right)
+	c.WriteU64(target+offCount, uint64(tn+1))
+	t.unlockNode(c, parent, pv)
+	t.insertParent(c, path[:len(path)-1], parent, newRight, midKey)
+}
+
+// Scan walks the leaf chain from the first key >= start, calling fn for
+// up to limit entries — the YCSB-E operation.
+func (t *Tree) Scan(c *sim.Core, start uint64, limit int, fn func(key uint64, valAddr uint64, valLen uint32) bool) {
+	c.PushFunc("masstree.scan")
+	defer c.PopFunc()
+	ukey := start + 1
+	node := t.root(c)
+	for {
+		typ := c.ReadU64(node + offType)
+		if typ == typeLeaf {
+			break
+		}
+		i, exact := t.search(c, node, ukey)
+		ci := i
+		if exact {
+			ci = i + 1
+		}
+		node = c.ReadU64(node + offVals + uint64(ci)*8)
+	}
+	leafStart, _ := t.search(c, node, ukey)
+	seen := 0
+	for node != 0 && seen < limit {
+		// Per-leaf version validation (Listing 7), as masstree's scans
+		// perform between leaf hops. A failed validation re-reads the
+		// same leaf from its starting index.
+		v := readVersion(c, node)
+		if isLocked(v) {
+			t.stats.Restarts++
+			c.Compute(4)
+			continue
+		}
+		c.Fence()
+		n := int(c.ReadU64(node + offCount))
+		type entry struct {
+			k, addr uint64
+			ln      uint32
+		}
+		var batch []entry
+		for i := leafStart; i < n && seen+len(batch) < limit; i++ {
+			k := c.ReadU64(node + offKeys + uint64(i)*8)
+			addr, ln := unpackRef(c.ReadU64(node + offVals + uint64(i)*8))
+			batch = append(batch, entry{k, addr, ln})
+		}
+		next := c.ReadU64(node + offNext)
+		c.Fence()
+		if readVersion(c, node) != v {
+			t.stats.Restarts++
+			continue // re-read this leaf
+		}
+		for _, e := range batch {
+			if !fn(e.k-1, e.addr, e.ln) {
+				return
+			}
+			seen++
+		}
+		node = next
+		leafStart = 0
+	}
+}

@@ -1,0 +1,178 @@
+package masstree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prestores/internal/sim"
+	"prestores/internal/xrand"
+)
+
+func newTree(t *testing.T) (*sim.Machine, *Tree) {
+	t.Helper()
+	m := sim.MachineA()
+	return m, New(m, Config{PoolNodes: 1 << 14})
+}
+
+func TestPutGet(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	tr.Put(c, 10, 0x10000001000, 64)
+	tr.Put(c, 5, 0x10000002000, 128)
+	tr.Put(c, 20, 0x10000003000, 256)
+	for _, tc := range []struct {
+		k    uint64
+		addr uint64
+		n    uint32
+	}{{10, 0x10000001000, 64}, {5, 0x10000002000, 128}, {20, 0x10000003000, 256}} {
+		addr, n, ok := tr.Get(c, tc.k)
+		if !ok || addr != tc.addr || n != tc.n {
+			t.Fatalf("Get(%d) = %#x,%d,%v", tc.k, addr, n, ok)
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	tr.Put(c, 5, 0x10000001000, 64)
+	if _, _, ok := tr.Get(c, 4); ok {
+		t.Fatal("missing key found")
+	}
+	if _, _, ok := tr.Get(c, 6); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestUpdateReturnsOld(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	tr.Put(c, 3, 0x10000001000, 64)
+	old, oldLen, replaced := tr.Put(c, 3, 0x10000002000, 128)
+	if !replaced || old != 0x10000001000 || oldLen != 64 {
+		t.Fatalf("replace = %#x,%d,%v", old, oldLen, replaced)
+	}
+	if tr.Stats().Updates != 1 {
+		t.Fatalf("stats %+v", tr.Stats())
+	}
+}
+
+func TestSplitsAndDepth(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	const n = 5000
+	for k := uint64(0); k < n; k++ {
+		tr.Put(c, k, 0x10000000000+k*64, 64)
+	}
+	if tr.Stats().Splits == 0 {
+		t.Fatal("5000 sequential inserts caused no splits")
+	}
+	if tr.Stats().Depth == 0 {
+		t.Fatal("tree never grew")
+	}
+	for k := uint64(0); k < n; k++ {
+		addr, _, ok := tr.Get(c, k)
+		if !ok || addr != 0x10000000000+k*64 {
+			t.Fatalf("post-split Get(%d) = %#x,%v", k, addr, ok)
+		}
+	}
+}
+
+func TestRandomInsertOrder(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	rng := xrand.New(17)
+	perm := rng.Perm(4000)
+	for _, k := range perm {
+		tr.Put(c, uint64(k), 0x10000000000+uint64(k)*64, 64)
+	}
+	for k := uint64(0); k < 4000; k++ {
+		if _, _, ok := tr.Get(c, k); !ok {
+			t.Fatalf("random-order Get(%d) failed", k)
+		}
+	}
+}
+
+func TestAgainstMapReference(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	ref := map[uint64]uint64{}
+	rng := xrand.New(41)
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64n(2500)
+		v := 0x10000000000 + rng.Uint64n(1<<20)&^63
+		tr.Put(c, k, v, 64)
+		ref[k] = v
+	}
+	for k, v := range ref {
+		got, _, ok := tr.Get(c, k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %#x,%v want %#x", k, got, ok, v)
+		}
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	for k := uint64(0); k < 1000; k += 2 {
+		tr.Put(c, k, 0x10000000000+k*64, 64)
+	}
+	var keys []uint64
+	tr.Scan(c, 100, 20, func(k uint64, _ uint64, _ uint32) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 20 {
+		t.Fatalf("scan returned %d keys", len(keys))
+	}
+	for i, k := range keys {
+		want := uint64(100 + 2*i)
+		if k != want {
+			t.Fatalf("scan[%d] = %d, want %d", i, k, want)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	for k := uint64(0); k < 100; k++ {
+		tr.Put(c, k, 0x10000000000+k*64, 64)
+	}
+	count := 0
+	tr.Scan(c, 0, 100, func(uint64, uint64, uint32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestVersionProtocolFences(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	tr.Put(c, 1, 0x10000001000, 64)
+	before := c.Stats().Fences
+	tr.Get(c, 1)
+	// Listing 7: at least two fences per node visited.
+	if c.Stats().Fences < before+2 {
+		t.Fatalf("get used %d fences, want >= 2", c.Stats().Fences-before)
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	m, tr := newTree(t)
+	c := m.Core(0)
+	f := func(key uint64, off uint32) bool {
+		key %= 1 << 28
+		v := 0x10000000000 + uint64(off)&^63
+		tr.Put(c, key, v, 64)
+		got, _, ok := tr.Get(c, key)
+		return ok && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

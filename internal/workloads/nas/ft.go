@@ -1,0 +1,120 @@
+package nas
+
+import (
+	"math"
+
+	"prestores/internal/sim"
+	"prestores/internal/units"
+)
+
+// runFT ports the NAS FT kernel: repeated 1-D FFTs along the first
+// dimension of a 3-D complex array, as cffts1 does — copy a line into
+// the Y1 scratch, run the fftz2 butterfly passes over the scratch, and
+// stream the result into XOUT.
+//
+// DirtBuster's findings (§7.2.2, §7.4.2): cffts1 sequentially transfers
+// results from Y1 to XOUT (clean helps); fftz2 rewrites the small
+// in-cache scratch constantly (cleaning it costs ~3x — Mode CleanHot
+// reproduces that trap).
+func runFT(m *sim.Machine, c *sim.Core, cfg Config) float64 {
+	n := cfg.Scale
+	if n == 0 {
+		n = 64
+	}
+	if !units.IsPow2(uint64(n)) {
+		panic("nas: FT scale must be a power of two")
+	}
+	// Complex grids: interleaved re/im, so rows are 2n floats.
+	x := newGrid(m, cfg.Window, "ft.x", 2*n, n, n)
+	xout := newGrid(m, cfg.Window, "ft.xout", 2*n, n, n)
+	// The Y1 scratch is an ordinary Fortran array; NAS runs place the
+	// whole address space on the evaluated memory, so it lives in the
+	// same window as the grids (that is what makes cleaning it §7.4.2's
+	// trap: every clean forces a slow-memory write-back of data that is
+	// rewritten in the very next butterfly pass).
+	y1 := m.Alloc(cfg.Window, "ft.y1", uint64(2*n)*8).Base
+
+	c.PushFunc("ft.init")
+	x.fill(c, func(i1, i2, i3 int) float64 {
+		// Deterministic pseudo-random initial field (compute_initial_conditions).
+		h := uint64(i1+1)*2654435761 ^ uint64(i2+1)*40503 ^ uint64(i3+1)*2246822519
+		return float64(h%2048)/2048.0 - 0.5
+	})
+	c.PopFunc()
+
+	clean := cfg.Mode == Clean
+	cleanHot := cfg.Mode == CleanHot
+	row := make([]float64, 2*n)
+	for it := 0; it < cfg.Iters; it++ {
+		cffts1(m, c, x, xout, y1, row, n, clean, cleanHot)
+		x, xout = xout, x // next iteration transforms the output
+	}
+	return x.checksum(m)
+}
+
+// cffts1 runs the 1-D FFT over every (i2, i3) line.
+func cffts1(m *sim.Machine, c *sim.Core, x, xout *grid, y1 uint64, row []float64, n int, clean, cleanHot bool) {
+	c.PushFunc("ft.cffts1")
+	defer c.PopFunc()
+	for i3 := 0; i3 < x.n3; i3++ {
+		for i2 := 0; i2 < x.n2; i2++ {
+			x.readRow(c, i2, i3, row)
+			writeF64s(c, y1, row) // stage into the scratch
+			fftz2(c, y1, row, n, cleanHot)
+			xout.writeRow(c, i2, i3, row, clean)
+		}
+	}
+}
+
+// fftz2 performs the radix-2 butterfly passes in the Y1 scratch,
+// re-reading and re-writing it log2(n) times. Cleaning the scratch
+// (cleanHot) forces a memory write-back of data that is immediately
+// rewritten — the §7.4.2 anti-pattern.
+func fftz2(c *sim.Core, y1 uint64, row []float64, n int, cleanHot bool) {
+	c.PushFunc("ft.fftz2")
+	defer c.PopFunc()
+	y1Size := uint64(len(row)) * 8
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			row[2*i], row[2*j] = row[2*j], row[2*i]
+			row[2*i+1], row[2*j+1] = row[2*j+1], row[2*i+1]
+		}
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+	}
+	for span := 1; span < n; span <<= 1 {
+		wr, wi := math.Cos(math.Pi/float64(span)), -math.Sin(math.Pi/float64(span))
+		for start := 0; start < n; start += 2 * span {
+			cr, ci := 1.0, 0.0
+			for k := 0; k < span; k++ {
+				a, b := start+k, start+k+span
+				tr := cr*row[2*b] - ci*row[2*b+1]
+				ti := cr*row[2*b+1] + ci*row[2*b]
+				row[2*b], row[2*b+1] = row[2*a]-tr, row[2*a+1]-ti
+				row[2*a], row[2*a+1] = row[2*a]+tr, row[2*a+1]+ti
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+			}
+		}
+		// The pass re-reads and re-writes the whole scratch.
+		var tmp [8]byte
+		c.Read(y1, tmp[:]) // representative load touching the scratch
+		writeF64s(c, y1, row)
+		c.Compute(uint64(2 * n)) // butterfly FLOPs
+		if cleanHot {
+			c.Prestore(y1, y1Size, sim.Clean)
+		}
+	}
+}
+
+// writeF64s stores a float64 slice at addr (timed).
+func writeF64s(c *sim.Core, addr uint64, vals []float64) {
+	buf := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		putU64(buf[i*8:], math.Float64bits(v))
+	}
+	c.Write(addr, buf)
+}

@@ -1,0 +1,334 @@
+package nas
+
+import (
+	"math"
+
+	"prestores/internal/sim"
+	"prestores/internal/xrand"
+)
+
+// runSP ports the NAS SP kernel's write behaviour: compute_rhs writes
+// the five-component RHS matrix sequentially from the U field.
+// DirtBuster (§7.2.2): "SP allocates dozens of matrices, but a single
+// matrix (RHS) accounts for most of the writes... mostly written in
+// compute_rhs and rarely reused."
+func runSP(m *sim.Machine, c *sim.Core, cfg Config) float64 {
+	n := cfg.Scale
+	if n == 0 {
+		n = 64
+	}
+	u := newGrid(m, cfg.Window, "sp.u", n, n, n)
+	rhs := make([]*grid, 5)
+	for comp := range rhs {
+		rhs[comp] = newGrid(m, cfg.Window, "sp.rhs", n, n, n)
+	}
+	c.PushFunc("sp.init")
+	u.fill(c, func(i1, i2, i3 int) float64 {
+		return math.Sin(float64(i1)*0.1) + math.Cos(float64(i2+i3)*0.07)
+	})
+	c.PopFunc()
+
+	clean := cfg.Mode == Clean
+	up := make([]float64, n)
+	uc := make([]float64, n)
+	un := make([]float64, n)
+	out := make([]float64, n)
+	for it := 0; it < cfg.Iters; it++ {
+		c.PushFunc("sp.compute_rhs")
+		for i3 := 1; i3 < n-1; i3++ {
+			for i2 := 1; i2 < n-1; i2++ {
+				u.readRow(c, i2-1, i3, up)
+				u.readRow(c, i2, i3, uc)
+				u.readRow(c, i2+1, i3, un)
+				for comp := 0; comp < 5; comp++ {
+					f := float64(comp + 1)
+					for i1 := 1; i1 < n-1; i1++ {
+						out[i1] = f*uc[i1] - 0.25*(up[i1]+un[i1]+uc[i1-1]+uc[i1+1])
+					}
+					out[0], out[n-1] = 0, 0
+					rhs[comp].writeRow(c, i2, i3, out, clean)
+				}
+				c.Compute(uint64(5 * n))
+			}
+		}
+		c.PopFunc()
+		// The solve phases (x/y/z sweeps) read RHS back and update U.
+		c.PushFunc("sp.solve")
+		for i3 := 1; i3 < n-1; i3++ {
+			for i2 := 1; i2 < n-1; i2++ {
+				u.readRow(c, i2, i3, uc)
+				rhs[0].readRow(c, i2, i3, out)
+				for i1 := 0; i1 < n; i1++ {
+					uc[i1] += 0.1 * out[i1]
+				}
+				u.writeRow(c, i2, i3, uc, false)
+				c.Compute(uint64(n))
+			}
+		}
+		c.PopFunc()
+	}
+	return u.checksum(m) + rhs[0].checksum(m)
+}
+
+// runBT ports the NAS BT kernel's write behaviour: like SP it assembles
+// an RHS, then performs block-triangular sweeps writing the LHS blocks
+// sequentially.
+func runBT(m *sim.Machine, c *sim.Core, cfg Config) float64 {
+	n := cfg.Scale
+	if n == 0 {
+		n = 56
+	}
+	u := newGrid(m, cfg.Window, "bt.u", n, n, n)
+	rhs := newGrid(m, cfg.Window, "bt.rhs", n, n, n)
+	// 5x5 blocks per point along rows: 25 doubles per point.
+	lhs := newGrid(m, cfg.Window, "bt.lhs", 25*n, n, n)
+
+	c.PushFunc("bt.init")
+	u.fill(c, func(i1, i2, i3 int) float64 {
+		return 1.0 + float64(i1%5)*0.5 - float64((i2+i3)%3)*0.25
+	})
+	c.PopFunc()
+
+	clean := cfg.Mode == Clean
+	uc := make([]float64, n)
+	out := make([]float64, n)
+	block := make([]float64, 25*n)
+	for it := 0; it < cfg.Iters; it++ {
+		c.PushFunc("bt.compute_rhs")
+		for i3 := 1; i3 < n-1; i3++ {
+			for i2 := 1; i2 < n-1; i2++ {
+				u.readRow(c, i2, i3, uc)
+				for i1 := 1; i1 < n-1; i1++ {
+					out[i1] = 2.0*uc[i1] - 0.5*(uc[i1-1]+uc[i1+1])
+				}
+				rhs.writeRow(c, i2, i3, out, clean)
+				c.Compute(uint64(n))
+			}
+		}
+		c.PopFunc()
+		c.PushFunc("bt.lhsinit")
+		for i3 := 1; i3 < n-1; i3++ {
+			for i2 := 1; i2 < n-1; i2++ {
+				u.readRow(c, i2, i3, uc)
+				for i1 := 0; i1 < n; i1++ {
+					for b := 0; b < 25; b++ {
+						block[i1*25+b] = uc[i1] * float64(b%5+1) * 0.04
+					}
+				}
+				lhs.writeRow(c, i2, i3, block, clean)
+				c.Compute(uint64(25 * n))
+			}
+		}
+		c.PopFunc()
+	}
+	return rhs.checksum(m) + u.checksum(m)
+}
+
+// runUA ports the NAS UA kernel's write behaviour: adaptive mesh
+// elements (512 B each) are visited through an index indirection and
+// rewritten sequentially within each element.
+func runUA(m *sim.Machine, c *sim.Core, cfg Config) float64 {
+	elems := cfg.Scale
+	if elems == 0 {
+		elems = 1 << 16 // 64Ki elements x 512B = 32 MiB
+	}
+	const elemDoubles = 64 // 512 B per element
+	data := newGrid(m, cfg.Window, "ua.elems", elemDoubles, elems, 1)
+	c.PushFunc("ua.init")
+	data.fill(c, func(i1, i2, _ int) float64 { return float64(i1+i2) * 0.001 })
+	c.PopFunc()
+
+	clean := cfg.Mode == Clean
+	rng := xrand.New(cfg.Seed ^ 0x0a)
+	buf := make([]float64, elemDoubles)
+	c.PushFunc("ua.transfer")
+	for it := 0; it < cfg.Iters; it++ {
+		for e := 0; e < elems; e++ {
+			// Adaptive refinement touches a mix of sequential and
+			// mortar (random neighbour) elements.
+			target := e
+			if rng.Uint32()%8 == 0 {
+				target = rng.Intn(elems)
+			}
+			data.readRow(c, target, 0, buf)
+			for i := range buf {
+				buf[i] = buf[i]*0.98 + 0.01
+			}
+			data.writeRow(c, target, 0, buf, clean)
+			c.Compute(elemDoubles)
+		}
+	}
+	c.PopFunc()
+	return data.checksum(m)
+}
+
+// runIS ports the NAS IS kernel: the rank() function counts keys into a
+// large bucket array with small random read-modify-writes. DirtBuster
+// detects neither sequential writes nor fence proximity, so it does not
+// recommend a pre-store; Mode Clean mis-applies one anyway (§7.4.2
+// reports no gain and no overhead — the written lines are not re-used).
+func runIS(m *sim.Machine, c *sim.Core, cfg Config) float64 {
+	keys := cfg.Scale
+	if keys == 0 {
+		keys = 1 << 19
+	}
+	const buckets = 1 << 23
+	counts := m.Alloc(cfg.Window, "is.counts", buckets*8)
+	keyArr := m.Alloc(cfg.Window, "is.keys", uint64(keys)*8)
+
+	c.PushFunc("is.create_seq")
+	rng := xrand.New(cfg.Seed ^ 0x15)
+	for i := 0; i < keys; i++ {
+		c.WriteU64(keyArr.Base+uint64(i)*8, rng.Uint64n(buckets))
+	}
+	c.PopFunc()
+
+	ranks := m.Alloc(cfg.Window, "is.ranks", uint64(keys)*8)
+	clean := cfg.Mode == Clean
+	c.PushFunc("is.rank")
+	for it := 0; it < cfg.Iters; it++ {
+		// Phase 1: histogram the keys (read-modify-writes).
+		for i := 0; i < keys; i++ {
+			k := c.ReadU64(keyArr.Base + uint64(i)*8)
+			addr := counts.Base + k*8
+			c.WriteU64(addr, c.ReadU64(addr)+1)
+			if clean {
+				c.Prestore(addr, 8, sim.Clean)
+			}
+			c.Compute(4)
+		}
+		// Phase 2: scatter each key's rank — small pure writes to
+		// effectively random lines, the pattern §7.4.2 describes:
+		// write-heavy, but neither sequential nor re-used.
+		for i := 0; i < keys; i++ {
+			k := c.ReadU64(keyArr.Base + uint64(i)*8)
+			c.WriteU64(ranks.Base+(xrand.Hash64(k+uint64(it))%uint64(keys))*8, k)
+			if clean {
+				c.Prestore(ranks.Base+(xrand.Hash64(k+uint64(it))%uint64(keys))*8, 8, sim.Clean)
+			}
+			c.Compute(4)
+		}
+	}
+	c.PopFunc()
+	var sum float64
+	for i := 0; i < 1024; i++ {
+		sum += float64(m.Backing().ReadU64(counts.Base + uint64(i)*997*8))
+	}
+	return sum
+}
+
+// runLU models the LU kernel's profile: SSOR sweeps dominated by reads
+// and FLOPs; under 10% of its time is spent storing (Table 2: not
+// write-intensive).
+func runLU(m *sim.Machine, c *sim.Core, cfg Config) float64 {
+	n := cfg.Scale
+	if n == 0 {
+		n = 64
+	}
+	u := newGrid(m, cfg.Window, "lu.u", n, n, n)
+	c.PushFunc("lu.init")
+	u.fill(c, func(i1, i2, i3 int) float64 { return float64(i1+2*i2+3*i3) * 0.001 })
+	c.PopFunc()
+	row := make([]float64, n)
+	acc := 0.0
+	c.PushFunc("lu.ssor")
+	for it := 0; it < cfg.Iters*4; it++ {
+		for i3 := 0; i3 < n; i3++ {
+			for i2 := 0; i2 < n; i2++ {
+				u.readRow(c, i2, i3, row)
+				for i1 := 0; i1 < n; i1++ {
+					acc += row[i1] * 1.0000001
+				}
+				c.Compute(uint64(4 * n)) // heavy per-point FLOPs
+			}
+			// One row written per few planes: a ~1% store share.
+			if i3%4 == 0 {
+				u.writeRow(c, i3%n, i3, row, false)
+			}
+		}
+	}
+	c.PopFunc()
+	return acc
+}
+
+// runEP models the EP kernel: embarrassingly parallel random-number
+// generation with a tiny in-cache histogram — effectively no stores.
+func runEP(m *sim.Machine, c *sim.Core, cfg Config) float64 {
+	pairs := cfg.Scale
+	if pairs == 0 {
+		pairs = 1 << 18
+	}
+	hist := m.Alloc(cfg.Window, "ep.hist", 10*8)
+	rng := xrand.New(cfg.Seed ^ 0xe9)
+	var sx, sy float64
+	c.PushFunc("ep.main")
+	for it := 0; it < cfg.Iters; it++ {
+		for i := 0; i < pairs; i++ {
+			x := 2*rng.Float64() - 1
+			y := 2*rng.Float64() - 1
+			t := x*x + y*y
+			c.Compute(24) // vranlc + sqrt/log pipeline
+			if t <= 1 {
+				f := math.Sqrt(-2 * math.Log(t) / t)
+				sx += x * f
+				sy += y * f
+				bin := int(math.Min(math.Abs(x*f), math.Abs(y*f)))
+				if bin > 9 {
+					bin = 9
+				}
+				addr := hist.Base + uint64(bin)*8
+				c.WriteU64(addr, c.ReadU64(addr)+1)
+			}
+		}
+	}
+	c.PopFunc()
+	return sx + sy
+}
+
+// runCG models the CG kernel: sparse matrix-vector products dominated
+// by indexed reads; the written vector is small relative to the reads.
+func runCG(m *sim.Machine, c *sim.Core, cfg Config) float64 {
+	n := cfg.Scale
+	if n == 0 {
+		n = 1 << 16
+	}
+	const nzPerRow = 16
+	vals := m.Alloc(cfg.Window, "cg.vals", uint64(n*nzPerRow)*8)
+	cols := m.Alloc(cfg.Window, "cg.cols", uint64(n*nzPerRow)*8)
+	xv := m.Alloc(cfg.Window, "cg.x", uint64(n)*8)
+	yv := m.Alloc(cfg.Window, "cg.y", uint64(n)*8)
+
+	c.PushFunc("cg.init")
+	rng := xrand.New(cfg.Seed ^ 0xc6)
+	for i := 0; i < n*nzPerRow; i++ {
+		c.WriteU64(vals.Base+uint64(i)*8, math.Float64bits(rng.Float64()))
+		c.WriteU64(cols.Base+uint64(i)*8, uint64(rng.Intn(n)))
+	}
+	for i := 0; i < n; i++ {
+		c.WriteU64(xv.Base+uint64(i)*8, math.Float64bits(1.0))
+	}
+	c.PopFunc()
+
+	var norm float64
+	c.PushFunc("cg.conj_grad")
+	// Real CG amortizes its matrix setup over ~75 conj_grad iterations;
+	// several sweeps per configured iteration keep the profile honest.
+	for it := 0; it < cfg.Iters*6; it++ {
+		norm = 0
+		for i := 0; i < n; i++ {
+			var sum float64
+			base := uint64(i * nzPerRow)
+			for z := 0; z < nzPerRow; z++ {
+				v := math.Float64frombits(c.ReadU64(vals.Base + (base+uint64(z))*8))
+				col := c.ReadU64(cols.Base + (base+uint64(z))*8)
+				xval := math.Float64frombits(c.ReadU64(xv.Base + col*8))
+				sum += v * xval
+			}
+			c.WriteU64(yv.Base+uint64(i)*8, math.Float64bits(sum))
+			c.Compute(2 * nzPerRow)
+			norm += sum * sum
+		}
+	}
+	c.PopFunc()
+	return norm
+}

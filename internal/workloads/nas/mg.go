@@ -1,0 +1,274 @@
+package nas
+
+import "prestores/internal/sim"
+
+// runMG ports the NAS MG multi-grid kernel: V-cycle iterations over
+// grids U, V and R using the resid and psinv stencils plus the rprj3
+// restriction and interp prolongation operators. DirtBuster's findings
+// (§7.2.2): psinv writes U sequentially, resid writes R sequentially;
+// the paper cleans the written row after each inner loop (Listing 5).
+func runMG(m *sim.Machine, c *sim.Core, cfg Config) float64 {
+	n := cfg.Scale
+	if n == 0 {
+		n = 96
+	}
+	u := newGrid(m, cfg.Window, "mg.u", n, n, n)
+	v := newGrid(m, cfg.Window, "mg.v", n, n, n)
+	r := newGrid(m, cfg.Window, "mg.r", n, n, n)
+	// Coarse-level grids for the restriction/prolongation steps.
+	nc := n / 2
+	uc := newGrid(m, cfg.Window, "mg.uc", nc, nc, nc)
+	rc := newGrid(m, cfg.Window, "mg.rc", nc, nc, nc)
+
+	c.PushFunc("mg.init")
+	v.fill(c, func(i1, i2, i3 int) float64 {
+		// Sparse charge distribution, as mg.f90's zran3 plants +1/-1.
+		h := uint64(i1*73856093 ^ i2*19349663 ^ i3*83492791)
+		switch h % 1024 {
+		case 0:
+			return 1
+		case 1:
+			return -1
+		default:
+			return 0
+		}
+	})
+	u.fill(c, func(_, _, _ int) float64 { return 0 })
+	c.PopFunc()
+
+	clean := cfg.Mode == Clean
+	cores := make([]*sim.Core, cfg.Threads)
+	for t := range cores {
+		cores[t] = m.Core(t)
+	}
+	for it := 0; it < cfg.Iters; it++ {
+		residMT(m, cores, u, v, r, clean)
+		rprj3(c, r, rc, clean)
+		psinvMT(m, cores, rc, uc, clean)
+		interp(c, uc, u, clean)
+		psinvMT(m, cores, r, u, clean)
+	}
+	m.SyncCores()
+	return u.checksum(m) + r.checksum(m)
+}
+
+// planeBands splits the interior planes [1, n3-1) into per-thread
+// contiguous bands, as an OpenMP static schedule would.
+func planeBands(n3, threads int) [][2]int {
+	interior := n3 - 2
+	bands := make([][2]int, threads)
+	per := interior / threads
+	extra := interior % threads
+	start := 1
+	for t := 0; t < threads; t++ {
+		count := per
+		if t < extra {
+			count++
+		}
+		bands[t] = [2]int{start, start + count}
+		start += count
+	}
+	return bands
+}
+
+// residMT runs resid's plane loop across the given cores, one plane
+// band per core, interleaving plane-by-plane (the memory mixing of
+// concurrent OpenMP threads).
+func residMT(m *sim.Machine, cores []*sim.Core, u, v, r *grid, clean bool) {
+	if len(cores) == 1 {
+		resid(cores[0], u, v, r, clean)
+		return
+	}
+	bands := planeBands(u.n3, len(cores))
+	maxPlanes := 0
+	for _, b := range bands {
+		if n := b[1] - b[0]; n > maxPlanes {
+			maxPlanes = n
+		}
+	}
+	m.SyncCores()
+	sim.RunInterleaved(cores, maxPlanes, func(t, p int, c *sim.Core) {
+		i3 := bands[t][0] + p
+		if i3 >= bands[t][1] {
+			return
+		}
+		residPlane(c, u, v, r, i3, clean)
+	})
+	m.SyncCores()
+}
+
+// psinvMT is residMT's counterpart for psinv.
+func psinvMT(m *sim.Machine, cores []*sim.Core, r, u *grid, clean bool) {
+	if len(cores) == 1 {
+		psinv(cores[0], r, u, clean)
+		return
+	}
+	bands := planeBands(u.n3, len(cores))
+	maxPlanes := 0
+	for _, b := range bands {
+		if n := b[1] - b[0]; n > maxPlanes {
+			maxPlanes = n
+		}
+	}
+	m.SyncCores()
+	sim.RunInterleaved(cores, maxPlanes, func(t, p int, c *sim.Core) {
+		i3 := bands[t][0] + p
+		if i3 >= bands[t][1] {
+			return
+		}
+		psinvPlane(c, r, u, i3, clean)
+	})
+	m.SyncCores()
+}
+
+// Stencil coefficients from mg.f90 (class-independent smoother).
+var (
+	mgA = [4]float64{-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0}
+	mgC = [4]float64{-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0}
+)
+
+// resid computes r = v - A*u with the 27-point stencil
+// (mg.f90 line 544; DirtBuster: 100% sequential writes, re-read 23.8K,
+// re-write inf -> clean).
+func resid(c *sim.Core, u, v, r *grid, clean bool) {
+	for i3 := 1; i3 < u.n3-1; i3++ {
+		residPlane(c, u, v, r, i3, clean)
+	}
+}
+
+// residPlane computes one i3 plane of resid.
+func residPlane(c *sim.Core, u, v, r *grid, i3 int, clean bool) {
+	c.PushFunc("mg.resid")
+	defer c.PopFunc()
+	n1, n2 := u.n1, u.n2
+	rows := stencilRows(n1)
+	out := make([]float64, n1)
+	vrow := make([]float64, n1)
+	for i2 := 1; i2 < n2-1; i2++ {
+		u1, u2 := gatherStencil(c, u, i2, i3, rows)
+		v.readRow(c, i2, i3, vrow)
+		ur := rows[4] // center row (i2, i3)
+		for i1 := 1; i1 < n1-1; i1++ {
+			out[i1] = vrow[i1] - mgA[0]*ur[i1] - mgA[2]*u2[i1] - mgA[3]*(u1[i1-1]+u1[i1+1])
+		}
+		out[0], out[n1-1] = 0, 0
+		r.writeRow(c, i2, i3, out, clean)
+		c.Compute(uint64(n1)) // per-point FLOP cost
+	}
+}
+
+// psinv computes u = u + C*r with the smoother stencil (mg.f90 line
+// 614; DirtBuster: 100% sequential writes, never re-read -> skip, but
+// Fortran has no non-temporal stores, so the paper cleans instead).
+func psinv(c *sim.Core, r, u *grid, clean bool) {
+	for i3 := 1; i3 < u.n3-1; i3++ {
+		psinvPlane(c, r, u, i3, clean)
+	}
+}
+
+// psinvPlane computes one i3 plane of psinv.
+func psinvPlane(c *sim.Core, r, u *grid, i3 int, clean bool) {
+	c.PushFunc("mg.psinv")
+	defer c.PopFunc()
+	n1, n2 := u.n1, u.n2
+	rows := stencilRows(n1)
+	out := make([]float64, n1)
+	urow := make([]float64, n1)
+	for i2 := 1; i2 < n2-1; i2++ {
+		r1, r2 := gatherStencil(c, r, i2, i3, rows)
+		u.readRow(c, i2, i3, urow)
+		rr := rows[4]
+		for i1 := 1; i1 < n1-1; i1++ {
+			out[i1] = urow[i1] + mgC[0]*rr[i1] + mgC[1]*r1[i1] + mgC[2]*(r2[i1-1]+r2[i1+1])
+		}
+		out[0], out[n1-1] = urow[0], urow[n1-1]
+		u.writeRow(c, i2, i3, out, clean)
+		c.Compute(uint64(n1))
+	}
+}
+
+// stencilRows allocates the 9 row buffers a 27-point stencil touches.
+func stencilRows(n1 int) [][]float64 {
+	rows := make([][]float64, 9)
+	for i := range rows {
+		rows[i] = make([]float64, n1)
+	}
+	return rows
+}
+
+// gatherStencil reads the 3x3 neighbourhood of rows around (i2, i3)
+// and returns the first- and second-neighbour partial sums, as mg.f90
+// precomputes u1/u2.
+func gatherStencil(c *sim.Core, g *grid, i2, i3 int, rows [][]float64) (u1, u2 []float64) {
+	idx := 0
+	for d3 := -1; d3 <= 1; d3++ {
+		for d2 := -1; d2 <= 1; d2++ {
+			g.readRow(c, i2+d2, i3+d3, rows[idx])
+			idx++
+		}
+	}
+	n1 := g.n1
+	u1 = make([]float64, n1)
+	u2 = make([]float64, n1)
+	for i1 := 0; i1 < n1; i1++ {
+		// First neighbours: face-adjacent rows; second: edge rows.
+		u1[i1] = rows[1][i1] + rows[3][i1] + rows[5][i1] + rows[7][i1]
+		u2[i1] = rows[0][i1] + rows[2][i1] + rows[6][i1] + rows[8][i1]
+	}
+	return u1, u2
+}
+
+// rprj3 restricts the fine residual to the coarse grid (half-weighting).
+func rprj3(c *sim.Core, fine, coarse *grid, clean bool) {
+	c.PushFunc("mg.rprj3")
+	defer c.PopFunc()
+	n1 := coarse.n1
+	row0 := make([]float64, fine.n1)
+	row1 := make([]float64, fine.n1)
+	out := make([]float64, n1)
+	for i3 := 0; i3 < coarse.n3; i3++ {
+		for i2 := 0; i2 < coarse.n2; i2++ {
+			f2, f3 := i2*2, i3*2
+			if f3+1 >= fine.n3 || f2+1 >= fine.n2 {
+				continue
+			}
+			fine.readRow(c, f2, f3, row0)
+			fine.readRow(c, f2+1, f3+1, row1)
+			for i1 := 0; i1 < n1; i1++ {
+				f1 := i1 * 2
+				if f1+1 < fine.n1 {
+					out[i1] = 0.5*row0[f1] + 0.25*(row0[f1+1]+row1[f1])
+				}
+			}
+			coarse.writeRow(c, i2, i3, out, clean)
+			c.Compute(uint64(n1))
+		}
+	}
+}
+
+// interp prolongates the coarse correction onto the fine grid.
+func interp(c *sim.Core, coarse, fine *grid, clean bool) {
+	c.PushFunc("mg.interp")
+	defer c.PopFunc()
+	crow := make([]float64, coarse.n1)
+	frow := make([]float64, fine.n1)
+	for i3 := 0; i3 < coarse.n3; i3++ {
+		for i2 := 0; i2 < coarse.n2; i2++ {
+			coarse.readRow(c, i2, i3, crow)
+			f2, f3 := i2*2, i3*2
+			if f3 >= fine.n3 || f2 >= fine.n2 {
+				continue
+			}
+			fine.readRow(c, f2, f3, frow)
+			for i1 := 0; i1 < coarse.n1; i1++ {
+				f1 := i1 * 2
+				frow[f1] += crow[i1]
+				if f1+1 < fine.n1 {
+					frow[f1+1] += 0.5 * crow[i1]
+				}
+			}
+			fine.writeRow(c, f2, f3, frow, clean)
+			c.Compute(uint64(coarse.n1))
+		}
+	}
+}

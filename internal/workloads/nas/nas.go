@@ -1,0 +1,259 @@
+// Package nas ports the memory behaviour of the NAS Parallel Benchmarks
+// the paper evaluates (§7.2.2, §7.4.2) onto the simulator.
+//
+// Each kernel performs its real floating-point computation over grids
+// held in simulated memory, issuing row-granular timed reads and writes
+// so the cache and device see the same access stream the Fortran
+// originals generate. The kernels the paper patches (MG, FT, SP, UA,
+// BT) write large matrices sequentially — the clean-pre-store case —
+// while IS writes small random data and LU/EP/CG are not
+// write-intensive (Table 2), exercising DirtBuster's negative
+// recommendations.
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"prestores/internal/memspace"
+	"prestores/internal/sim"
+	"prestores/internal/units"
+)
+
+// Kernel names the benchmark.
+type Kernel string
+
+// The NAS kernels (paper Table 2).
+const (
+	MG Kernel = "mg" // multi-grid: psinv/resid write U and R sequentially
+	FT Kernel = "ft" // 3-D FFT: cffts1 streams Y1 -> XOUT
+	SP Kernel = "sp" // scalar penta-diagonal: compute_rhs writes RHS
+	UA Kernel = "ua" // unstructured adaptive: sequential element writes
+	BT Kernel = "bt" // block tri-diagonal: sequential matrix writes
+	IS Kernel = "is" // integer sort: rank() writes small random data
+	LU Kernel = "lu" // not write-intensive
+	EP Kernel = "ep" // not write-intensive
+	CG Kernel = "cg" // not write-intensive
+)
+
+// Kernels lists every kernel in Table 2 order.
+var Kernels = []Kernel{UA, LU, EP, IS, FT, CG, BT, MG, SP}
+
+// Mode selects the pre-store treatment.
+type Mode int
+
+// Treatments.
+const (
+	Baseline Mode = iota
+	// Clean pre-stores the written rows as DirtBuster recommends for
+	// the kernel (Listing 5's one-line change).
+	Clean
+	// CleanHot mis-applies a clean to the kernel's hot in-cache data
+	// (FT's fftz2 scratch, §7.4.2) — the trap DirtBuster avoids.
+	CleanHot
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case Clean:
+		return "clean"
+	case CleanHot:
+		return "clean-hot"
+	default:
+		return "?"
+	}
+}
+
+// Config parameterizes a kernel run.
+type Config struct {
+	Kernel Kernel
+	Mode   Mode
+	// Scale is the grid edge (points per dimension); each kernel picks
+	// a default sized so its working set exceeds the simulated LLC.
+	Scale int
+	Iters int
+	// Threads parallelizes the OpenMP-style plane loops (MG supports
+	// it; other kernels run on one core). Interleaving multiple cores'
+	// access streams at the shared LLC is part of what randomizes the
+	// eviction order (§4.1).
+	Threads int
+	Window  string // defaults to PMEM
+	Seed    uint64
+}
+
+// Result reports a kernel run.
+type Result struct {
+	Kernel   Kernel
+	Mode     Mode
+	Elapsed  units.Cycles
+	Checksum float64 // functional digest; must match across modes
+	WriteAmp float64
+	Stores   uint64 // simulated store ops issued
+	Loads    uint64
+	Instr    uint64 // instructions retired (loads+stores+compute)
+}
+
+// Run executes the kernel on m.
+func Run(m *sim.Machine, cfg Config) Result {
+	if cfg.Window == "" {
+		cfg.Window = sim.WindowPMEM
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 2
+	}
+	dev := m.Device(cfg.Window)
+	core := m.Core(0)
+
+	var fn func(*sim.Machine, *sim.Core, Config) float64
+	switch cfg.Kernel {
+	case MG:
+		fn = runMG
+	case FT:
+		fn = runFT
+	case SP:
+		fn = runSP
+	case UA:
+		fn = runUA
+	case BT:
+		fn = runBT
+	case IS:
+		fn = runIS
+	case LU:
+		fn = runLU
+	case EP:
+		fn = runEP
+	case CG:
+		fn = runCG
+	default:
+		panic(fmt.Sprintf("nas: unknown kernel %q", cfg.Kernel))
+	}
+
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	m.Drain()
+	m.ResetStats()
+	dev.ResetStats()
+	instrBefore := core.Instructions()
+	var checksum float64
+	elapsed := sim.Elapsed(m, []*sim.Core{core}, func() {
+		checksum = fn(m, core, cfg)
+		// Flush, not just drain: a kernel's deferred dirty lines are
+		// real write work; the baseline must not hide them in the
+		// caches past the measurement window.
+		m.FlushCaches()
+	})
+	st := core.Stats()
+	return Result{
+		Kernel:   cfg.Kernel,
+		Mode:     cfg.Mode,
+		Elapsed:  elapsed,
+		Checksum: checksum,
+		WriteAmp: dev.Stats().WriteAmplification(),
+		Stores:   st.Stores + st.NTStores,
+		Loads:    st.Loads,
+		Instr:    core.Instructions() - instrBefore,
+	}
+}
+
+// WriteIntensive reports whether the kernel spends a significant share
+// of its operations storing data (the paper's 10% threshold, Table 2).
+func WriteIntensive(k Kernel) bool {
+	switch k {
+	case MG, FT, SP, UA, BT, IS:
+		return true
+	default:
+		return false
+	}
+}
+
+// grid is a 3-D float64 array in simulated memory with row-granular
+// timed access helpers.
+type grid struct {
+	region memspace.Region
+	n1     int // fastest-varying dimension (row length)
+	n2, n3 int
+}
+
+func newGrid(m *sim.Machine, window, name string, n1, n2, n3 int) *grid {
+	return &grid{
+		region: m.Alloc(window, name, uint64(n1*n2*n3)*8),
+		n1:     n1, n2: n2, n3: n3,
+	}
+}
+
+// rowAddr returns the address of element (0, i2, i3).
+func (g *grid) rowAddr(i2, i3 int) uint64 {
+	return g.region.Base + uint64(i3*g.n2*g.n1+i2*g.n1)*8
+}
+
+// readRow loads row (.,i2,i3) into dst (timed).
+func (g *grid) readRow(c *sim.Core, i2, i3 int, dst []float64) {
+	buf := make([]byte, g.n1*8)
+	c.Read(g.rowAddr(i2, i3), buf)
+	for i := 0; i < g.n1; i++ {
+		dst[i] = math.Float64frombits(leU64(buf[i*8:]))
+	}
+}
+
+// writeRow stores src into row (.,i2,i3) (timed), optionally cleaning
+// the row afterwards — the paper's Listing 5 one-line change.
+func (g *grid) writeRow(c *sim.Core, i2, i3 int, src []float64, clean bool) {
+	buf := make([]byte, g.n1*8)
+	for i := 0; i < g.n1; i++ {
+		putU64(buf[i*8:], math.Float64bits(src[i]))
+	}
+	addr := g.rowAddr(i2, i3)
+	c.Write(addr, buf)
+	if clean {
+		c.Prestore(addr, uint64(len(buf)), sim.Clean)
+	}
+}
+
+// fillRows initializes the grid (timed, baseline stores).
+func (g *grid) fill(c *sim.Core, f func(i1, i2, i3 int) float64) {
+	row := make([]float64, g.n1)
+	for i3 := 0; i3 < g.n3; i3++ {
+		for i2 := 0; i2 < g.n2; i2++ {
+			for i1 := 0; i1 < g.n1; i1++ {
+				row[i1] = f(i1, i2, i3)
+			}
+			g.writeRow(c, i2, i3, row, false)
+		}
+	}
+}
+
+// checksum folds the whole grid through the backing store (untimed).
+func (g *grid) checksum(m *sim.Machine) float64 {
+	var sum float64
+	buf := make([]byte, g.n1*8)
+	for i3 := 0; i3 < g.n3; i3++ {
+		for i2 := 0; i2 < g.n2; i2++ {
+			m.Backing().Read(g.rowAddr(i2, i3), buf)
+			for i := 0; i < g.n1; i++ {
+				v := math.Float64frombits(leU64(buf[i*8:]))
+				sum += v * float64(1+(i+i2+i3)%7)
+			}
+		}
+	}
+	return sum
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putU64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,190 @@
+package nas
+
+import (
+	"testing"
+
+	"prestores/internal/sim"
+)
+
+// quickCfg shrinks a kernel for unit testing.
+func quickCfg(k Kernel, mode Mode) Config {
+	cfg := Config{Kernel: k, Mode: mode, Iters: 1, Seed: 3}
+	switch k {
+	case MG, SP:
+		cfg.Scale = 32
+	case BT:
+		cfg.Scale = 24
+	case FT:
+		cfg.Scale = 16
+	case UA:
+		cfg.Scale = 1 << 10
+	case IS:
+		cfg.Scale = 1 << 14
+	case LU:
+		cfg.Scale = 24
+	case EP:
+		cfg.Scale = 1 << 12
+	case CG:
+		cfg.Scale = 1 << 10
+	}
+	return cfg
+}
+
+func TestAllKernelsRun(t *testing.T) {
+	for _, k := range Kernels {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			res := Run(sim.MachineA(), quickCfg(k, Baseline))
+			if res.Stores == 0 {
+				t.Fatalf("%s issued no stores", k)
+			}
+			if res.Elapsed == 0 {
+				t.Fatalf("%s took no time", k)
+			}
+		})
+	}
+}
+
+// TestChecksumInvariantUnderPrestore is the key functional property:
+// pre-stores must never change computed results, only timing.
+func TestChecksumInvariantUnderPrestore(t *testing.T) {
+	for _, k := range []Kernel{MG, FT, SP, UA, BT, IS} {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			base := Run(sim.MachineA(), quickCfg(k, Baseline))
+			clean := Run(sim.MachineA(), quickCfg(k, Clean))
+			if base.Checksum != clean.Checksum {
+				t.Fatalf("%s: checksum changed by pre-store: %v vs %v",
+					k, base.Checksum, clean.Checksum)
+			}
+		})
+	}
+}
+
+func TestFTCleanHotChecksum(t *testing.T) {
+	base := Run(sim.MachineA(), quickCfg(FT, Baseline))
+	hot := Run(sim.MachineA(), quickCfg(FT, CleanHot))
+	if base.Checksum != hot.Checksum {
+		t.Fatal("clean-hot changed FT's result")
+	}
+	if hot.Elapsed <= base.Elapsed {
+		t.Fatalf("cleaning the hot scratch should cost time: %d vs %d", hot.Elapsed, base.Elapsed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(sim.MachineA(), quickCfg(MG, Baseline))
+	b := Run(sim.MachineA(), quickCfg(MG, Baseline))
+	if a.Elapsed != b.Elapsed || a.Checksum != b.Checksum {
+		t.Fatal("MG runs diverged")
+	}
+}
+
+func TestWriteIntensiveClassification(t *testing.T) {
+	// Table 2's split: MG/FT/SP/UA/BT/IS write-heavy, LU/EP/CG not.
+	for _, k := range []Kernel{MG, FT, SP, UA, BT, IS} {
+		if !WriteIntensive(k) {
+			t.Errorf("%s should be write-intensive", k)
+		}
+	}
+	for _, k := range []Kernel{LU, EP, CG} {
+		if WriteIntensive(k) {
+			t.Errorf("%s should not be write-intensive", k)
+		}
+	}
+}
+
+func TestStoreShareMatchesClassification(t *testing.T) {
+	// The simulated kernels must actually exhibit the Table 2 split,
+	// measured as the paper does: stores as a share of executed
+	// instructions.
+	shares := map[Kernel]float64{}
+	for _, k := range []Kernel{MG, IS, LU, EP, CG} {
+		res := Run(sim.MachineA(), quickCfg(k, Baseline))
+		shares[k] = float64(res.Stores) / float64(res.Instr)
+	}
+	for _, k := range []Kernel{MG, IS} {
+		if shares[k] < 0.10 {
+			t.Errorf("%s store share %.2f < 0.10 but should be write-intensive", k, shares[k])
+		}
+	}
+	for _, k := range []Kernel{LU, EP, CG} {
+		if shares[k] >= 0.10 {
+			t.Errorf("%s store share %.2f too high for a read/compute kernel", k, shares[k])
+		}
+	}
+}
+
+func TestUnknownKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kernel accepted")
+		}
+	}()
+	Run(sim.MachineA(), Config{Kernel: "nope"})
+}
+
+func TestISCleanNoEffect(t *testing.T) {
+	// §7.4.2: pre-storing IS's random small writes neither helps nor
+	// hurts much.
+	base := Run(sim.MachineA(), quickCfg(IS, Baseline))
+	clean := Run(sim.MachineA(), quickCfg(IS, Clean))
+	ratio := float64(clean.Elapsed) / float64(base.Elapsed)
+	if ratio > 1.6 || ratio < 0.7 {
+		t.Fatalf("IS clean changed runtime by %vx; expected a modest effect", ratio)
+	}
+}
+
+func TestFTRequiresPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-pow2 FT scale accepted")
+		}
+	}()
+	Run(sim.MachineA(), Config{Kernel: FT, Scale: 48, Iters: 1})
+}
+
+func TestGridRowRoundtrip(t *testing.T) {
+	m := sim.MachineA()
+	g := newGrid(m, sim.WindowPMEM, "t", 16, 4, 4)
+	c := m.Core(0)
+	want := make([]float64, 16)
+	for i := range want {
+		want[i] = float64(i) * 1.5
+	}
+	g.writeRow(c, 2, 3, want, false)
+	got := make([]float64, 16)
+	g.readRow(c, 2, 3, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row roundtrip[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestMGThreadedChecksumMatches(t *testing.T) {
+	// Parallelizing the plane loops must not change the result (bands
+	// write disjoint planes and read a converged neighbourhood).
+	cfg := quickCfg(MG, Baseline)
+	single := Run(sim.MachineA(), cfg)
+	cfg.Threads = 4
+	multi := Run(sim.MachineA(), cfg)
+	if single.Checksum != multi.Checksum {
+		t.Fatalf("threaded MG checksum %v != single-thread %v", multi.Checksum, single.Checksum)
+	}
+}
+
+func TestMGThreadedCleanStillWins(t *testing.T) {
+	cfg := quickCfg(MG, Baseline)
+	cfg.Threads = 4
+	cfg.Scale = 80 // 3 grids x 4 MiB: exceeds the LLC
+	base := Run(sim.MachineA(), cfg)
+	cfg.Mode = Clean
+	clean := Run(sim.MachineA(), cfg)
+	if base.Checksum != clean.Checksum {
+		t.Fatal("checksum changed")
+	}
+	if clean.WriteAmp >= base.WriteAmp {
+		t.Fatalf("clean amp %.2f >= base %.2f with 4 threads", clean.WriteAmp, base.WriteAmp)
+	}
+}

@@ -1,0 +1,73 @@
+package phoronix
+
+import (
+	"testing"
+
+	"prestores/internal/sim"
+)
+
+func TestCRayRuns(t *testing.T) {
+	res := CRay(sim.MachineA(), 1<<10, 1)
+	if res.Checksum == 0 {
+		t.Fatal("no ray hits at all")
+	}
+	if res.Elapsed == 0 {
+		t.Fatal("zero elapsed")
+	}
+}
+
+func TestGzipCompresses(t *testing.T) {
+	res := Gzip(sim.MachineA(), 1<<16, 1)
+	if res.Checksum == 0 {
+		t.Fatal("no tokens emitted")
+	}
+}
+
+func TestBuildKernelRuns(t *testing.T) {
+	res := BuildKernel(sim.MachineA(), 8, 1)
+	if res.Checksum == 0 {
+		t.Fatal("no symbols parsed")
+	}
+}
+
+func TestRustPrimeCorrect(t *testing.T) {
+	m := sim.MachineA()
+	res := RustPrime(m, 1000, 1)
+	// π(1000) = 168 primes; we skip 2, so expect 167.
+	if res.Checksum != 167 {
+		t.Fatalf("found %v odd primes below 1000, want 167", res.Checksum)
+	}
+}
+
+func TestNumpyRuns(t *testing.T) {
+	res := Numpy(sim.MachineA(), 1<<12, 1)
+	if res.Checksum == 0 {
+		t.Fatal("reduction produced zero")
+	}
+}
+
+// TestNoneAreWriteIntensive is the Table 2 property: each proxy must
+// classify below the paper's 10% store-instruction threshold.
+func TestNoneAreWriteIntensive(t *testing.T) {
+	cases := map[string]Result{
+		"c-ray":        CRay(sim.MachineA(), 1<<11, 1),
+		"gzip":         Gzip(sim.MachineA(), 1<<17, 1),
+		"build-kernel": BuildKernel(sim.MachineA(), 12, 1),
+		"rust-prime":   RustPrime(sim.MachineA(), 5000, 1),
+		"numpy":        Numpy(sim.MachineA(), 1<<14, 1),
+	}
+	for name, res := range cases {
+		share := float64(res.Stores) / float64(res.Instr)
+		if share >= 0.10 {
+			t.Errorf("%s: store share %.3f >= 0.10 — would wrongly classify as write-intensive", name, share)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Gzip(sim.MachineA(), 1<<15, 7)
+	b := Gzip(sim.MachineA(), 1<<15, 7)
+	if a.Elapsed != b.Elapsed || a.Checksum != b.Checksum {
+		t.Fatal("gzip proxy diverged")
+	}
+}

@@ -1,0 +1,360 @@
+// Package tensor ports the memory behaviour of TensorFlow's Eigen
+// tensor evaluator (paper §7.2.1, Listing 4): the templated
+// Eigen::TensorEvaluator<...>::run() loop evaluates an elementwise
+// operation packet by packet and writes the result tensor sequentially.
+//
+// DirtBuster's findings on the real workload: the templated function
+// accounts for 30-50% of all writes to memory; half of its writes are
+// sequential; of those, large (16.2 MB) output tensors are never
+// re-read or re-written (clean/skip candidates) while small (240 B)
+// tensors are re-read within ~2 instructions (must NOT be skipped).
+// Cleaning after each line is a one-line change (Listing 4 line 8);
+// skipping requires rewriting evalPacket with non-temporal stores and
+// loses because evalPacket re-reads previously written packets
+// (a[x] = f(a[x - 4*PacketSize])).
+package tensor
+
+import (
+	"math"
+
+	"prestores/internal/memspace"
+	"prestores/internal/sim"
+	"prestores/internal/units"
+	"prestores/internal/xrand"
+)
+
+// Mode selects the pre-store treatment of the evaluator loop.
+type Mode int
+
+// Treatments (paper Figure 7).
+const (
+	Baseline Mode = iota
+	Clean         // prestore(&data[i], 64, clean) in the unrolled loop
+	Skip          // evalPacket rewritten with non-temporal stores
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case Clean:
+		return "clean"
+	case Skip:
+		return "skip"
+	default:
+		return "?"
+	}
+}
+
+// Tensor is a float64 vector in simulated memory.
+type Tensor struct {
+	region memspace.Region
+	n      int
+}
+
+// NewTensor allocates an n-element tensor in the window.
+func NewTensor(m *sim.Machine, window, name string, n int) *Tensor {
+	return &Tensor{region: m.Alloc(window, name, uint64(n)*8), n: n}
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return t.n }
+
+// Addr returns the address of element i.
+func (t *Tensor) Addr(i int) uint64 { return t.region.Base + uint64(i)*8 }
+
+// Fill initializes the tensor (timed, baseline stores).
+func (t *Tensor) Fill(c *sim.Core, f func(i int) float64) {
+	const chunk = 512
+	buf := make([]byte, chunk*8)
+	for base := 0; base < t.n; base += chunk {
+		n := chunk
+		if base+n > t.n {
+			n = t.n - base
+		}
+		for i := 0; i < n; i++ {
+			putF64(buf[i*8:], f(base+i))
+		}
+		c.Write(t.Addr(base), buf[:n*8])
+	}
+}
+
+// Checksum folds the tensor through the backing store (untimed).
+func (t *Tensor) Checksum(m *sim.Machine) float64 {
+	var sum float64
+	buf := make([]byte, 8)
+	for i := 0; i < t.n; i += 7 {
+		m.Backing().Read(t.Addr(i), buf)
+		sum += math.Float64frombits(leU64(buf))
+	}
+	return sum
+}
+
+// Op is a packet-wise tensor operation, mirroring Eigen's scalar_sum_op
+// and friends.
+type Op func(dst, a, b []float64)
+
+// SumOp is Eigen::internal::scalar_sum_op: dst = a + b.
+func SumOp(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// ProdOp is Eigen::internal::scalar_product_op: dst = a * b.
+func ProdOp(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// ReluGradOp models an activation-gradient op with a dependency on the
+// previously written packet, the pattern that makes skipping lose:
+// dst[x] = f(dst[x - 4*PacketSize], a[x], b[x]).
+func reluGradDep(dst, prev, a, b []float64) {
+	for i := range dst {
+		p := 0.0
+		if prev != nil {
+			p = prev[i]
+		}
+		v := a[i]*0.5 + b[i]*0.5 + p*0.01
+		if v < 0 {
+			v = 0
+		}
+		dst[i] = v
+	}
+}
+
+// PacketSize matches Eigen's AVX packet of 8 doubles.
+const PacketSize = 8
+
+// unroll is the manual 4-packet unroll of TensorExecutor.h line 272.
+const unroll = 4
+
+// Evaluator runs elementwise tensor expressions, issuing the same
+// memory traffic as Eigen::TensorEvaluator<...>::run().
+type Evaluator struct {
+	m    *sim.Machine
+	core *sim.Core
+	mode Mode
+}
+
+// NewEvaluator returns an evaluator on core c.
+func NewEvaluator(m *sim.Machine, c *sim.Core, mode Mode) *Evaluator {
+	return &Evaluator{m: m, core: c, mode: mode}
+}
+
+// Run evaluates dst = op(a, b) over whole tensors with the unrolled
+// packet loop, applying the configured pre-store treatment.
+func (e *Evaluator) Run(op Op, dst, a, b *Tensor, dependsOnPrev bool) {
+	c := e.core
+	c.PushFunc("eigen.TensorEvaluator.run")
+	defer c.PopFunc()
+	n := dst.n
+	chunk := unroll * PacketSize // 32 doubles = 256 B = 4 lines
+	abuf := make([]float64, chunk)
+	bbuf := make([]float64, chunk)
+	dbuf := make([]float64, chunk)
+	prev := make([]float64, chunk)
+	havePrev := false
+	out := make([]byte, chunk*8)
+
+	for i := 0; i+chunk <= n; i += chunk {
+		readF64s(c, a.Addr(i), abuf)
+		readF64s(c, b.Addr(i), bbuf)
+		if dependsOnPrev {
+			// evalPacket loads the previously written packet; with
+			// non-temporal stores this load misses all the way to
+			// memory, which is why skipping decreases performance.
+			if havePrev && i >= chunk {
+				readF64s(c, dst.Addr(i-chunk), prev)
+			}
+			if havePrev {
+				reluGradDep(dbuf, prev, abuf, bbuf)
+			} else {
+				reluGradDep(dbuf, nil, abuf, bbuf)
+			}
+			havePrev = true
+		} else {
+			op(dbuf, abuf, bbuf)
+		}
+		for k := 0; k < chunk; k++ {
+			putF64(out[k*8:], dbuf[k])
+		}
+		switch e.mode {
+		case Skip:
+			c.WriteNT(dst.Addr(i), out)
+		default:
+			c.Write(dst.Addr(i), out)
+			if e.mode == Clean {
+				// Listing 4 line 8: prestore(&evaluator.data()[i], ..., clean)
+				c.Prestore(dst.Addr(i), uint64(len(out)), sim.Clean)
+			}
+		}
+		c.Compute(uint64(chunk)) // packet ALU work
+	}
+}
+
+// TrainConfig parameterizes the CNN-training proxy (pts/tensorflow).
+type TrainConfig struct {
+	BatchSize int // paper sweeps 1..250
+	Features  int // per-sample activation width
+	Layers    int
+	Steps     int
+	Mode      Mode
+	Window    string
+	Seed      uint64
+}
+
+// TrainResult reports a training run.
+type TrainResult struct {
+	Elapsed  units.Cycles
+	WriteAmp float64
+	Checksum float64
+}
+
+// Train runs the training proxy: per step and layer, a forward
+// elementwise evaluation into large activation tensors (the
+// 16.2 MB-tensor case), a backward pass with the previous-packet
+// dependency, and a small-tensor bias update (the 240 B-tensor case
+// that is re-read immediately and must stay cached). A batch-scaled
+// im2col-style shuffle models the *other*, non-sequential write traffic
+// the paper left unpatched: the evaluator's share of writes drops from
+// ~50% at small batches to ~30% at large ones, which is why Figure 7's
+// gain decays with batch size.
+func Train(m *sim.Machine, cfg TrainConfig) TrainResult {
+	if cfg.Window == "" {
+		cfg.Window = sim.WindowPMEM
+	}
+	if cfg.Features == 0 {
+		cfg.Features = 4096
+	}
+	if cfg.Layers == 0 {
+		cfg.Layers = 3
+	}
+	if cfg.Steps == 0 {
+		cfg.Steps = 2
+	}
+	c := m.Core(0)
+	ev := NewEvaluator(m, c, cfg.Mode)
+	// Activation tensors are large even at batch 1 (224x224 images);
+	// batch size adds to the footprint rather than defining it.
+	n := 1<<20 + cfg.BatchSize*cfg.Features
+	// The unpatched write traffic grows with the batch.
+	shuffleN := cfg.BatchSize * cfg.Features * 4
+
+	acts := make([]*Tensor, cfg.Layers+1)
+	grads := make([]*Tensor, cfg.Layers+1)
+	for l := range acts {
+		acts[l] = NewTensor(m, cfg.Window, "tensor.act", n)
+		grads[l] = NewTensor(m, cfg.Window, "tensor.grad", n)
+	}
+	// Small per-layer bias tensors (240 B / 30 doubles in the paper).
+	bias := make([]*Tensor, cfg.Layers)
+	biasG := make([]*Tensor, cfg.Layers)
+	for l := range bias {
+		bias[l] = NewTensor(m, sim.WindowDRAM, "tensor.bias", 32)
+		biasG[l] = NewTensor(m, sim.WindowDRAM, "tensor.biasgrad", 32)
+	}
+
+	// im2col-style scratch whose writes are scattered (unpatched).
+	var shuffle *Tensor
+	if shuffleN > 0 {
+		shuffle = NewTensor(m, cfg.Window, "tensor.im2col", shuffleN)
+	}
+
+	c.PushFunc("tf.init")
+	acts[0].Fill(c, func(i int) float64 { return float64(i%97) * 0.01 })
+	for l := range bias {
+		bias[l].Fill(c, func(i int) float64 { return float64(i) * 0.1 })
+	}
+	c.PopFunc()
+
+	dev := m.Device(cfg.Window)
+	m.Drain()
+	m.ResetStats()
+	dev.ResetStats()
+
+	rng := xrand.New(cfg.Seed ^ 0x7f)
+	elapsed := sim.ElapsedAll(m, func() {
+		for s := 0; s < cfg.Steps; s++ {
+			c.PushFunc("tf.forward")
+			for l := 0; l < cfg.Layers; l++ {
+				ev.Run(SumOp, acts[l+1], acts[l], acts[l], false)
+			}
+			c.PopFunc()
+			// im2col / data layout shuffle: scattered writes that
+			// DirtBuster reports as non-sequential; the paper tried
+			// pre-storing such functions and measured no effect.
+			if shuffle != nil {
+				c.PushFunc("tf.im2col")
+				var block [64]byte
+				for i := 0; i < shuffleN/8; i++ {
+					dst := rng.Intn(shuffleN - 8)
+					c.Write(shuffle.Addr(dst), block[:])
+					c.Compute(4)
+				}
+				c.PopFunc()
+			}
+			c.PushFunc("tf.backward")
+			for l := cfg.Layers - 1; l >= 0; l-- {
+				ev.Run(nil, grads[l], acts[l+1], acts[l], true)
+				// Small-tensor traffic: bias/batch-norm updates run
+				// through the same templated evaluator hundreds of
+				// times per layer, each writing a ~256 B tensor that
+				// is re-read within a couple of instructions. These
+				// are the tensors that make DirtBuster choose clean
+				// over skip (§7.2.1: "Size: 240B - 60% - re-read 2").
+				smallEv := NewEvaluator(m, c, modeForSmall(cfg.Mode))
+				for s := 0; s < 192; s++ {
+					smallEv.Run(SumOp, biasG[l], bias[l], bias[l], false)
+					var probe [8]byte
+					c.Read(biasG[l].Addr(0), probe[:]) // immediate re-read
+				}
+			}
+			c.PopFunc()
+		}
+		m.Drain()
+	})
+	return TrainResult{
+		Elapsed:  elapsed,
+		WriteAmp: dev.Stats().WriteAmplification(),
+		Checksum: acts[cfg.Layers].Checksum(m) + grads[0].Checksum(m),
+	}
+}
+
+// modeForSmall keeps the small-tensor path on the cached-write path:
+// the paper's patch cleans only the large-tensor writes; DirtBuster's
+// whole point is that skipping the small re-read tensors would hurt.
+func modeForSmall(m Mode) Mode {
+	if m == Skip {
+		return Skip // the skip patch rewrites evalPacket for all callers
+	}
+	return Baseline
+}
+
+func readF64s(c *sim.Core, addr uint64, dst []float64) {
+	buf := make([]byte, len(dst)*8)
+	c.Read(addr, buf)
+	for i := range dst {
+		dst[i] = math.Float64frombits(leU64(buf[i*8:]))
+	}
+}
+
+func putF64(b []byte, v float64) {
+	u := math.Float64bits(v)
+	b[0] = byte(u)
+	b[1] = byte(u >> 8)
+	b[2] = byte(u >> 16)
+	b[3] = byte(u >> 24)
+	b[4] = byte(u >> 32)
+	b[5] = byte(u >> 40)
+	b[6] = byte(u >> 48)
+	b[7] = byte(u >> 56)
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"testing"
+
+	"prestores/internal/sim"
+)
+
+func TestTensorRoundtrip(t *testing.T) {
+	m := sim.MachineA()
+	c := m.Core(0)
+	tn := NewTensor(m, sim.WindowPMEM, "t", 1000)
+	tn.Fill(c, func(i int) float64 { return float64(i) * 0.5 })
+	if got := tn.Checksum(m); got == 0 {
+		t.Fatal("checksum zero after fill")
+	}
+}
+
+func TestEvaluatorSum(t *testing.T) {
+	m := sim.MachineA()
+	c := m.Core(0)
+	a := NewTensor(m, sim.WindowPMEM, "a", 256)
+	b := NewTensor(m, sim.WindowPMEM, "b", 256)
+	dst := NewTensor(m, sim.WindowPMEM, "d", 256)
+	a.Fill(c, func(i int) float64 { return float64(i) })
+	b.Fill(c, func(i int) float64 { return float64(2 * i) })
+	NewEvaluator(m, c, Baseline).Run(SumOp, dst, a, b, false)
+	// Spot-check dst[i] = 3i via the backing store.
+	buf := make([]byte, 8)
+	m.Backing().Read(dst.Addr(100), buf)
+	got := leU64(buf)
+	want := uint64(0)
+	{
+		var tmp [8]byte
+		putF64(tmp[:], 300)
+		want = leU64(tmp[:])
+	}
+	if got != want {
+		t.Fatalf("dst[100] bits = %#x, want 3*100", got)
+	}
+}
+
+func TestEvaluatorModesAgree(t *testing.T) {
+	run := func(mode Mode) float64 {
+		m := sim.MachineA()
+		c := m.Core(0)
+		a := NewTensor(m, sim.WindowPMEM, "a", 4096)
+		b := NewTensor(m, sim.WindowPMEM, "b", 4096)
+		dst := NewTensor(m, sim.WindowPMEM, "d", 4096)
+		a.Fill(c, func(i int) float64 { return float64(i % 13) })
+		b.Fill(c, func(i int) float64 { return float64(i % 7) })
+		NewEvaluator(m, c, mode).Run(ProdOp, dst, a, b, false)
+		return dst.Checksum(m)
+	}
+	base := run(Baseline)
+	if clean := run(Clean); clean != base {
+		t.Fatalf("clean checksum %v != %v", clean, base)
+	}
+	if skip := run(Skip); skip != base {
+		t.Fatalf("skip checksum %v != %v", skip, base)
+	}
+}
+
+func TestDependentEvalModesAgree(t *testing.T) {
+	run := func(mode Mode) float64 {
+		m := sim.MachineA()
+		c := m.Core(0)
+		a := NewTensor(m, sim.WindowPMEM, "a", 2048)
+		b := NewTensor(m, sim.WindowPMEM, "b", 2048)
+		dst := NewTensor(m, sim.WindowPMEM, "d", 2048)
+		a.Fill(c, func(i int) float64 { return float64(i % 13) })
+		b.Fill(c, func(i int) float64 { return float64(i % 5) })
+		NewEvaluator(m, c, mode).Run(nil, dst, a, b, true)
+		return dst.Checksum(m)
+	}
+	if run(Baseline) != run(Skip) {
+		t.Fatal("previous-packet dependency broke under NT stores")
+	}
+}
+
+func TestTrainChecksumInvariant(t *testing.T) {
+	cfg := TrainConfig{BatchSize: 2, Features: 512, Layers: 2, Steps: 1}
+	run := func(mode Mode) TrainResult {
+		c := cfg
+		c.Mode = mode
+		return Train(sim.MachineA(), c)
+	}
+	base := run(Baseline)
+	clean := run(Clean)
+	skip := run(Skip)
+	if base.Checksum != clean.Checksum || base.Checksum != skip.Checksum {
+		t.Fatalf("training result depends on pre-store mode: %v / %v / %v",
+			base.Checksum, clean.Checksum, skip.Checksum)
+	}
+}
+
+func TestTrainCleanReducesAmplification(t *testing.T) {
+	cfg := TrainConfig{BatchSize: 4, Features: 1024, Layers: 2, Steps: 1}
+	base := Train(sim.MachineA(), TrainConfig{BatchSize: cfg.BatchSize, Features: cfg.Features, Layers: cfg.Layers, Steps: cfg.Steps, Mode: Baseline})
+	clean := Train(sim.MachineA(), TrainConfig{BatchSize: cfg.BatchSize, Features: cfg.Features, Layers: cfg.Layers, Steps: cfg.Steps, Mode: Clean})
+	if clean.WriteAmp >= base.WriteAmp {
+		t.Fatalf("clean amp %.2f >= baseline %.2f", clean.WriteAmp, base.WriteAmp)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Baseline.String() != "baseline" || Clean.String() != "clean" || Skip.String() != "skip" {
+		t.Fatal("mode names")
+	}
+}

@@ -1,0 +1,171 @@
+// Package x9 ports the X9 message-passing benchmark (paper §7.3.2,
+// Listing 8): a producer thread fills a message structure and publishes
+// it to an inbox with a compare-and-swap; a consumer polls the inbox,
+// reads the payload, and releases the slot. X9 reuses the message
+// structures to avoid per-message allocation, so the same lines are
+// rewritten constantly — which is why DirtBuster recommends *demoting*
+// (keep the data cached for the rewrite, but publish it early) rather
+// than cleaning or skipping.
+package x9
+
+import (
+	"prestores/internal/memspace"
+	"prestores/internal/sim"
+	"prestores/internal/units"
+)
+
+// Mode selects the pre-store treatment of fill_msg.
+type Mode int
+
+// Treatments.
+const (
+	Baseline Mode = iota
+	Demote
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Demote {
+		return "demote"
+	}
+	return "baseline"
+}
+
+// Slot states.
+const (
+	slotFree    = 0
+	slotWriting = 1
+	slotReady   = 2
+)
+
+// Inbox is a fixed ring of message slots in simulated memory. Each
+// slot holds a state word in its own line followed by the payload.
+type Inbox struct {
+	region   memspace.Region
+	slots    uint64
+	slotSize uint64
+	msgSize  uint64
+	line     uint64
+}
+
+// Config parameterizes the benchmark.
+type Config struct {
+	Slots   uint64 // ring capacity; default 8
+	MsgSize uint64 // payload bytes; default 512
+	Iters   int
+	Mode    Mode
+	Window  string // default remote
+	Seed    uint64
+}
+
+// Result reports message-passing latency.
+type Result struct {
+	Elapsed     units.Cycles
+	Msgs        uint64
+	LatencyCyc  float64 // average produce->consume latency per message
+	Checksum    uint64
+	ProducerCAS units.Cycles // cycles the producer spent in fences/atomics
+}
+
+// NewInbox allocates the ring.
+func NewInbox(m *sim.Machine, cfg Config) *Inbox {
+	line := m.LineSize()
+	slotSize := line + units.AlignUp(cfg.MsgSize, line)
+	return &Inbox{
+		region:   m.Alloc(cfg.Window, "x9.inbox", cfg.Slots*slotSize),
+		slots:    cfg.Slots,
+		slotSize: slotSize,
+		msgSize:  cfg.MsgSize,
+		line:     line,
+	}
+}
+
+func (ib *Inbox) stateAddr(i uint64) uint64   { return ib.region.Base + i*ib.slotSize }
+func (ib *Inbox) payloadAddr(i uint64) uint64 { return ib.region.Base + i*ib.slotSize + ib.line }
+
+// Run executes the ping-pong: producer on core 0, consumer on core 1,
+// strictly alternating (the latency benchmark in §7.3.2 measures the
+// time from message crafting to consumption).
+func Run(m *sim.Machine, cfg Config) Result {
+	if cfg.Slots == 0 {
+		cfg.Slots = 8
+	}
+	if cfg.MsgSize == 0 {
+		cfg.MsgSize = 512
+	}
+	if cfg.Window == "" {
+		cfg.Window = sim.WindowRemote
+	}
+	ib := NewInbox(m, cfg)
+	prod, cons := m.Core(0), m.Core(1)
+	payload := make([]byte, cfg.MsgSize)
+	buf := make([]byte, cfg.MsgSize)
+
+	var res Result
+	m.Drain()
+	m.ResetStats()
+
+	elapsed := sim.Elapsed(m, []*sim.Core{prod, cons}, func() {
+		var totalLatency units.Cycles
+		for i := 0; i < cfg.Iters; i++ {
+			slot := uint64(i) % ib.slots
+			m.SyncCores()
+			start := prod.Now()
+
+			// Producer: fill_msg + optional demote + publish via CAS.
+			prod.PushFunc("x9.producer_fn")
+			prod.PushFunc("x9.fill_msg")
+			for b := range payload {
+				payload[b] = byte(i + b)
+			}
+			prod.Write(ib.payloadAddr(slot), payload)
+			prod.PopFunc()
+			if cfg.Mode == Demote {
+				// Listing 8: prestore(m[...], sizeof(msg), demote)
+				prod.Prestore(ib.payloadAddr(slot), cfg.MsgSize, sim.Demote)
+			}
+			prod.PushFunc("x9.write_to_inbox")
+			// x9_write_to_inbox first checks the slot is free (the
+			// consumer wrote the state word last, so this read pulls
+			// the line across the machine) and then publishes with a
+			// CAS. The check is the window the demote overlaps with.
+			for prod.ReadU64(ib.stateAddr(slot)) != slotFree {
+				prod.Compute(4)
+			}
+			for !prod.CAS(ib.stateAddr(slot), slotFree, slotReady) {
+				prod.Compute(4)
+			}
+			prod.PopFunc()
+
+			// Consumer: poll the state, read the payload, release.
+			cons.PushFunc("x9.consumer_fn")
+			if cons.Now() < prod.Now() {
+				// The consumer cannot observe the message before it is
+				// published.
+				waitUntil(cons, prod.Now())
+			}
+			for cons.ReadU64(ib.stateAddr(slot)) != slotReady {
+				cons.Compute(4)
+			}
+			cons.Read(ib.payloadAddr(slot), buf)
+			res.Checksum += uint64(buf[0]) + uint64(buf[len(buf)-1])
+			cons.CAS(ib.stateAddr(slot), slotReady, slotFree)
+			cons.PopFunc()
+
+			totalLatency += cons.Now() - start
+		}
+		res.LatencyCyc = float64(totalLatency) / float64(cfg.Iters)
+	})
+
+	res.Elapsed = elapsed
+	res.Msgs = uint64(cfg.Iters)
+	res.ProducerCAS = prod.Stats().FenceStall
+	return res
+}
+
+// waitUntil advances the core's clock to at least t (poll loop).
+func waitUntil(c *sim.Core, t units.Cycles) {
+	for c.Now() < t {
+		c.Compute(4)
+	}
+}

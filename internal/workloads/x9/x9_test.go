@@ -1,0 +1,60 @@
+package x9
+
+import (
+	"testing"
+
+	"prestores/internal/sim"
+)
+
+func TestMessagesDelivered(t *testing.T) {
+	res := Run(sim.MachineBFast(), Config{Iters: 500, MsgSize: 256, Seed: 3})
+	if res.Msgs != 500 {
+		t.Fatalf("delivered %d messages", res.Msgs)
+	}
+	if res.Checksum == 0 {
+		t.Fatal("consumer read no payload bytes")
+	}
+	if res.LatencyCyc <= 0 {
+		t.Fatal("no latency measured")
+	}
+}
+
+func TestDemotePreservesPayloads(t *testing.T) {
+	base := Run(sim.MachineBFast(), Config{Iters: 500, MsgSize: 256, Seed: 3, Mode: Baseline})
+	dem := Run(sim.MachineBFast(), Config{Iters: 500, MsgSize: 256, Seed: 3, Mode: Demote})
+	if base.Checksum != dem.Checksum {
+		t.Fatalf("demote changed message contents: %d vs %d", base.Checksum, dem.Checksum)
+	}
+}
+
+func TestDemoteCutsLatency(t *testing.T) {
+	for _, mk := range []func() *sim.Machine{sim.MachineBFast, sim.MachineBSlow} {
+		base := Run(mk(), Config{Iters: 2000, MsgSize: 512, Seed: 3, Mode: Baseline})
+		dem := Run(mk(), Config{Iters: 2000, MsgSize: 512, Seed: 3, Mode: Demote})
+		if dem.LatencyCyc >= base.LatencyCyc {
+			t.Fatalf("demote latency %.0f >= baseline %.0f", dem.LatencyCyc, base.LatencyCyc)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(sim.MachineBSlow(), Config{Iters: 300, MsgSize: 128, Seed: 3})
+	b := Run(sim.MachineBSlow(), Config{Iters: 300, MsgSize: 128, Seed: 3})
+	if a.LatencyCyc != b.LatencyCyc || a.Checksum != b.Checksum {
+		t.Fatal("x9 runs diverged")
+	}
+}
+
+func TestSlowFPGAHigherLatency(t *testing.T) {
+	fast := Run(sim.MachineBFast(), Config{Iters: 1000, MsgSize: 512, Seed: 3})
+	slow := Run(sim.MachineBSlow(), Config{Iters: 1000, MsgSize: 512, Seed: 3})
+	if slow.LatencyCyc <= fast.LatencyCyc {
+		t.Fatalf("slow FPGA latency %.0f <= fast %.0f", slow.LatencyCyc, fast.LatencyCyc)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Baseline.String() != "baseline" || Demote.String() != "demote" {
+		t.Fatal("mode names")
+	}
+}

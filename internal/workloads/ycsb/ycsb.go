@@ -1,0 +1,197 @@
+// Package ycsb implements the YCSB workload driver used to exercise the
+// CLHT and Masstree stores (paper §7.2.3, §7.3.1): Zipfian key
+// popularity, the standard A-D mixes, configurable value sizes, and the
+// craft-value-then-insert PUT path where the pre-store treatments apply.
+package ycsb
+
+import (
+	"fmt"
+
+	"prestores/internal/sim"
+	"prestores/internal/units"
+	"prestores/internal/workloads/kv"
+	"prestores/internal/xrand"
+)
+
+// Workload selects the YCSB mix.
+type Workload int
+
+// Standard mixes.
+const (
+	A Workload = iota // 50% GET, 50% PUT
+	B                 // 95% GET, 5% PUT
+	C                 // 100% GET
+	D                 // 95% GET (latest-skewed), 5% PUT
+	E                 // 95% SCAN (ordered stores only), 5% PUT
+	F                 // 50% GET, 50% read-modify-write
+)
+
+// String returns the workload letter.
+func (w Workload) String() string { return [...]string{"A", "B", "C", "D", "E", "F"}[w] }
+
+// readRatio returns the fraction of read-side operations (GETs or
+// scans).
+func (w Workload) readRatio() float64 {
+	switch w {
+	case A, F:
+		return 0.5
+	case B, D, E:
+		return 0.95
+	default:
+		return 1.0
+	}
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Records   uint64 // keys loaded before the measured phase
+	Ops       int    // operations per thread in the measured phase
+	Threads   int
+	ValueSize uint32
+	Workload  Workload
+	Craft     kv.CraftMode // treatment of crafted values on PUT
+	Theta     float64      // Zipfian skew; default 0.99
+	Window    string       // memory window for the value heap
+	HeapSize  uint64       // value-heap ring size; default 64 MiB
+	Seed      uint64
+}
+
+// Result reports a measured run.
+type Result struct {
+	Elapsed    units.Cycles
+	Ops        uint64
+	OpsPerSec  float64
+	Reads      uint64
+	Writes     uint64
+	Scans      uint64
+	ReadMisses uint64
+	WriteAmp   float64 // device-side, for the store's window
+	Checksum   uint64  // functional digest of all read values
+}
+
+// Load populates the store with cfg.Records sequential keys using
+// baseline crafting on core 0. Call before Run.
+func Load(m *sim.Machine, store kv.Store, heap *kv.ValueHeap, cfg Config) {
+	c := m.Core(0)
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for k := uint64(0); k < cfg.Records; k++ {
+		val[0] = byte(k)
+		addr := heap.Craft(c, val, kv.CraftBaseline)
+		if old, oldLen, replaced := store.Put(c, k, addr, cfg.ValueSize); replaced {
+			heap.Free(old, oldLen)
+		}
+	}
+}
+
+// Run executes the measured phase and returns the result. The machine's
+// stats are reset at the start, and all queues are drained before the
+// device-side amplification is read.
+func Run(m *sim.Machine, store kv.Store, heap *kv.ValueHeap, cfg Config) Result {
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Window == "" {
+		cfg.Window = sim.WindowPMEM
+	}
+	dev := m.Device(cfg.Window)
+	if dev == nil {
+		panic(fmt.Sprintf("ycsb: machine has no window %q", cfg.Window))
+	}
+
+	cores := make([]*sim.Core, cfg.Threads)
+	keyGen := make([]*xrand.Zipf, cfg.Threads)
+	opRng := make([]*xrand.PCG, cfg.Threads)
+	for t := range cores {
+		cores[t] = m.Core(t)
+		opRng[t] = xrand.NewStream(cfg.Seed+7, uint64(t)+100)
+		keyGen[t] = xrand.NewZipf(xrand.NewStream(cfg.Seed+13, uint64(t)+200), cfg.Records, cfg.Theta)
+	}
+
+	val := make([]byte, cfg.ValueSize)
+	buf := make([]byte, cfg.ValueSize)
+	readRatio := cfg.Workload.readRatio()
+
+	var res Result
+	m.Drain()
+	m.ResetStats()
+	dev.ResetStats()
+
+	res.Elapsed = sim.Elapsed(m, cores, func() {
+		sim.RunInterleaved(cores, cfg.Ops, func(t, i int, c *sim.Core) {
+			c.PushFunc("ycsb.op")
+			// Client-side request handling: key generation, string
+			// formatting, statistics — the work a real YCSB client
+			// performs around every operation.
+			c.Compute(200)
+			key := keyGen[t].ScrambledNext()
+			if cfg.Workload == D {
+				// Latest distribution: skew toward recently-inserted keys.
+				key = cfg.Records - 1 - keyGen[t].Next()%cfg.Records
+			}
+			if opRng[t].Float64() < readRatio {
+				if cfg.Workload == E {
+					// Range scan over ~50 consecutive keys, reading
+					// each value's first line.
+					scanner, ok := store.(kv.Scanner)
+					if !ok {
+						panic("ycsb: workload E needs an ordered store")
+					}
+					res.Scans++
+					var probe [8]byte
+					scanner.Scan(c, key, 50, func(_, valAddr uint64, _ uint32) bool {
+						c.Read(valAddr, probe[:])
+						res.Checksum += uint64(probe[0])
+						return true
+					})
+				} else {
+					res.Reads++
+					if addr, n, ok := store.Get(c, key); ok {
+						rd := buf[:n]
+						c.Read(addr, rd)
+						res.Checksum += uint64(rd[0]) + uint64(rd[n-1])
+					} else {
+						res.ReadMisses++
+					}
+				}
+			} else {
+				if cfg.Workload == F {
+					// Read-modify-write: read the current value, then
+					// write the updated one through the craft path.
+					res.Reads++
+					if addr, n, ok := store.Get(c, key); ok {
+						c.Read(addr, buf[:n])
+						val[1] = buf[0] + 1
+					}
+				}
+				res.Writes++
+				val[0] = byte(key)
+				val[len(val)-1] = byte(i)
+				c.PushFunc("ycsb.put")
+				addr := heap.Craft(c, val, cfg.Craft)
+				// Client-side bookkeeping between crafting the value
+				// and calling into the store (YCSB builds the request,
+				// serializes the key, updates its statistics). On
+				// weak-memory machines this window is what a demote
+				// pre-store overlaps the value publication with.
+				c.Compute(80)
+				if old, oldLen, replaced := store.Put(c, key, addr, cfg.ValueSize); replaced {
+					heap.Free(old, oldLen)
+				}
+				c.PopFunc()
+			}
+			c.PopFunc()
+		})
+		m.Drain()
+	})
+
+	res.Ops = uint64(cfg.Ops) * uint64(cfg.Threads)
+	res.OpsPerSec = float64(res.Ops) / m.Seconds(res.Elapsed)
+	res.WriteAmp = dev.Stats().WriteAmplification()
+	return res
+}

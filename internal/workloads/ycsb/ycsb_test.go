@@ -1,0 +1,123 @@
+package ycsb
+
+import (
+	"testing"
+
+	"prestores/internal/sim"
+	"prestores/internal/units"
+	"prestores/internal/workloads/clht"
+	"prestores/internal/workloads/kv"
+	"prestores/internal/workloads/masstree"
+)
+
+func setup(t *testing.T, w Workload, craft kv.CraftMode) Result {
+	t.Helper()
+	m := sim.MachineA()
+	store := clht.New(m, clht.Config{Buckets: 1 << 12, Overflow: 4 * units.MiB})
+	heap := kv.NewValueHeap(m, sim.WindowPMEM, 64*units.MiB)
+	cfg := Config{
+		Records: 5000, Ops: 400, Threads: 4, ValueSize: 256,
+		Workload: w, Craft: craft, Seed: 9,
+	}
+	Load(m, store, heap, cfg)
+	return Run(m, store, heap, cfg)
+}
+
+func TestWorkloadMixA(t *testing.T) {
+	res := setup(t, A, kv.CraftBaseline)
+	total := res.Reads + res.Writes
+	if total != res.Ops {
+		t.Fatalf("ops accounting: %d+%d != %d", res.Reads, res.Writes, res.Ops)
+	}
+	ratio := float64(res.Reads) / float64(total)
+	if ratio < 0.42 || ratio > 0.58 {
+		t.Fatalf("YCSB-A read ratio = %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestWorkloadMixC(t *testing.T) {
+	res := setup(t, C, kv.CraftBaseline)
+	if res.Writes != 0 {
+		t.Fatalf("YCSB-C performed %d writes", res.Writes)
+	}
+}
+
+func TestWorkloadMixB(t *testing.T) {
+	res := setup(t, B, kv.CraftBaseline)
+	ratio := float64(res.Reads) / float64(res.Reads+res.Writes)
+	if ratio < 0.90 {
+		t.Fatalf("YCSB-B read ratio = %.2f, want ~0.95", ratio)
+	}
+}
+
+func TestNoReadMissesAfterLoad(t *testing.T) {
+	res := setup(t, A, kv.CraftBaseline)
+	if res.ReadMisses != 0 {
+		t.Fatalf("%d read misses on loaded keys", res.ReadMisses)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := setup(t, A, kv.CraftBaseline)
+	b := setup(t, A, kv.CraftBaseline)
+	if a.Elapsed != b.Elapsed || a.Checksum != b.Checksum {
+		t.Fatalf("runs diverged: %d/%d vs %d/%d", a.Elapsed, a.Checksum, b.Elapsed, b.Checksum)
+	}
+}
+
+func TestCraftModesFunctionallyEqual(t *testing.T) {
+	// Pre-store treatments must not change what readers observe.
+	base := setup(t, A, kv.CraftBaseline)
+	clean := setup(t, A, kv.CraftClean)
+	skip := setup(t, A, kv.CraftSkip)
+	if base.Checksum != clean.Checksum || base.Checksum != skip.Checksum {
+		t.Fatalf("checksums diverge: base=%d clean=%d skip=%d",
+			base.Checksum, clean.Checksum, skip.Checksum)
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	res := setup(t, A, kv.CraftBaseline)
+	if res.OpsPerSec <= 0 || res.Elapsed == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestWorkloadStrings(t *testing.T) {
+	if A.String() != "A" || D.String() != "D" {
+		t.Fatal("workload names")
+	}
+}
+
+func TestWorkloadF(t *testing.T) {
+	res := setup(t, F, kv.CraftBaseline)
+	// Every write is preceded by a read: reads > writes overall.
+	if res.Writes == 0 || res.Reads <= res.Writes {
+		t.Fatalf("F mix: reads=%d writes=%d", res.Reads, res.Writes)
+	}
+}
+
+func TestWorkloadEScans(t *testing.T) {
+	m := sim.MachineA()
+	store := masstree.New(m, masstree.Config{})
+	heap := kv.NewValueHeap(m, sim.WindowPMEM, 64*units.MiB)
+	cfg := Config{Records: 5000, Ops: 200, Threads: 2, ValueSize: 256,
+		Workload: E, Seed: 9}
+	Load(m, store, heap, cfg)
+	res := Run(m, store, heap, cfg)
+	if res.Scans == 0 {
+		t.Fatal("no scans executed")
+	}
+	if res.Checksum == 0 {
+		t.Fatal("scans read no values")
+	}
+}
+
+func TestWorkloadEPanicsOnHashStore(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("E on a hash store did not panic")
+		}
+	}()
+	setup(t, E, kv.CraftBaseline)
+}

@@ -1,0 +1,96 @@
+package prestores_test
+
+import (
+	"strings"
+	"testing"
+
+	"prestores"
+)
+
+// TestQuickstartFlow exercises the public API end to end: allocate,
+// write, pre-store, observe amplification — the README's first example.
+func TestQuickstartFlow(t *testing.T) {
+	m := prestores.NewMachineA()
+	cpu := m.Core(0)
+	buf := m.Alloc(prestores.WindowPMEM, "data", 1<<20)
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for off := uint64(0); off < buf.Size; off += 1024 {
+		cpu.Write(buf.Base+off, payload)
+		prestores.Prestore(cpu, buf.Base+off, 1024, prestores.Clean)
+	}
+	m.Drain()
+	dev := m.Device(prestores.WindowPMEM)
+	if amp := dev.Stats().WriteAmplification(); amp > 1.05 {
+		t.Fatalf("sequential cleaned writes amplified %.2fx", amp)
+	}
+	got := make([]byte, 1024)
+	cpu.Read(buf.Base, got)
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatal("data corrupted")
+		}
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	if prestores.NewMachineA().LineSize() != 64 {
+		t.Fatal("machine A line size")
+	}
+	if prestores.NewMachineBFast().LineSize() != 128 {
+		t.Fatal("machine B line size")
+	}
+	slow := prestores.NewMachineBSlow()
+	fast := prestores.NewMachineBFast()
+	if slow.Device(prestores.WindowRemote).ReadLatency() <= fast.Device(prestores.WindowRemote).ReadLatency() {
+		t.Fatal("B-slow not slower than B-fast")
+	}
+}
+
+func TestCustomMachine(t *testing.T) {
+	cfg := prestores.MachineAConfig()
+	cfg.Cores = 2
+	m := prestores.NewMachine(cfg)
+	if m.Cores() != 2 {
+		t.Fatal("custom core count ignored")
+	}
+}
+
+func TestAnalyzePublicSurface(t *testing.T) {
+	rep := prestores.Analyze(prestores.Workload{
+		Name:       "stream",
+		NewMachine: prestores.NewMachineA,
+		Run: func(m *prestores.Machine) {
+			c := m.Core(0)
+			c.PushFunc("stream.write")
+			buf := make([]byte, 4096)
+			r := m.Alloc(prestores.WindowPMEM, "s", 4096*1200)
+			for i := uint64(0); i < 1200; i++ {
+				c.Write(r.Base+i*4096, buf)
+			}
+			c.PopFunc()
+		},
+	}, prestores.AnalysisConfig{})
+	if !rep.WriteIntensive {
+		t.Fatal("streaming writer not write-intensive")
+	}
+	if !strings.Contains(rep.Render(), "Pre-store choice:") {
+		t.Fatal("render missing recommendation")
+	}
+}
+
+func TestHookSurface(t *testing.T) {
+	m := prestores.NewMachineA()
+	var stores int
+	m.SetHook(func(ev prestores.Event, _ *prestores.Core) {
+		if ev.Kind.String() == "store" {
+			stores++
+		}
+	})
+	m.Core(0).Write(1<<40, []byte{1})
+	if stores != 1 {
+		t.Fatalf("hook saw %d stores", stores)
+	}
+}
