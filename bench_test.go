@@ -2,10 +2,46 @@ package prestores_test
 
 import (
 	"io"
+	"strings"
 	"testing"
 
 	"prestores/internal/bench"
 )
+
+// TestParallelRunnerMatchesSerial runs a fast cross-section of real
+// experiments through the worker pool and checks the streamed output is
+// byte-identical to the serial rendering. Run under -race this also
+// proves the experiments share no mutable state: each builds its own
+// private sim.Machine, so only the registry and writer plumbing are
+// shared.
+func TestParallelRunnerMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take seconds")
+	}
+	var exps []bench.Experiment
+	for _, id := range []string{"listing3", "skipvsclean", "ablate-dir", "x9"} {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	var serial strings.Builder
+	for _, e := range exps {
+		bench.RunOne(&serial, e, true)
+	}
+	var par strings.Builder
+	results := bench.Run(&par, exps, bench.RunnerConfig{Parallel: 4, Quick: true})
+	if par.String() != serial.String() {
+		t.Fatalf("parallel output differs from serial:\n--- parallel ---\n%s\n--- serial ---\n%s",
+			par.String(), serial.String())
+	}
+	for i, r := range results {
+		if r.ID != exps[i].ID || r.Failed() || r.Output == "" || r.WallTime <= 0 {
+			t.Fatalf("result %d malformed: %+v", i, r)
+		}
+	}
+}
 
 // benchExperiment runs a registered experiment once per benchmark
 // iteration in quick mode. Each experiment regenerates one of the

@@ -2,18 +2,29 @@
 //
 // Usage:
 //
-//	prestore-bench -list              # list experiments
-//	prestore-bench -run fig3          # one experiment
-//	prestore-bench -run fig3,fig5     # several
-//	prestore-bench -all               # everything (slow)
-//	prestore-bench -all -quick        # smoke-sized sweeps
+//	prestore-bench -list                  # list experiments
+//	prestore-bench -run fig3              # one experiment
+//	prestore-bench -run fig3,fig5         # several
+//	prestore-bench -all                   # everything (slow)
+//	prestore-bench -all -quick            # smoke-sized sweeps
+//	prestore-bench -all -parallel 8       # worker pool (output unchanged)
+//	prestore-bench -all -timeout 10m      # per-experiment wall-clock cap
+//	prestore-bench -all -json BENCH.json  # machine-readable results
+//
+// Experiments are independent (each builds its own simulated machine),
+// so -parallel N runs them concurrently; output is flushed in
+// deterministic ID order and is byte-identical to -parallel 1. A
+// panicking or timed-out experiment is reported as failed without
+// killing the sweep, and the process exits non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"prestores/internal/bench"
 )
@@ -23,15 +34,23 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs to run")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"experiment worker-pool size (1 = serial; output is identical either way)")
+	timeout := flag.Duration("timeout", 0,
+		"per-experiment wall-clock timeout (0 = none)")
+	jsonPath := flag.String("json", "",
+		"also write results as a JSON array to this file")
 	flag.Parse()
 
+	var exps []bench.Experiment
 	switch {
 	case *list:
 		for _, e := range bench.All() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
+		return
 	case *all:
-		bench.RunAll(os.Stdout, *quick)
+		exps = bench.All()
 	case *run != "":
 		for _, id := range strings.Split(*run, ",") {
 			e, ok := bench.Lookup(strings.TrimSpace(id))
@@ -39,10 +58,47 @@ func main() {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
 				os.Exit(2)
 			}
-			bench.RunOne(os.Stdout, e, *quick)
+			exps = append(exps, e)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	results := bench.Run(os.Stdout, exps, bench.RunnerConfig{
+		Parallel: *parallel,
+		Quick:    *quick,
+		Timeout:  *timeout,
+	})
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		err = bench.WriteJSON(f, results)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	var wall time.Duration
+	for i := range results {
+		wall += results[i].WallTime
+		if results[i].Failed() {
+			failed++
+			fmt.Fprintf(os.Stderr, "prestore-bench: %s: %s\n", results[i].ID, results[i].Err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "prestore-bench: %d experiment(s), %s total experiment time, %d failed\n",
+		len(results), wall.Round(time.Millisecond), failed)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

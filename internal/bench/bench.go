@@ -50,11 +50,10 @@ func All() []Experiment {
 	return out
 }
 
-// RunAll executes every experiment in ID order.
+// RunAll executes every experiment in ID order on a single worker; it
+// is Run with Parallel: 1 over the full registry.
 func RunAll(w io.Writer, quick bool) {
-	for _, e := range All() {
-		RunOne(w, e, quick)
-	}
+	Run(w, All(), RunnerConfig{Parallel: 1, Quick: quick})
 }
 
 // RunOne executes a single experiment with its header.

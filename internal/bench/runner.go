@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Result records one experiment execution under the runner: what ran,
+// how long it took on the wall clock, everything it printed, and the
+// failure (panic or timeout) if it did not complete. Results are what
+// the -json emitter serializes, so benchmark trajectories can be diffed
+// across revisions.
+type Result struct {
+	ID       string        `json:"id"`
+	Title    string        `json:"title"`
+	WallTime time.Duration `json:"wall_time_ns"`
+	Output   string        `json:"output"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Failed reports whether the experiment did not complete normally.
+func (r *Result) Failed() bool { return r.Err != "" }
+
+// RunnerConfig tunes the experiment runner.
+type RunnerConfig struct {
+	// Parallel is the worker-pool size; <= 0 means runtime.GOMAXPROCS(0).
+	// Experiments are independent — each constructs its own private
+	// sim.Machine — so they scale across cores. 1 reproduces the serial
+	// runner exactly.
+	Parallel int
+	// Quick shrinks sweeps for smoke tests.
+	Quick bool
+	// Timeout bounds each experiment's wall-clock time; 0 disables.
+	// Experiments are not cancellable mid-run, so a timed-out experiment
+	// is reported failed and its goroutine abandoned (it keeps a worker's
+	// CPU busy but never blocks the sweep from finishing).
+	Timeout time.Duration
+}
+
+// Run executes exps on a worker pool and returns one Result per
+// experiment, in input order. Each experiment writes into a private
+// buffer; buffers are flushed to w in input order as soon as their turn
+// completes, so the streamed output is byte-identical to running the
+// same experiments serially with RunOne — regardless of Parallel.
+//
+// A panicking experiment is contained: it yields a Result with Err set
+// (and an error line on w) instead of killing the sweep.
+func Run(w io.Writer, exps []Experiment, cfg RunnerConfig) []Result {
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]Result, len(exps))
+	jobs := make(chan int)
+	completed := make(chan int, len(exps))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = runGuarded(exps[idx], cfg.Quick, cfg.Timeout)
+				completed <- idx
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	// Flush in deterministic input order: a finished experiment waits
+	// until every earlier one has been flushed.
+	done := make([]bool, len(exps))
+	next := 0
+	for range exps {
+		i := <-completed
+		done[i] = true
+		for next < len(exps) && done[next] {
+			flushResult(w, &results[next])
+			next++
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+// flushResult writes one experiment's captured output, appending an
+// error trailer for failed runs.
+func flushResult(w io.Writer, r *Result) {
+	io.WriteString(w, r.Output)
+	if r.Failed() {
+		fmt.Fprintf(w, "!!! %s failed: %s\n", r.ID, r.Err)
+	}
+}
+
+// syncBuffer is a mutex-guarded output buffer. A timed-out experiment's
+// abandoned goroutine may still be writing when the runner snapshots the
+// partial output, so both sides must lock.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// runGuarded executes one experiment with panic recovery and an
+// optional wall-clock timeout, capturing its output.
+func runGuarded(e Experiment, quick bool, timeout time.Duration) Result {
+	buf := &syncBuffer{}
+	start := time.Now()
+	errc := make(chan string, 1) // buffered: an abandoned run must not block
+	go func() {
+		var errText string
+		defer func() {
+			if r := recover(); r != nil {
+				errText = fmt.Sprintf("panic: %v", r)
+			}
+			errc <- errText
+		}()
+		RunOne(buf, e, quick)
+	}()
+
+	res := Result{ID: e.ID, Title: e.Title}
+	if timeout <= 0 {
+		res.Err = <-errc
+	} else {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case res.Err = <-errc:
+		case <-timer.C:
+			res.Err = fmt.Sprintf("timeout after %s (run abandoned)", timeout)
+		}
+	}
+	res.WallTime = time.Since(start)
+	res.Output = buf.String()
+	return res
+}
+
+// WriteJSON writes results as an indented JSON array — one well-formed
+// record per experiment — suitable for BENCH_*.json trajectory files.
+func WriteJSON(w io.Writer, results []Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// synth builds a synthetic experiment that sleeps, then prints a
+// deterministic body — enough to exercise ordering without the cost of
+// a real simulation.
+func synth(id string, sleep time.Duration, body string) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: "synthetic " + id,
+		Paper: "n/a",
+		Run: func(w io.Writer, quick bool) {
+			time.Sleep(sleep)
+			fmt.Fprintf(w, "%s quick=%v\n", body, quick)
+		},
+	}
+}
+
+// serialOutput is the reference rendering: a plain RunOne loop.
+func serialOutput(exps []Experiment, quick bool) string {
+	var sb strings.Builder
+	for _, e := range exps {
+		RunOne(&sb, e, quick)
+	}
+	return sb.String()
+}
+
+func TestRunParallelOutputMatchesSerial(t *testing.T) {
+	// Later experiments finish first (descending sleeps), forcing the
+	// runner to hold completed buffers until their turn.
+	var exps []Experiment
+	for i := 0; i < 16; i++ {
+		sleep := time.Duration(16-i) * time.Millisecond
+		exps = append(exps, synth(fmt.Sprintf("s%02d", i), sleep, fmt.Sprintf("body-%d", i)))
+	}
+	want := serialOutput(exps, true)
+	for _, workers := range []int{1, 2, 8, 32} {
+		var sb strings.Builder
+		results := Run(&sb, exps, RunnerConfig{Parallel: workers, Quick: true})
+		if got := sb.String(); got != want {
+			t.Fatalf("parallel=%d output differs from serial:\n got: %q\nwant: %q", workers, got, want)
+		}
+		if len(results) != len(exps) {
+			t.Fatalf("parallel=%d: %d results, want %d", workers, len(results), len(exps))
+		}
+		for i, r := range results {
+			if r.ID != exps[i].ID {
+				t.Fatalf("result %d has ID %q, want %q", i, r.ID, exps[i].ID)
+			}
+			if r.Failed() {
+				t.Fatalf("%s unexpectedly failed: %s", r.ID, r.Err)
+			}
+			if !strings.Contains(r.Output, exps[i].Title) {
+				t.Fatalf("%s output missing header: %q", r.ID, r.Output)
+			}
+		}
+	}
+}
+
+func TestRunDefaultsAndEmpty(t *testing.T) {
+	var sb strings.Builder
+	if results := Run(&sb, nil, RunnerConfig{}); len(results) != 0 {
+		t.Fatalf("empty run returned %d results", len(results))
+	}
+	// Parallel <= 0 falls back to GOMAXPROCS and still works.
+	results := Run(&sb, []Experiment{synth("one", 0, "x")}, RunnerConfig{Parallel: -3})
+	if len(results) != 1 || results[0].Failed() {
+		t.Fatalf("default-parallel run broken: %+v", results)
+	}
+}
+
+func TestRunContainsPanics(t *testing.T) {
+	exps := []Experiment{
+		synth("a", 0, "ok-a"),
+		{ID: "boom", Title: "panicking experiment", Paper: "n/a",
+			Run: func(w io.Writer, _ bool) {
+				fmt.Fprintln(w, "partial output")
+				panic("kaboom")
+			}},
+		synth("z", 0, "ok-z"),
+	}
+	var sb strings.Builder
+	results := Run(&sb, exps, RunnerConfig{Parallel: 2, Quick: true})
+	if results[0].Failed() || results[2].Failed() {
+		t.Fatalf("healthy experiments failed: %+v", results)
+	}
+	r := results[1]
+	if !r.Failed() || !strings.Contains(r.Err, "panic: kaboom") {
+		t.Fatalf("panic not captured: %+v", r)
+	}
+	if !strings.Contains(r.Output, "partial output") {
+		t.Fatalf("output before the panic lost: %q", r.Output)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "!!! boom failed: panic: kaboom") {
+		t.Fatalf("error trailer missing from stream:\n%s", out)
+	}
+	if !strings.Contains(out, "ok-a") || !strings.Contains(out, "ok-z") {
+		t.Fatalf("panic killed the sweep:\n%s", out)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	exps := []Experiment{
+		{ID: "stuck", Title: "never finishes", Paper: "n/a",
+			Run: func(w io.Writer, _ bool) {
+				fmt.Fprintln(w, "started")
+				<-block
+			}},
+		synth("after", 0, "still-runs"),
+	}
+	var sb strings.Builder
+	start := time.Now()
+	results := Run(&sb, exps, RunnerConfig{Parallel: 2, Quick: true, Timeout: 30 * time.Millisecond})
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("timed-out experiment blocked the runner for %s", el)
+	}
+	r := results[0]
+	if !r.Failed() || !strings.Contains(r.Err, "timeout after") {
+		t.Fatalf("timeout not reported: %+v", r)
+	}
+	if r.WallTime < 30*time.Millisecond {
+		t.Fatalf("timeout wall time %s below the limit", r.WallTime)
+	}
+	if !strings.Contains(r.Output, "started") {
+		t.Fatalf("partial output of timed-out run lost: %q", r.Output)
+	}
+	if results[1].Failed() {
+		t.Fatalf("experiment after the timeout failed: %+v", results[1])
+	}
+	if !strings.Contains(sb.String(), "!!! stuck failed: timeout") {
+		t.Fatalf("stream missing timeout trailer:\n%s", sb.String())
+	}
+}
+
+func TestRunAllEqualsRegistryOrder(t *testing.T) {
+	// RunAll must keep its historical contract: every registered
+	// experiment, ID order. Compare against All() without executing the
+	// (slow) experiments — the runner itself is covered above.
+	all := All()
+	if len(all) == 0 {
+		t.Fatal("registry empty")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatal("All() not in ID order")
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	in := []Result{
+		{ID: "fig3", Title: "t", WallTime: 1500 * time.Millisecond, Output: "rows\n"},
+		{ID: "fig5", Title: "u", WallTime: time.Millisecond, Output: "", Err: "panic: x"},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []Result
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("emitted JSON not well-formed: %v\n%s", err, sb.String())
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("record %d round-tripped to %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}

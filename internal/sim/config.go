@@ -181,17 +181,33 @@ type MachineBConfig struct {
 	FPGABandwidth float64
 }
 
+// MachineBFastOptions returns the low-latency FPGA tuning (60 cycles,
+// 10 GB/s — future high-end CXL memory).
+func MachineBFastOptions() MachineBConfig {
+	return MachineBConfig{FPGALatency: 60, FPGABandwidth: 10e9}
+}
+
+// MachineBSlowOptions returns the high-latency FPGA tuning (200 cycles,
+// 1.5 GB/s — medium-tier CXL storage).
+func MachineBSlowOptions() MachineBConfig {
+	return MachineBConfig{FPGALatency: 200, FPGABandwidth: 1.5e9}
+}
+
 // MachineBFast returns Machine B with the low-latency FPGA
 // configuration (60 cycles, 10 GB/s — future high-end CXL memory).
-func MachineBFast() *Machine {
-	return MachineB(MachineBConfig{FPGALatency: 60, FPGABandwidth: 10e9})
-}
+func MachineBFast() *Machine { return MachineB(MachineBFastOptions()) }
 
 // MachineBSlow returns Machine B with the high-latency FPGA
 // configuration (200 cycles, 1.5 GB/s — medium-tier CXL storage).
-func MachineBSlow() *Machine {
-	return MachineB(MachineBConfig{FPGALatency: 200, FPGABandwidth: 1.5e9})
-}
+func MachineBSlow() *Machine { return MachineB(MachineBSlowOptions()) }
+
+// ConfigBFast returns Machine B-fast's full configuration, for
+// experiments that need to ablate one knob before construction.
+func ConfigBFast() Config { return ConfigB(MachineBFastOptions()) }
+
+// ConfigBSlow returns Machine B-slow's full configuration, for
+// experiments that need to ablate one knob before construction.
+func ConfigBSlow() Config { return ConfigB(MachineBSlowOptions()) }
 
 // MachineB returns the paper's Machine B: an ARM ThunderX-1-like CPU
 // (128 B lines, weak memory model, lazy store-buffer drain) that

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"prestores/internal/cache"
 	"prestores/internal/units"
@@ -24,10 +25,14 @@ const (
 
 // String returns the op name.
 func (o PrestoreOp) String() string {
-	if o == Demote {
+	switch o {
+	case Demote:
 		return "demote"
+	case Clean:
+		return "clean"
+	default:
+		return fmt.Sprintf("PrestoreOp(%d)", int(o))
 	}
-	return "clean"
 }
 
 // CoreStats aggregates per-core counters.
@@ -193,8 +198,12 @@ func (c *Core) Read(addr uint64, buf []byte) {
 	c.emit(OpLoad, addr, uint64(len(buf)), c.now-start)
 }
 
-// readLines performs the timing of a [addr, addr+n) load.
+// readLines performs the timing of a [addr, addr+n) load. A
+// zero-length load touches no line and is free.
 func (c *Core) readLines(addr, n uint64) {
+	if n == 0 {
+		return
+	}
 	end := addr + n
 	first := c.lineBase(addr)
 	if first+c.m.cfg.LineSize >= end {

@@ -23,6 +23,46 @@ func TestReadAfterWrite(t *testing.T) {
 	}
 }
 
+func TestZeroLengthReadIsFree(t *testing.T) {
+	m := MachineA()
+	c := m.Core(0)
+	// Aligned and unaligned zero-byte reads: no line load, no cycles,
+	// no load counted.
+	for _, addr := range []uint64{pmemAddr(0), pmemAddr(13)} {
+		before := c.Now()
+		loads := c.Stats().Loads
+		c.Read(addr, nil)
+		c.Read(addr, []byte{})
+		if c.Stats().Loads != loads {
+			t.Fatalf("zero-length read at %#x counted %d loads",
+				addr, c.Stats().Loads-loads)
+		}
+		if c.Now() != before {
+			t.Fatalf("zero-length read at %#x cost %d cycles", addr, c.Now()-before)
+		}
+	}
+	// A one-byte read still pays.
+	var b [1]byte
+	c.Read(pmemAddr(0), b[:])
+	if c.Stats().Loads != 1 {
+		t.Fatalf("1-byte read counted %d loads, want 1", c.Stats().Loads)
+	}
+}
+
+func TestPrestoreOpStringOutOfRange(t *testing.T) {
+	cases := map[PrestoreOp]string{
+		Demote:         "demote",
+		Clean:          "clean",
+		PrestoreOp(2):  "PrestoreOp(2)",
+		PrestoreOp(-1): "PrestoreOp(-1)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("PrestoreOp(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
 func TestReadAfterWriteQuick(t *testing.T) {
 	m := MachineA()
 	c := m.Core(0)

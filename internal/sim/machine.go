@@ -253,16 +253,19 @@ func (q *wbQueue) enqueue(coreNow, dataReady units.Cycles, addr, size uint64, de
 		q.inflight = make(map[uint64]units.Cycles)
 	}
 	q.reap(coreNow)
-	if len(q.pending) >= q.cap {
-		wait := q.pending[0]
-		if wait > coreNow {
+	// A full queue exerts back-pressure: the core stalls until enough
+	// older write-backs have been accepted downstream. Accept times are
+	// not globally monotonic (cores with different clocks share the
+	// queue across devices of different speeds), so one stall may not
+	// free a slot — stall to each successive accept time rather than
+	// dropping the oldest entry, which would under-count stalls and
+	// break the capacity invariant.
+	for q.cap > 0 && len(q.pending) >= q.cap {
+		if wait := q.pending[0]; wait > coreNow {
 			q.stalls += wait - coreNow
 			coreNow = wait
 		}
-		q.reap(coreNow)
-		if len(q.pending) >= q.cap { // still full: force the oldest out
-			q.pending = q.pending[1:]
-		}
+		q.reap(coreNow) // retires at least the oldest entry
 	}
 	start := coreNow
 	if dataReady > start {

@@ -221,6 +221,76 @@ func TestRemoteInvalidationOnRFO(t *testing.T) {
 	}
 }
 
+// scriptedDev is a memdev.Device whose WriteLine returns a
+// pre-scripted sequence of accept times, so tests can force the
+// non-monotonic accept orders a shared queue sees when devices of
+// different speeds (or cores with different clocks) interleave.
+type scriptedDev struct {
+	accepts []units.Cycles
+	i       int
+}
+
+func (d *scriptedDev) Name() string                 { return "scripted" }
+func (d *scriptedDev) Kind() memdev.Kind            { return memdev.KindDRAM }
+func (d *scriptedDev) InternalGranularity() uint64  { return 64 }
+func (d *scriptedDev) ReadLatency() units.Cycles    { return 1 }
+func (d *scriptedDev) Stats() memdev.Stats          { return memdev.Stats{} }
+func (d *scriptedDev) ResetStats()                  {}
+func (d *scriptedDev) Flush(now units.Cycles) units.Cycles           { return now }
+func (d *scriptedDev) DirectoryAccess(now units.Cycles) units.Cycles { return now }
+func (d *scriptedDev) ReadLine(now units.Cycles, addr, size uint64) units.Cycles {
+	return now
+}
+func (d *scriptedDev) WriteLine(now units.Cycles, addr, size uint64) units.Cycles {
+	a := d.accepts[d.i]
+	d.i++
+	return a
+}
+
+// TestWBQueueBackPressureNonMonotonic locks in the full-queue contract:
+// a core stalls until a slot frees — even when accept times are out of
+// FIFO order — and no pending entry is ever dropped, so every stall
+// cycle is accounted and the capacity invariant holds.
+func TestWBQueueBackPressureNonMonotonic(t *testing.T) {
+	dev := &scriptedDev{accepts: []units.Cycles{100, 90, 300, 120, 310}}
+	devFor := func(uint64) memdev.Device { return dev }
+	q := &wbQueue{cap: 2}
+
+	check := func(step int, gotNow, wantNow units.Cycles, wantStalls uint64) {
+		t.Helper()
+		if gotNow != wantNow {
+			t.Fatalf("step %d: coreNow = %d, want %d", step, gotNow, wantNow)
+		}
+		if q.stalls != wantStalls {
+			t.Fatalf("step %d: stalls = %d, want %d", step, q.stalls, wantStalls)
+		}
+		if len(q.pending) > q.cap {
+			t.Fatalf("step %d: %d pending entries exceed cap %d", step, len(q.pending), q.cap)
+		}
+	}
+
+	now, _ := q.enqueue(0, 0, 0, 64, devFor) // accept 100
+	check(1, now, 0, 0)
+	now, _ = q.enqueue(0, 0, 64, 64, devFor) // accept 90: older entry finishes later
+	check(2, now, 0, 0)
+	// Queue full. The oldest accept (100) gates the third enqueue; the
+	// stall retires both entries (90 completed earlier, out of order).
+	now, _ = q.enqueue(0, 0, 128, 64, devFor) // accept 300
+	check(3, now, 100, 100)
+	if len(q.pending) != 1 {
+		t.Fatalf("step 3: %d pending, want 1", len(q.pending))
+	}
+	now, _ = q.enqueue(100, 100, 192, 64, devFor) // accept 120
+	check(4, now, 100, 100)
+	// Full again with pending = [300, 120]: the stall must reach 300
+	// (not drop the oldest), adding 200 more stall cycles.
+	now, _ = q.enqueue(100, 100, 256, 64, devFor) // accept 310
+	check(5, now, 300, 300)
+	if len(q.pending) != 1 || q.pending[0] != 310 {
+		t.Fatalf("step 5: pending = %v, want [310]", q.pending)
+	}
+}
+
 func TestDrainModeString(t *testing.T) {
 	if DrainEager.String() != "eager" || DrainLazy.String() != "lazy" {
 		t.Fatal("drain mode names")

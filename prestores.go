@@ -59,6 +59,12 @@ type (
 	// MachineConfig describes a machine; use NewMachine for custom
 	// topologies.
 	MachineConfig = sim.Config
+	// MachineBConfig parameterizes Machine B's FPGA memory: unloaded
+	// access latency in CPU cycles and link bandwidth in bytes per
+	// second. Pass it to NewMachineB, or use MachineBFastConfig /
+	// MachineBSlowConfig for the paper's two tunings as full
+	// MachineConfig values.
+	MachineBConfig = sim.MachineBConfig
 	// Region is an allocated range of simulated physical memory.
 	Region = memspace.Region
 	// PrestoreOp selects the pre-store operation.
@@ -105,12 +111,29 @@ func NewMachineBFast() *Machine { return sim.MachineBFast() }
 func NewMachineBSlow() *Machine { return sim.MachineBSlow() }
 
 // NewMachine builds a machine from a custom configuration. See
-// sim.ConfigA / sim.ConfigB via MachineAConfig / MachineBConfig below
-// for starting points.
+// MachineAConfig / MachineBFastConfig / MachineBSlowConfig below for
+// starting points.
 func NewMachine(cfg MachineConfig) *Machine { return sim.NewMachine(cfg) }
+
+// NewMachineB builds Machine B with a custom FPGA tuning: the ARM
+// testbed of NewMachineBFast / NewMachineBSlow with the remote memory's
+// latency and bandwidth set from bc.
+func NewMachineB(bc MachineBConfig) *Machine { return sim.MachineB(bc) }
 
 // MachineAConfig returns Machine A's configuration for customization.
 func MachineAConfig() MachineConfig { return sim.ConfigA() }
+
+// MachineBFastConfig returns Machine B's low-latency FPGA configuration
+// (60-cycle access, 10 GB/s) for customization.
+func MachineBFastConfig() MachineConfig { return sim.ConfigBFast() }
+
+// MachineBSlowConfig returns Machine B's high-latency FPGA
+// configuration (200-cycle access, 1.5 GB/s) for customization.
+func MachineBSlowConfig() MachineConfig { return sim.ConfigBSlow() }
+
+// MachineBConfigFor returns Machine B's configuration for an arbitrary
+// FPGA tuning, for customization beyond the two paper presets.
+func MachineBConfigFor(bc MachineBConfig) MachineConfig { return sim.ConfigB(bc) }
 
 // Prestore issues a pre-store over [addr, addr+size) on cpu. It is
 // equivalent to cpu.Prestore and exists to mirror the paper's free

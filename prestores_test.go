@@ -58,6 +58,39 @@ func TestCustomMachine(t *testing.T) {
 	}
 }
 
+// TestCustomMachineB exercises the Machine B customization surface the
+// package doc promises: full-config helpers for both FPGA tunings and
+// NewMachineB for arbitrary ones.
+func TestCustomMachineB(t *testing.T) {
+	cfg := prestores.MachineBFastConfig()
+	cfg.Cores = 2
+	m := prestores.NewMachine(cfg)
+	if m.Cores() != 2 || m.LineSize() != 128 {
+		t.Fatalf("customized B-fast: cores=%d line=%d", m.Cores(), m.LineSize())
+	}
+	fast := prestores.NewMachine(prestores.MachineBFastConfig())
+	slow := prestores.NewMachine(prestores.MachineBSlowConfig())
+	fl := fast.Device(prestores.WindowRemote).ReadLatency()
+	sl := slow.Device(prestores.WindowRemote).ReadLatency()
+	if fl != 60 || sl != 200 {
+		t.Fatalf("B config latencies = %d / %d, want 60 / 200", fl, sl)
+	}
+	custom := prestores.NewMachineB(prestores.MachineBConfig{
+		FPGALatency:   120,
+		FPGABandwidth: 5e9,
+	})
+	if got := custom.Device(prestores.WindowRemote).ReadLatency(); got != 120 {
+		t.Fatalf("custom B latency = %d, want 120", got)
+	}
+	viaCfg := prestores.NewMachine(prestores.MachineBConfigFor(prestores.MachineBConfig{
+		FPGALatency:   120,
+		FPGABandwidth: 5e9,
+	}))
+	if viaCfg.Device(prestores.WindowRemote).ReadLatency() != 120 {
+		t.Fatal("MachineBConfigFor dropped the FPGA tuning")
+	}
+}
+
 func TestAnalyzePublicSurface(t *testing.T) {
 	rep := prestores.Analyze(prestores.Workload{
 		Name:       "stream",
