@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"prestores/internal/bench"
+	"prestores/internal/sim"
 )
 
 func main() {
@@ -40,6 +42,10 @@ func main() {
 		"per-experiment wall-clock timeout (0 = none)")
 	jsonPath := flag.String("json", "",
 		"also write results as a JSON array to this file")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "",
+		"write a heap profile (taken after the sweep) to this file")
 	flag.Parse()
 
 	var exps []bench.Experiment
@@ -65,11 +71,43 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	sweepStart := time.Now()
+	opsBefore := sim.RetiredOps()
 	results := bench.Run(os.Stdout, exps, bench.RunnerConfig{
 		Parallel: *parallel,
 		Quick:    *quick,
 		Timeout:  *timeout,
 	})
+	sweepOps := sim.RetiredOps() - opsBefore
+	sweepWall := time.Since(sweepStart)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -98,6 +136,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "prestore-bench: %d experiment(s), %s total experiment time, %d failed\n",
 		len(results), wall.Round(time.Millisecond), failed)
+	if s := sweepWall.Seconds(); s > 0 && sweepOps > 0 {
+		fmt.Fprintf(os.Stderr, "prestore-bench: %d simulated ops in %s (%.2f Mops/s host throughput)\n",
+			sweepOps, sweepWall.Round(time.Millisecond), float64(sweepOps)/s/1e6)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

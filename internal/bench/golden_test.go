@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// goldenIDs is a cross-section of the registry covering every subsystem
+// the experiments exercise: directory/drain ablations, both device
+// extensions, the headline figures, the listing microbenchmarks, and
+// the multi-core table.
+var goldenIDs = []string{
+	"ablate-dir", "ablate-drain", "ext-cxlssd", "ext-seqlog",
+	"fig3", "fig5", "listing3", "skipvsclean", "table1", "x9",
+}
+
+// goldenSHA256 is the SHA-256 of the concatenated -quick output of
+// goldenIDs, in that order. The simulator is deterministic by design —
+// fixed seeds, no timing dependence — so this hash must be stable
+// across runs, across -parallel settings, and across performance
+// refactors. If an intentional model change shifts the numbers, rerun
+//
+//	go run ./cmd/prestore-bench -quick -run \
+//	  ablate-dir,ablate-drain,ext-cxlssd,ext-seqlog,fig3,fig5,listing3,skipvsclean,table1,x9 \
+//	  | sha256sum
+//
+// and update the constant in the same commit that explains the change.
+const goldenSHA256 = "001281f3bccc41f60a5ad26f76bf982231f2806b799de97970a160407ddb3424"
+
+// TestGoldenOutput locks the experiment output down to the byte. It is
+// the regression oracle that lets hot-path rewrites proceed safely:
+// any accidental change to timing, accounting, or formatting shows up
+// as a hash mismatch here before it silently corrupts paper figures.
+func TestGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden cross-section takes a few seconds; skipped with -short")
+	}
+	exps := make([]Experiment, 0, len(goldenIDs))
+	for _, id := range goldenIDs {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	var buf bytes.Buffer
+	results := Run(&buf, exps, RunnerConfig{Parallel: 4, Quick: true})
+	var totalOps uint64
+	for i := range results {
+		if results[i].Failed() {
+			t.Fatalf("%s failed: %s", results[i].ID, results[i].Err)
+		}
+		totalOps += results[i].SimOps
+	}
+	// Per-experiment SimOps is approximate under parallel runs (ops land
+	// in a shared process-wide counter), but the sweep total must move.
+	if totalOps == 0 {
+		t.Error("sweep retired zero simulated ops")
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != goldenSHA256 {
+		t.Errorf("golden output hash = %s; want %s\n"+
+			"If the model changed intentionally, update goldenSHA256 (see comment).", got, goldenSHA256)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"prestores/internal/sim"
 )
 
 // Result records one experiment execution under the runner: what ran,
@@ -19,8 +21,16 @@ type Result struct {
 	ID       string        `json:"id"`
 	Title    string        `json:"title"`
 	WallTime time.Duration `json:"wall_time_ns"`
-	Output   string        `json:"output"`
-	Err      string        `json:"err,omitempty"`
+	// SimOps is the number of simulated operations the process retired
+	// while this experiment ran, and SimOpsPerSec divides it by the
+	// wall time: the simulator's host-side throughput. With Parallel > 1
+	// concurrent experiments retire ops into the same process-wide
+	// counter, so per-experiment figures are exact only at -parallel 1;
+	// the sweep-wide aggregate is always meaningful.
+	SimOps       uint64  `json:"sim_ops"`
+	SimOpsPerSec float64 `json:"sim_ops_per_sec"`
+	Output       string  `json:"output"`
+	Err          string  `json:"err,omitempty"`
 }
 
 // Failed reports whether the experiment did not complete normally.
@@ -133,6 +143,7 @@ func (b *syncBuffer) String() string {
 func runGuarded(e Experiment, quick bool, timeout time.Duration) Result {
 	buf := &syncBuffer{}
 	start := time.Now()
+	opsBefore := sim.RetiredOps()
 	errc := make(chan string, 1) // buffered: an abandoned run must not block
 	go func() {
 		var errText string
@@ -158,6 +169,10 @@ func runGuarded(e Experiment, quick bool, timeout time.Duration) Result {
 		}
 	}
 	res.WallTime = time.Since(start)
+	res.SimOps = sim.RetiredOps() - opsBefore
+	if s := res.WallTime.Seconds(); s > 0 {
+		res.SimOpsPerSec = float64(res.SimOps) / s
+	}
 	res.Output = buf.String()
 	return res
 }

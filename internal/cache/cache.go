@@ -99,18 +99,39 @@ type Eviction struct {
 	Dirty bool
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	use   uint64 // LRU timestamp
-	seq   uint64 // FIFO insertion sequence
-	rrpv  uint8  // SRRIP re-reference prediction value (0 = imminent)
-}
+// Per-line metadata is split into parallel arrays (see set): an 8-byte
+// recency/insertion stamp and a flags byte packing the dirty bit with
+// the 2-bit SRRIP re-reference prediction value.
+const (
+	dirtyBit  uint8 = 1 << 0
+	rrpvShift       = 1
+	rrpvMask  uint8 = 3 << rrpvShift
+)
 
+// invalidTag marks an empty way in a set's tag array. Real tags are
+// line addresses shifted right by the line bits, so all-ones can never
+// occur.
+const invalidTag = ^uint64(0)
+
+// set keeps per-way metadata in parallel dense arrays: the tag scan is
+// the single hottest loop in the simulator, and the large-LLC metadata
+// working set is what the simulator itself misses on, so every way
+// costs 17 bytes (tag + stamp + flags) instead of a 48-byte struct.
+//
+// stamps holds one timestamp per way. For FIFO caches it is the
+// insertion tick (hits do not refresh it); for every other policy it is
+// the last-use tick. Only one of the two meanings is ever read, because
+// a cache has exactly one replacement policy.
 type set struct {
-	lines []line
-	plru  uint64 // tree-PLRU bits
+	tags   []uint64 // line address per way, invalidTag when empty
+	stamps []uint64 // recency (or FIFO insertion) tick per way
+	flags  []uint8  // dirtyBit | rrpv<<rrpvShift per way
+	nvalid int
+	plru   uint64 // tree-PLRU bits
+	// mru is a way predictor: the way of the set's most recent hit or
+	// fill, checked before the tag scan. Tags are unique within a set,
+	// so a predictor hit returns the same way the scan would.
+	mru uint8
 }
 
 // Cache is one level of a set-associative cache. It is not safe for
@@ -119,16 +140,30 @@ type Cache struct {
 	cfg      Config
 	sets     []set
 	setMask  uint64
+	setBits  uint
 	lineBits uint
 	tick     uint64
 	rng      *xrand.PCG
 	stats    Stats
+
+	// Precomputed tree-PLRU update masks, indexed by way: touching way
+	// i sets plruSet[i] and clears plruClr[i]. The tree walk depends
+	// only on (i, ways), so hoisting it out of touchPLRU turns the
+	// per-access update into two mask operations. Both masks are zero
+	// for non-power-of-two way counts (PLRU falls back to LRU there).
+	plruSet []uint64
+	plruClr []uint64
+
+	waysPow2 bool
+	// stampOnHit is false for FIFO, whose victim choice depends on
+	// insertion order: hits must then leave the stamp alone.
+	stampOnHit bool
 }
 
 // New returns a cache for cfg. It panics on inconsistent geometry so
 // that a bad machine description fails loudly at construction.
 func New(cfg Config) *Cache {
-	if cfg.Ways <= 0 || cfg.LineSize == 0 || cfg.Size == 0 {
+	if cfg.Ways <= 0 || cfg.Ways > 256 || cfg.LineSize == 0 || cfg.Size == 0 {
 		panic(fmt.Sprintf("cache %q: invalid geometry %+v", cfg.Name, cfg))
 	}
 	if !units.IsPow2(cfg.LineSize) {
@@ -143,14 +178,45 @@ func New(cfg Config) *Cache {
 		cfg.RandomMix = 0.3
 	}
 	c := &Cache{
-		cfg:      cfg,
-		sets:     make([]set, nsets),
-		setMask:  nsets - 1,
-		lineBits: units.Log2(cfg.LineSize),
-		rng:      xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		cfg:        cfg,
+		sets:       make([]set, nsets),
+		setMask:    nsets - 1,
+		setBits:    units.Log2(nsets),
+		lineBits:   units.Log2(cfg.LineSize),
+		rng:        xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		waysPow2:   units.IsPow2(uint64(cfg.Ways)),
+		stampOnHit: cfg.Policy != FIFO,
 	}
+	c.plruSet = make([]uint64, cfg.Ways)
+	c.plruClr = make([]uint64, cfg.Ways)
+	if c.waysPow2 && cfg.Ways >= 2 {
+		for i := 0; i < cfg.Ways; i++ {
+			node, lo, span := 1, 0, cfg.Ways
+			for span > 1 {
+				half := span / 2
+				if i < lo+half {
+					c.plruSet[i] |= 1 << uint(node) // left recent
+					node = node * 2
+				} else {
+					c.plruClr[i] |= 1 << uint(node) // right recent
+					lo += half
+					node = node*2 + 1
+				}
+				span = half
+			}
+		}
+	}
+	tags := make([]uint64, len(c.sets)*cfg.Ways)
+	for i := range tags {
+		tags[i] = invalidTag
+	}
+	stamps := make([]uint64, len(c.sets)*cfg.Ways)
+	flags := make([]uint8, len(c.sets)*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i].lines = make([]line, cfg.Ways)
+		lo, hi := i*cfg.Ways, (i+1)*cfg.Ways
+		c.sets[i].tags = tags[lo:hi:hi]
+		c.sets[i].stamps = stamps[lo:hi:hi]
+		c.sets[i].flags = flags[lo:hi:hi]
 	}
 	return c
 }
@@ -181,15 +247,19 @@ func (c *Cache) locate(addr uint64) (int, uint64) {
 // hashSet folds the upper line-address bits into the set index.
 func (c *Cache) hashSet(lineAddr uint64) uint64 {
 	h := lineAddr
-	h ^= h >> units.Log2(uint64(len(c.sets)))
+	h ^= h >> c.setBits
 	h *= 0x9e3779b97f4a7c15
 	h ^= h >> 29
 	return h & c.setMask
 }
 
 func (s *set) find(tag uint64) int {
-	for i := range s.lines {
-		if s.lines[i].valid && s.lines[i].tag == tag {
+	if i := int(s.mru); s.tags[i] == tag {
+		return i
+	}
+	for i, t := range s.tags {
+		if t == tag {
+			s.mru = uint8(i)
 			return i
 		}
 	}
@@ -208,7 +278,7 @@ func (c *Cache) IsDirty(addr uint64) bool {
 	si, tag := c.locate(addr)
 	s := &c.sets[si]
 	i := s.find(tag)
-	return i >= 0 && s.lines[i].dirty
+	return i >= 0 && s.flags[i]&dirtyBit != 0
 }
 
 // Access looks up the line containing addr, filling it on a miss.
@@ -220,17 +290,57 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Eviction, evicted 
 	s := &c.sets[si]
 	if i := s.find(tag); i >= 0 {
 		c.stats.Hits++
-		s.lines[i].use = c.tick
-		s.lines[i].rrpv = 0 // hit promotion
-		if write {
-			s.lines[i].dirty = true
+		if c.stampOnHit {
+			s.stamps[i] = c.tick
 		}
+		f := s.flags[i] &^ rrpvMask // hit promotion
+		if write {
+			f |= dirtyBit
+		}
+		s.flags[i] = f
 		c.touchPLRU(s, i)
 		return true, Eviction{}, false
 	}
 	c.stats.Misses++
 	ev, evicted = c.fill(si, tag, write)
 	return false, ev, evicted
+}
+
+// Touch looks up the line containing addr and, if present, performs
+// exactly what Access does on a hit: the hit is counted, recency state
+// is updated, and write marks the line dirty. An absent line is left
+// alone — no fill, no miss counted. It is the fused equivalent of the
+// Contains-then-Access sequence the simulator core issues on its load
+// and RFO hit paths, saving the second tag lookup.
+func (c *Cache) Touch(addr uint64, write bool) bool {
+	si, tag := c.locate(addr)
+	s := &c.sets[si]
+	i := s.find(tag)
+	if i < 0 {
+		return false
+	}
+	c.tick++
+	c.stats.Hits++
+	if c.stampOnHit {
+		s.stamps[i] = c.tick
+	}
+	f := s.flags[i] &^ rrpvMask // hit promotion
+	if write {
+		f |= dirtyBit
+	}
+	s.flags[i] = f
+	c.touchPLRU(s, i)
+	return true
+}
+
+// Fill inserts a line the caller has just probed and knows to be
+// absent: Insert minus the redundant tag lookup. Calling it for a
+// present line would duplicate the line; callers must hold a
+// just-checked miss.
+func (c *Cache) Fill(addr uint64, dirty bool) (ev Eviction, evicted bool) {
+	c.tick++
+	si, tag := c.locate(addr)
+	return c.fill(si, tag, dirty)
 }
 
 // Insert places the line containing addr into the cache without
@@ -242,8 +352,12 @@ func (c *Cache) Insert(addr uint64, dirty bool) (ev Eviction, evicted bool) {
 	si, tag := c.locate(addr)
 	s := &c.sets[si]
 	if i := s.find(tag); i >= 0 {
-		s.lines[i].use = c.tick
-		s.lines[i].dirty = s.lines[i].dirty || dirty
+		if c.stampOnHit {
+			s.stamps[i] = c.tick
+		}
+		if dirty {
+			s.flags[i] |= dirtyBit
+		}
 		c.touchPLRU(s, i)
 		return Eviction{}, false
 	}
@@ -254,24 +368,34 @@ func (c *Cache) fill(si int, tag uint64, dirty bool) (ev Eviction, evicted bool)
 	s := &c.sets[si]
 	c.stats.Fills++
 	victim := -1
-	for i := range s.lines {
-		if !s.lines[i].valid {
-			victim = i
-			break
+	if s.nvalid < len(s.tags) { // a full set has no free way to scan for
+		for i, t := range s.tags {
+			if t == invalidTag {
+				victim = i
+				break
+			}
 		}
 	}
 	if victim < 0 {
 		victim = c.pickVictim(s)
-		old := &s.lines[victim]
-		ev = Eviction{Addr: c.reconstruct(si, old.tag), Dirty: old.dirty}
+		oldDirty := s.flags[victim]&dirtyBit != 0
+		ev = Eviction{Addr: c.reconstruct(si, s.tags[victim]), Dirty: oldDirty}
 		evicted = true
 		c.stats.Evictions++
-		if old.dirty {
+		if oldDirty {
 			c.stats.DirtyEvictions++
 		}
+	} else {
+		s.nvalid++
 	}
-	s.lines[victim] = line{tag: tag, valid: true, dirty: dirty, use: c.tick, seq: c.tick,
-		rrpv: srripInsert}
+	s.tags[victim] = tag
+	s.stamps[victim] = c.tick
+	s.mru = uint8(victim)
+	f := uint8(srripInsert << rrpvShift)
+	if dirty {
+		f |= dirtyBit
+	}
+	s.flags[victim] = f
 	c.touchPLRU(s, victim)
 	return ev, evicted
 }
@@ -286,13 +410,13 @@ const (
 // set until one exists.
 func (c *Cache) srripVictim(s *set) int {
 	for {
-		for i := range s.lines {
-			if s.lines[i].rrpv >= srripMax {
+		for i, f := range s.flags {
+			if f>>rrpvShift >= srripMax {
 				return i
 			}
 		}
-		for i := range s.lines {
-			s.lines[i].rrpv++
+		for i := range s.flags {
+			s.flags[i] += 1 << rrpvShift
 		}
 	}
 }
@@ -307,17 +431,17 @@ func (c *Cache) reconstruct(si int, tag uint64) uint64 {
 
 func (c *Cache) pickVictim(s *set) int {
 	switch c.cfg.Policy {
-	case LRU:
-		return oldestBy(s.lines, func(l *line) uint64 { return l.use })
-	case FIFO:
-		return oldestBy(s.lines, func(l *line) uint64 { return l.seq })
+	case LRU, FIFO:
+		// Both pick the minimum stamp; the stamp's meaning (last use
+		// vs insertion) is fixed per policy by stampOnHit.
+		return oldest(s.stamps)
 	case Random:
-		return c.rng.Intn(len(s.lines))
+		return c.rng.Intn(len(s.stamps))
 	case PLRU:
 		return c.plruVictim(s)
 	case QLRU:
 		if c.rng.Float64() < c.cfg.RandomMix {
-			return c.rng.Intn(len(s.lines))
+			return c.rng.Intn(len(s.stamps))
 		}
 		return c.plruVictim(s)
 	case SRRIP:
@@ -327,10 +451,10 @@ func (c *Cache) pickVictim(s *set) int {
 	}
 }
 
-func oldestBy(lines []line, key func(*line) uint64) int {
+func oldest(stamps []uint64) int {
 	best, bestKey := 0, ^uint64(0)
-	for i := range lines {
-		if k := key(&lines[i]); k < bestKey {
+	for i, k := range stamps {
+		if k < bestKey {
 			best, bestKey = i, k
 		}
 	}
@@ -340,43 +464,27 @@ func oldestBy(lines []line, key func(*line) uint64) int {
 // plruVictim walks the PLRU tree away from recently-used leaves. For
 // non-power-of-two way counts it falls back to LRU.
 func (c *Cache) plruVictim(s *set) int {
-	ways := len(s.lines)
-	if !units.IsPow2(uint64(ways)) {
-		return oldestBy(s.lines, func(l *line) uint64 { return l.use })
+	ways := len(s.tags)
+	if !c.waysPow2 {
+		return oldest(s.stamps)
 	}
+	// touchPLRU sets a node's bit when the left half was used recently,
+	// so a set bit sends the victim walk right. The walk is branchless:
+	// PLRU bits are effectively random, so a conditional here would
+	// mispredict half the time at every level.
 	idx, node := 0, 1
-	for span := ways; span > 1; span /= 2 {
-		// touchPLRU sets the bit when the left half was used recently,
-		// so a set bit sends the victim walk right.
-		if (s.plru>>uint(node))&1 == 1 {
-			idx += span / 2
-			node = node*2 + 1
-		} else {
-			node = node * 2
-		}
+	for span := ways; span > 1; span >>= 1 {
+		b := int((s.plru >> uint(node)) & 1)
+		idx += b * (span >> 1)
+		node = node*2 + b
 	}
 	return idx
 }
 
-// touchPLRU updates the PLRU tree bits to point away from way i.
+// touchPLRU updates the PLRU tree bits to point away from way i, using
+// the masks precomputed in New (no-ops for non-power-of-two way counts).
 func (c *Cache) touchPLRU(s *set, i int) {
-	ways := len(s.lines)
-	if !units.IsPow2(uint64(ways)) || ways < 2 {
-		return
-	}
-	node, lo, span := 1, 0, ways
-	for span > 1 {
-		half := span / 2
-		if i < lo+half {
-			s.plru |= 1 << uint(node) // left recent
-			node = node * 2
-		} else {
-			s.plru &^= 1 << uint(node) // right recent
-			lo += half
-			node = node*2 + 1
-		}
-		span = half
-	}
+	s.plru = (s.plru &^ c.plruClr[i]) | c.plruSet[i]
 }
 
 // CleanLine transitions the line containing addr from dirty to clean,
@@ -385,8 +493,8 @@ func (c *Cache) touchPLRU(s *set, i int) {
 func (c *Cache) CleanLine(addr uint64) (wasDirty bool) {
 	si, tag := c.locate(addr)
 	s := &c.sets[si]
-	if i := s.find(tag); i >= 0 && s.lines[i].dirty {
-		s.lines[i].dirty = false
+	if i := s.find(tag); i >= 0 && s.flags[i]&dirtyBit != 0 {
+		s.flags[i] &^= dirtyBit
 		c.stats.Cleans++
 		return true
 	}
@@ -399,8 +507,11 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	si, tag := c.locate(addr)
 	s := &c.sets[si]
 	if i := s.find(tag); i >= 0 {
-		present, dirty = true, s.lines[i].dirty
-		s.lines[i] = line{}
+		present, dirty = true, s.flags[i]&dirtyBit != 0
+		s.tags[i] = invalidTag
+		s.stamps[i] = 0
+		s.flags[i] = 0
+		s.nvalid--
 		c.stats.Invalidations++
 	}
 	return present, dirty
@@ -412,9 +523,9 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 func (c *Cache) DirtyLines(fn func(addr uint64)) {
 	for si := range c.sets {
 		s := &c.sets[si]
-		for li := range s.lines {
-			if s.lines[li].valid && s.lines[li].dirty {
-				fn(c.reconstruct(si, s.lines[li].tag))
+		for li, tag := range s.tags {
+			if tag != invalidTag && s.flags[li]&dirtyBit != 0 {
+				fn(c.reconstruct(si, tag))
 			}
 		}
 	}
@@ -424,11 +535,7 @@ func (c *Cache) DirtyLines(fn func(addr uint64)) {
 func (c *Cache) ValidLines() int {
 	n := 0
 	for si := range c.sets {
-		for li := range c.sets[si].lines {
-			if c.sets[si].lines[li].valid {
-				n++
-			}
-		}
+		n += c.sets[si].nvalid
 	}
 	return n
 }
@@ -442,9 +549,13 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // Clear invalidates every line without write-backs (for test setup).
 func (c *Cache) Clear() {
 	for si := range c.sets {
-		for li := range c.sets[si].lines {
-			c.sets[si].lines[li] = line{}
+		s := &c.sets[si]
+		for li := range s.tags {
+			s.tags[li] = invalidTag
+			s.stamps[li] = 0
+			s.flags[li] = 0
 		}
-		c.sets[si].plru = 0
+		s.nvalid = 0
+		s.plru = 0
 	}
 }

@@ -330,3 +330,54 @@ func TestSRRIPCapacity(t *testing.T) {
 		}
 	}
 }
+
+func TestTouchMatchesContainsPlusAccess(t *testing.T) {
+	c := smallCache(LRU)
+	if c.Touch(0x1000, false) {
+		t.Fatal("Touch hit on a cold cache")
+	}
+	if c.Stats().Misses != 0 {
+		t.Fatal("Touch miss counted a miss")
+	}
+	if c.Contains(0x1000) {
+		t.Fatal("Touch miss inserted the line")
+	}
+	c.Access(0x1000, false)
+	if !c.Touch(0x1000, true) {
+		t.Fatal("Touch missed a present line")
+	}
+	if !c.IsDirty(0x1000) {
+		t.Fatal("Touch(write) did not mark line dirty")
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("Hits = %d; want 1 (from Touch)", st.Hits)
+	}
+}
+
+func TestTouchUpdatesRecency(t *testing.T) {
+	c := smallCache(LRU)
+	// Fill one set: lines 0..3 map to the same set (setBits apart).
+	stride := uint64(len(c.sets)) * 64
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*stride, false)
+	}
+	c.Touch(0, false) // refresh line 0: line 1 becomes LRU
+	_, ev, evicted := c.Access(4*stride, false)
+	if !evicted || ev.Addr != stride {
+		t.Fatalf("evicted %v addr %#x; want line %#x", evicted, ev.Addr, stride)
+	}
+}
+
+func TestFillInsertsAbsentLine(t *testing.T) {
+	c := smallCache(LRU)
+	ev, evicted := c.Fill(0x2000, true)
+	if evicted {
+		t.Fatalf("Fill into empty cache evicted %+v", ev)
+	}
+	if !c.Contains(0x2000) || !c.IsDirty(0x2000) {
+		t.Fatal("Fill did not install a dirty line")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Fill touched hit/miss stats: %+v", st)
+	}
+}

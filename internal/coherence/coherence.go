@@ -15,6 +15,7 @@
 package coherence
 
 import (
+	"prestores/internal/flatmap"
 	"prestores/internal/memdev"
 	"prestores/internal/units"
 )
@@ -28,9 +29,16 @@ type lineState struct {
 // Directory tracks private-cache line ownership for all lines backed by
 // one set of devices. OnDie selects an ablation where directory state
 // changes are free (the paper's mechanism removed).
+//
+// Line states are stored by value in an open-addressed flat map: the
+// directory sits on the simulator's per-miss hot path, where a
+// pointer-valued map would allocate a fresh lineState for every line
+// whose entry was dropped by a silent eviction (the common case for
+// streaming workloads), and the built-in map's hashing dominated the
+// profile.
 type Directory struct {
 	dev   func(addr uint64) memdev.Device
-	lines map[uint64]*lineState
+	lines flatmap.Map[lineState]
 	// OnDie, when true, makes directory updates cost nothing; used by
 	// the ablation bench to confirm that the on-device directory is
 	// what makes fences expensive.
@@ -63,18 +71,8 @@ type Stats struct {
 func New(dev func(addr uint64) memdev.Device) *Directory {
 	return &Directory{
 		dev:    dev,
-		lines:  make(map[uint64]*lineState),
 		C2CLat: 60,
 	}
-}
-
-func (d *Directory) state(line uint64) *lineState {
-	s := d.lines[line]
-	if s == nil {
-		s = &lineState{exclusive: -1}
-		d.lines[line] = s
-	}
-	return s
 }
 
 // dirAccess charges one directory round trip.
@@ -91,7 +89,10 @@ func (d *Directory) dirAccess(now units.Cycles, line uint64) units.Cycles {
 // another core (the caller then skips the memory fill).
 func (d *Directory) Read(now units.Cycles, core int, line uint64) (done units.Cycles, dirtyForward bool) {
 	d.stats.Reads++
-	s := d.state(line)
+	s, ok := d.lines.Get(line)
+	if !ok {
+		s.exclusive = -1
+	}
 	done = now
 	if s.exclusive >= 0 && s.exclusive != int8(core) {
 		// Dirty elsewhere: downgrade the owner, forward the line.
@@ -101,6 +102,7 @@ func (d *Directory) Read(now units.Cycles, core int, line uint64) (done units.Cy
 		dirtyForward = true
 	}
 	s.sharers |= 1 << uint(core)
+	d.lines.Put(line, s)
 	return done, dirtyForward
 }
 
@@ -110,7 +112,10 @@ func (d *Directory) Read(now units.Cycles, core int, line uint64) (done units.Cy
 // operation is free — that is the cache-hit fast path.
 func (d *Directory) Write(now units.Cycles, core int, line uint64) (done units.Cycles, invalidated int) {
 	d.stats.Writes++
-	s := d.state(line)
+	s, ok := d.lines.Get(line)
+	if !ok {
+		s.exclusive = -1
+	}
 	if s.exclusive == int8(core) {
 		return now, 0
 	}
@@ -132,21 +137,36 @@ func (d *Directory) Write(now units.Cycles, core int, line uint64) (done units.C
 	}
 	s.sharers = 1 << uint(core)
 	s.exclusive = int8(core)
+	d.lines.Put(line, s)
 	return done, invalidated
 }
 
 // IsExclusive reports whether core already owns the line exclusively
 // (so a store to it needs no directory traffic).
 func (d *Directory) IsExclusive(core int, line uint64) bool {
-	s := d.lines[line]
-	return s != nil && s.exclusive == int8(core)
+	s, ok := d.lines.Get(line)
+	return ok && s.exclusive == int8(core)
+}
+
+// Holds reports whether core owns the line exclusively and whether its
+// sharer bit is set, in one lookup. A clear sharer bit proves the line
+// absent from the core's private caches (every private fill is preceded
+// by a Read/Write that sets the bit, and the bit is only cleared when
+// the copies are gone), so callers may skip tag probes. A set bit may
+// be stale — e.g. after Downgrade — and only licenses a probe.
+func (d *Directory) Holds(core int, line uint64) (exclusive, sharer bool) {
+	s, ok := d.lines.Get(line)
+	if !ok {
+		return false, false
+	}
+	return s.exclusive == int8(core), s.sharers&(1<<uint(core)) != 0
 }
 
 // Evicted records that core no longer holds the line in its private
 // caches. Silent evictions do not cost a directory round trip.
 func (d *Directory) Evicted(core int, line uint64) {
-	s := d.lines[line]
-	if s == nil {
+	s, ok := d.lines.Get(line)
+	if !ok {
 		return
 	}
 	s.sharers &^= 1 << uint(core)
@@ -154,22 +174,24 @@ func (d *Directory) Evicted(core int, line uint64) {
 		s.exclusive = -1
 	}
 	if s.sharers == 0 {
-		delete(d.lines, line)
+		d.lines.Delete(line)
+		return
 	}
+	d.lines.Put(line, s)
 }
 
 // Downgrade clears exclusivity after the line's dirty data has been
 // made globally visible (demote/clean push it to the shared level) but
 // keeps the core as a sharer.
 func (d *Directory) Downgrade(core int, line uint64) {
-	s := d.lines[line]
-	if s != nil && s.exclusive == int8(core) {
+	if s, ok := d.lines.Get(line); ok && s.exclusive == int8(core) {
 		s.exclusive = -1
+		d.lines.Put(line, s)
 	}
 }
 
 // TrackedLines returns the number of lines with directory state (tests).
-func (d *Directory) TrackedLines() int { return len(d.lines) }
+func (d *Directory) TrackedLines() int { return d.lines.Len() }
 
 // Stats returns accumulated counters.
 func (d *Directory) Stats() Stats { return d.stats }

@@ -19,12 +19,39 @@ import (
 // PageSize is the granularity of the sparse backing store.
 const PageSize = 1 << 12
 
+const pageShift = 12
+
+// maxReserve caps the span a single Reserve call will index with a flat
+// page table (8 bytes of index per page). Larger reservations fall back
+// to the hash map, which costs lookups instead of memory.
+const maxReserve = 4 << 30
+
 type page [PageSize]byte
+
+// zeroPage backs reads of never-written memory: a nil page's bytes are
+// copied from here instead of being zeroed one byte at a time.
+var zeroPage page
+
+// extent is a flat page table over one reserved address range: page
+// translation inside it is an array index instead of a map lookup.
+// Pages are still materialized lazily on first write.
+type extent struct {
+	startPN uint64
+	pages   []*page
+}
 
 // Store is a sparse byte-addressable memory. The zero value is empty
 // and ready to use; unwritten bytes read as zero.
 type Store struct {
 	pages map[uint64]*page
+
+	// Translation cache: the vast majority of accesses are sub-page
+	// sequential or re-touch the same page, so remembering the last
+	// translation turns the common case into two compares.
+	lastPN   uint64
+	lastPage *page
+
+	extents []extent // sorted by startPN, non-overlapping
 }
 
 // NewStore returns an empty sparse store.
@@ -32,14 +59,80 @@ func NewStore() *Store {
 	return &Store{pages: make(map[uint64]*page)}
 }
 
-func (s *Store) pageFor(addr uint64, create bool) (*page, uint64) {
-	pn := addr / PageSize
-	p := s.pages[pn]
-	if p == nil && create {
-		p = new(page)
-		s.pages[pn] = p
+// extentIdx returns the index of the extent containing pn, or -1.
+func (s *Store) extentIdx(pn uint64) int {
+	lo, hi := 0, len(s.extents)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := &s.extents[mid]
+		switch {
+		case pn < e.startPN:
+			hi = mid
+		case pn >= e.startPN+uint64(len(e.pages)):
+			lo = mid + 1
+		default:
+			return mid
+		}
 	}
-	return p, addr % PageSize
+	return -1
+}
+
+func (s *Store) pageFor(addr uint64, create bool) (*page, uint64) {
+	pn := addr >> pageShift
+	off := addr & (PageSize - 1)
+	if s.lastPage != nil && pn == s.lastPN {
+		return s.lastPage, off
+	}
+	var p *page
+	if i := s.extentIdx(pn); i >= 0 {
+		e := &s.extents[i]
+		p = e.pages[pn-e.startPN]
+		if p == nil && create {
+			p = new(page)
+			e.pages[pn-e.startPN] = p
+		}
+	} else {
+		p = s.pages[pn]
+		if p == nil && create {
+			p = new(page)
+			s.pages[pn] = p
+		}
+	}
+	if p != nil {
+		s.lastPN, s.lastPage = pn, p
+	}
+	return p, off
+}
+
+// Reserve installs a flat page index over [addr, addr+size) so that
+// translations inside the range bypass the page hash map. Reservations
+// are a pure performance hint: overlapping, huge, or zero-size requests
+// are served by the map instead. Existing pages in the range are
+// migrated into the index.
+func (s *Store) Reserve(addr, size uint64) {
+	if size == 0 || size > maxReserve {
+		return
+	}
+	first := addr >> pageShift
+	last := (addr + size - 1) >> pageShift
+	n := last - first + 1
+	// Refuse ranges that overlap an existing extent (re-reserving an
+	// already-indexed range, e.g. after an arena reset, is a no-op).
+	for i := range s.extents {
+		e := &s.extents[i]
+		if first < e.startPN+uint64(len(e.pages)) && e.startPN <= last {
+			return
+		}
+	}
+	ext := extent{startPN: first, pages: make([]*page, n)}
+	for pn := first; pn <= last; pn++ {
+		if p, ok := s.pages[pn]; ok {
+			ext.pages[pn-first] = p
+			delete(s.pages, pn)
+		}
+	}
+	s.extents = append(s.extents, ext)
+	sort.Slice(s.extents, func(i, j int) bool { return s.extents[i].startPN < s.extents[j].startPN })
 }
 
 // Write copies data into the store at addr.
@@ -62,12 +155,9 @@ func (s *Store) Read(addr uint64, buf []byte) {
 			n = len(buf)
 		}
 		if p == nil {
-			for i := 0; i < n; i++ {
-				buf[i] = 0
-			}
-		} else {
-			copy(buf[:n], p[off:])
+			p = &zeroPage
 		}
+		copy(buf[:n], p[off:])
 		buf = buf[n:]
 		addr += uint64(n)
 	}
@@ -75,6 +165,11 @@ func (s *Store) Read(addr uint64, buf []byte) {
 
 // WriteU64 stores v little-endian at addr.
 func (s *Store) WriteU64(addr, v uint64) {
+	if PageSize-(addr&(PageSize-1)) >= 8 {
+		p, off := s.pageFor(addr, true)
+		binary.LittleEndian.PutUint64(p[off:], v)
+		return
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
 	s.Write(addr, b[:])
@@ -82,6 +177,13 @@ func (s *Store) WriteU64(addr, v uint64) {
 
 // ReadU64 loads a little-endian uint64 from addr.
 func (s *Store) ReadU64(addr uint64) uint64 {
+	if PageSize-(addr&(PageSize-1)) >= 8 {
+		p, off := s.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off:])
+	}
 	var b [8]byte
 	s.Read(addr, b[:])
 	return binary.LittleEndian.Uint64(b[:])
@@ -106,7 +208,17 @@ func (s *Store) Fill(addr uint64, n uint64, v byte) {
 
 // PagesAllocated returns the number of backing pages materialized so
 // far (a measure of simulated footprint).
-func (s *Store) PagesAllocated() int { return len(s.pages) }
+func (s *Store) PagesAllocated() int {
+	n := len(s.pages)
+	for i := range s.extents {
+		for _, p := range s.extents[i].pages {
+			if p != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // Region is a named, allocated address range bound to a device window.
 type Region struct {

@@ -243,3 +243,73 @@ func TestRegionContains(t *testing.T) {
 		t.Fatal("Contains includes exterior")
 	}
 }
+
+func TestReservePreservesExistingPages(t *testing.T) {
+	s := NewStore()
+	// Materialize pages through the map first, then reserve over them:
+	// the data must survive migration into the flat extent index.
+	s.WriteU64(0x10_0000, 0xdeadbeef)
+	s.WriteU64(0x10_2000, 42)
+	s.Reserve(0x10_0000, 4*PageSize)
+	if v := s.ReadU64(0x10_0000); v != 0xdeadbeef {
+		t.Fatalf("ReadU64 after Reserve = %#x; want 0xdeadbeef", v)
+	}
+	if v := s.ReadU64(0x10_2000); v != 42 {
+		t.Fatalf("ReadU64 after Reserve = %d; want 42", v)
+	}
+	// Writes inside the reserved range land in the extent, and the page
+	// count reflects only materialized pages.
+	s.WriteU64(0x10_1000, 7)
+	if v := s.ReadU64(0x10_1000); v != 7 {
+		t.Fatalf("ReadU64 in reserved range = %d; want 7", v)
+	}
+	if n := s.PagesAllocated(); n != 3 {
+		t.Fatalf("PagesAllocated = %d; want 3", n)
+	}
+}
+
+func TestReserveNoOps(t *testing.T) {
+	s := NewStore()
+	s.Reserve(0x1000, 0)     // zero size
+	s.Reserve(0x1000, 5<<30) // over maxReserve
+	s.Reserve(0x20_0000, 2*PageSize)
+	s.Reserve(0x20_1000, 4*PageSize) // overlaps the extent above
+	// All still readable/writable regardless of which path serves them.
+	s.WriteU64(0x20_0000, 1)
+	s.WriteU64(0x20_3000, 2) // outside extent: map path
+	if s.ReadU64(0x20_0000) != 1 || s.ReadU64(0x20_3000) != 2 {
+		t.Fatal("reserve no-op ranges not readable")
+	}
+}
+
+func TestReserveUnwrittenReadsZero(t *testing.T) {
+	s := NewStore()
+	s.Reserve(0x30_0000, 8*PageSize)
+	buf := make([]byte, 16)
+	s.Read(0x30_4000, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d of unwritten reserved page = %d; want 0", i, b)
+		}
+	}
+	if s.PagesAllocated() != 0 {
+		t.Fatal("reading unwritten reserved pages materialized backing")
+	}
+}
+
+// TestTranslationCacheCrossPage alternates accesses between two pages
+// so every access misses the one-entry translation cache, and crosses a
+// page boundary so the slow path splits; both must stay correct.
+func TestTranslationCacheCrossPage(t *testing.T) {
+	s := NewStore()
+	s.Reserve(0x40_0000, 2*PageSize)
+	a := uint64(0x40_0000) + PageSize - 4 // straddles the page boundary
+	s.WriteU64(a, 0x1122334455667788)
+	s.WriteU64(0x40_0000, 9) // evicts a's page from the cache
+	if v := s.ReadU64(a); v != 0x1122334455667788 {
+		t.Fatalf("cross-page ReadU64 = %#x", v)
+	}
+	if v := s.ReadU64(0x40_0000); v != 9 {
+		t.Fatalf("ReadU64 = %d; want 9", v)
+	}
+}

@@ -13,7 +13,6 @@ package profile
 
 import (
 	"sort"
-	"strings"
 
 	"prestores/internal/sim"
 )
@@ -33,6 +32,13 @@ type Sampler struct {
 	Interval uint64 // sample every Interval-th eligible op
 	counter  uint64
 	samples  []Sample
+
+	// Callchain rendering: the chain is built into a reused scratch
+	// buffer and interned, so repeated samples of the same chain (the
+	// overwhelmingly common case — programs sample the same few loops)
+	// share one string instead of re-joining the stack per sample.
+	chainBuf []byte
+	chains   map[string]string
 
 	loadOps  uint64
 	storeOps uint64
@@ -77,10 +83,19 @@ func (s *Sampler) Hook() sim.Hook {
 		if s.counter%s.Interval != 0 {
 			return
 		}
+		s.chainBuf = core.AppendCallchain(s.chainBuf[:0], '>')
+		chain, ok := s.chains[string(s.chainBuf)]
+		if !ok {
+			if s.chains == nil {
+				s.chains = make(map[string]string)
+			}
+			chain = string(s.chainBuf)
+			s.chains[chain] = chain
+		}
 		s.samples = append(s.samples, Sample{
 			Kind:      ev.Kind,
 			Fn:        ev.Fn,
-			Callchain: strings.Join(core.Callchain(), ">"),
+			Callchain: chain,
 			Addr:      ev.Addr,
 		})
 	}

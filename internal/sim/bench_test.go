@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"prestores/internal/xrand"
+)
+
+// The ops/sec benchmarks below are the simulator's throughput contract:
+// every experiment funnels millions of simulated loads and stores
+// through this path, so host-side cost per simulated op is what bounds
+// the size of the configurations the harness can sweep. All of them
+// run un-hooked and report allocations — the hot path is required to
+// stay allocation-free (see DESIGN.md §6, "Performance architecture").
+
+// benchFootprint is sized at 2× Machine A's LLC so the streams exercise
+// the full hit/miss/evict/write-back pipeline, not just L1 hits.
+const benchFootprint = 8 << 20
+
+// benchAddrs precomputes a deterministic line-granular address stream
+// so the timed loop measures the simulator, not the generator.
+func benchAddrs(m *Machine, zipfian bool) []uint64 {
+	region := m.Alloc(WindowDRAM, "bench", benchFootprint)
+	lines := benchFootprint / m.LineSize()
+	addrs := make([]uint64, 1<<16)
+	if zipfian {
+		z := xrand.NewZipf(xrand.New(42), lines, 0.99)
+		for i := range addrs {
+			addrs[i] = region.Base + z.Next()*m.LineSize()
+		}
+	} else {
+		for i := range addrs {
+			addrs[i] = region.Base + (uint64(i)%lines)*m.LineSize()
+		}
+	}
+	return addrs
+}
+
+func benchCoreRead(b *testing.B, zipfian bool) {
+	m := MachineA()
+	c := m.Core(0)
+	addrs := benchAddrs(m, zipfian)
+	var buf [8]byte
+	for _, a := range addrs { // warm caches and backing pages
+		c.Read(a, buf[:])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(addrs[i&(len(addrs)-1)], buf[:])
+	}
+}
+
+func BenchmarkCoreRead(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchCoreRead(b, false) })
+	b.Run("zipf", func(b *testing.B) { benchCoreRead(b, true) })
+}
+
+func benchCoreWrite(b *testing.B, zipfian bool) {
+	m := MachineA()
+	c := m.Core(0)
+	addrs := benchAddrs(m, zipfian)
+	var buf [8]byte
+	for _, a := range addrs {
+		c.Write(a, buf[:])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Write(addrs[i&(len(addrs)-1)], buf[:])
+	}
+}
+
+func BenchmarkCoreWrite(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchCoreWrite(b, false) })
+	b.Run("zipf", func(b *testing.B) { benchCoreWrite(b, true) })
+}
+
+// BenchmarkCoreFence measures the store→fence pair that dominates
+// persistence-ordered workloads (the paper's Listing 2 shape).
+func BenchmarkCoreFence(b *testing.B) {
+	m := MachineA()
+	c := m.Core(0)
+	addrs := benchAddrs(m, false)
+	for _, a := range addrs {
+		c.WriteU64(a, 1)
+	}
+	c.Fence()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.WriteU64(addrs[i&(len(addrs)-1)], uint64(i))
+		c.Fence()
+	}
+}
+
+func benchCorePrestore(b *testing.B, op PrestoreOp) {
+	m := MachineA()
+	c := m.Core(0)
+	addrs := benchAddrs(m, false)
+	for _, a := range addrs {
+		// Warm with the full store+pre-store pair so the write-back
+		// queue's in-flight tracking reaches steady-state size before
+		// allocations are counted.
+		c.WriteU64(a, 1)
+		c.Prestore(a, 8, op)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i&(len(addrs)-1)]
+		c.WriteU64(a, uint64(i))
+		c.Prestore(a, 8, op)
+	}
+}
+
+func BenchmarkCorePrestore(b *testing.B) {
+	b.Run("demote", func(b *testing.B) { benchCorePrestore(b, Demote) })
+	b.Run("clean", func(b *testing.B) { benchCorePrestore(b, Clean) })
+}

@@ -1,10 +1,10 @@
 package sim
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"prestores/internal/cache"
+	"prestores/internal/flatmap"
 	"prestores/internal/units"
 )
 
@@ -84,7 +84,22 @@ type Core struct {
 	l1 *cache.Cache
 	l2 *cache.Cache // nil when the machine has no private L2
 
-	sb         []sbEntry
+	// sb holds the store buffer; the live entries are sb[sbHead:].
+	// drainOldest advances sbHead instead of shifting the slice, and
+	// sbAppend compacts the dead prefix away only when the backing
+	// array fills — amortized O(1) per store instead of a full-buffer
+	// copy per drain.
+	sb     []sbEntry
+	sbHead int
+	// sbIndex maps a line to the sequence number of the newest store-
+	// buffer entry for it, replacing the per-op linear scans. Sequence
+	// numbers translate to slice positions via sbBase (the seq of
+	// sb[sbHead]); entries whose seq has fallen below sbBase were
+	// drained or fenced away and are treated as absent, so the index
+	// never needs eager invalidation.
+	sbIndex flatmap.Map[uint64]
+	sbBase  uint64 // seq of sb[sbHead]
+
 	drainSlots []units.Cycles // background drain engine (MLP-wide)
 	loadSlots  []units.Cycles // load miss-queue slots (MLP-wide)
 
@@ -93,6 +108,7 @@ type Core struct {
 	cleanBarrier units.Cycles // max accept time of any issued clwb/NT flush
 
 	fnStack []string
+	scratch []byte // Memcpy bounce buffer, reused across calls
 
 	stats CoreStats
 }
@@ -104,7 +120,9 @@ func newCore(m *Machine, id int) *Core {
 		m:          m,
 		id:         id,
 		l1:         cache.New(l1cfg),
+		sb:         make([]sbEntry, 0, 2*m.cfg.SBEntries),
 		drainSlots: make([]units.Cycles, m.cfg.MLP),
+		loadSlots:  make([]units.Cycles, m.cfg.MLP),
 	}
 	if m.cfg.L2.Size > 0 {
 		l2cfg := m.cfg.L2
@@ -112,6 +130,49 @@ func newCore(m *Machine, id int) *Core {
 		c.l2 = cache.New(l2cfg)
 	}
 	return c
+}
+
+// sbLookup returns the position of the newest store-buffer entry for
+// line, or -1. Index hits are validated against sbBase so that entries
+// removed by drains or fences read as absent without the removal paths
+// ever touching the map.
+func (c *Core) sbLookup(line uint64) int {
+	if len(c.sb) == c.sbHead {
+		return -1
+	}
+	seq, ok := c.sbIndex.Get(line)
+	if !ok || seq < c.sbBase {
+		return -1
+	}
+	pos := c.sbHead + int(seq-c.sbBase)
+	if pos >= len(c.sb) {
+		return -1
+	}
+	return pos
+}
+
+// sbAppend adds a store-buffer entry and indexes it. The index holds
+// stale keys for lines whose entries have drained; they are harmless
+// (sbLookup rejects them) but are compacted away once enough pile up.
+func (c *Core) sbAppend(e sbEntry) {
+	if c.sbIndex.Len() >= 4096 {
+		c.sbRebuildIndex()
+	}
+	if len(c.sb) == cap(c.sb) && c.sbHead > 0 {
+		n := copy(c.sb, c.sb[c.sbHead:])
+		c.sb = c.sb[:n]
+		c.sbHead = 0
+	}
+	c.sbIndex.Put(e.line, c.sbBase+uint64(len(c.sb)-c.sbHead))
+	c.sb = append(c.sb, e)
+}
+
+// sbRebuildIndex drops every stale key, re-indexing only live entries.
+func (c *Core) sbRebuildIndex() {
+	c.sbIndex.Clear()
+	for i := c.sbHead; i < len(c.sb); i++ {
+		c.sbIndex.Put(c.sb[i].line, c.sbBase+uint64(i-c.sbHead))
+	}
 }
 
 // ID returns the core index.
@@ -136,15 +197,23 @@ func (c *Core) lineBase(addr uint64) uint64 {
 	return units.AlignDown(addr, c.m.cfg.LineSize)
 }
 
+// emit delivers the op to the machine's hook. The un-hooked fast path
+// is a single nil check — the wrapper stays within the inlining budget,
+// so simulation without instrumentation pays no call and builds no
+// Event.
 func (c *Core) emit(kind OpKind, addr, size uint64, cost units.Cycles) {
-	if h := c.m.hook; h != nil {
-		fn := ""
-		if n := len(c.fnStack); n > 0 {
-			fn = c.fnStack[n-1]
-		}
-		h(Event{Core: c.id, Kind: kind, Addr: addr, Size: size, Fn: fn,
-			Instr: c.instr, Cost: uint64(cost)}, c)
+	if c.m.hook != nil {
+		c.emitHooked(kind, addr, size, cost)
 	}
+}
+
+func (c *Core) emitHooked(kind OpKind, addr, size uint64, cost units.Cycles) {
+	fn := ""
+	if n := len(c.fnStack); n > 0 {
+		fn = c.fnStack[n-1]
+	}
+	c.m.hook(Event{Core: c.id, Kind: kind, Addr: addr, Size: size, Fn: fn,
+		Instr: c.instr, Cost: uint64(cost)}, c)
 }
 
 // PushFunc annotates subsequent operations as executing inside fn —
@@ -167,6 +236,20 @@ func (c *Core) PopFunc() {
 // innermost last.
 func (c *Core) Callchain() []string {
 	return append([]string(nil), c.fnStack...)
+}
+
+// AppendCallchain appends the current annotation stack to buf, joined
+// by sep, and returns the extended buffer. Samplers use it with a
+// reused scratch buffer to render callchains without the per-sample
+// slice copy Callchain makes.
+func (c *Core) AppendCallchain(buf []byte, sep byte) []byte {
+	for i, fn := range c.fnStack {
+		if i > 0 {
+			buf = append(buf, sep)
+		}
+		buf = append(buf, fn...)
+	}
+	return buf
 }
 
 // CurrentFunc returns the innermost function annotation, or "".
@@ -207,11 +290,10 @@ func (c *Core) readLines(addr, n uint64) {
 	end := addr + n
 	first := c.lineBase(addr)
 	if first+c.m.cfg.LineSize >= end {
+		// Single-line load — the common case — skips the miss-queue
+		// slot machinery entirely.
 		c.now = c.loadLineAt(first, c.now)
 		return
-	}
-	if c.loadSlots == nil {
-		c.loadSlots = make([]units.Cycles, c.m.cfg.MLP)
 	}
 	for i := range c.loadSlots {
 		c.loadSlots[i] = c.now
@@ -239,11 +321,14 @@ func (c *Core) readLines(addr, n uint64) {
 	c.now = maxDone
 }
 
-// ReadU64 performs a timed 8-byte load.
+// ReadU64 performs a timed 8-byte load. It bypasses the byte-slice
+// path: the backing store reads the word directly.
 func (c *Core) ReadU64(addr uint64) uint64 {
-	var b [8]byte
-	c.Read(addr, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	start := c.now
+	v := c.m.backing.ReadU64(addr)
+	c.readLines(addr, 8)
+	c.emit(OpLoad, addr, 8, c.now-start)
+	return v
 }
 
 // loadLine accounts one line-granular load at the core's clock.
@@ -257,28 +342,24 @@ func (c *Core) loadLineAt(line uint64, at units.Cycles) units.Cycles {
 	c.stats.Loads++
 	c.instr++
 	// Store-buffer forwarding.
-	for i := len(c.sb) - 1; i >= 0; i-- {
-		if c.sb[i].line == line {
-			c.stats.SBForwards++
-			return at + c.l1.HitLatency()
-		}
+	if c.sbLookup(line) >= 0 {
+		c.stats.SBForwards++
+		return at + c.l1.HitLatency()
 	}
-	if c.l1.Contains(line) {
-		c.l1.Access(line, false) // recency touch; guaranteed hit
+	if c.l1.Touch(line, false) { // recency touch on hit
 		c.stats.LoadL1Hits++
 		return at + c.l1.HitLatency()
 	}
-	if c.l2 != nil && c.l2.Contains(line) {
-		c.l2.Access(line, false)
+	if c.l2 != nil && c.l2.Touch(line, false) {
 		c.stats.LoadL2Hits++
-		c.fillL1(line, false)
+		c.fillL1Absent(line, false)
 		return at + c.l2.HitLatency()
 	}
-	// Shared level: coherence first.
+	// Shared level: coherence first. The line is now known absent from
+	// both private levels, so the fills below can skip their probes.
 	done, forwarded := c.m.dir.Read(at, c.id, line)
 	switch {
-	case c.m.llc.Contains(line):
-		c.m.llc.Access(line, false)
+	case c.m.llc.Touch(line, false):
 		c.stats.LoadLLCHits++
 		done += c.m.llc.HitLatency()
 	case forwarded:
@@ -287,14 +368,14 @@ func (c *Core) loadLineAt(line uint64, at units.Cycles) units.Cycles {
 		// eviction, so the LLC copy fills clean.
 		c.stats.LoadLLCHits++
 		done += c.m.llc.HitLatency()
-		c.insertLLC(line, false)
+		c.fillLLCAbsent(line, false)
 	default:
 		c.stats.LoadMemFills++
 		done = c.m.deviceFor(line).ReadLine(done+c.m.llc.HitLatency(), line, c.m.cfg.LineSize)
-		c.insertLLC(line, false)
+		c.fillLLCAbsent(line, false)
 		c.prefetchAfter(line)
 	}
-	c.fillPrivate(line, false)
+	c.fillPrivateAbsent(line, false)
 	return done
 }
 
@@ -311,7 +392,7 @@ func (c *Core) prefetchAfter(line uint64) {
 		}
 		c.stats.Prefetches++
 		c.m.deviceFor(next).ReadLine(c.now, next, c.m.cfg.LineSize)
-		c.insertLLC(next, false)
+		c.fillLLCAbsent(next, false)
 	}
 }
 
@@ -327,42 +408,57 @@ func (c *Core) prefetchAfter(line uint64) {
 func (c *Core) Write(addr uint64, data []byte) {
 	start := c.now
 	c.m.backing.Write(addr, data)
-	end := addr + uint64(len(data))
-	for line := c.lineBase(addr); line < end; line += c.m.cfg.LineSize {
-		c.storeLine(line)
-	}
+	c.storeLines(addr, uint64(len(data)))
 	c.emit(OpStore, addr, uint64(len(data)), c.now-start)
 }
 
-// WriteU64 performs a timed 8-byte store.
+// storeLines times a store over [addr, addr+n): the single-line common
+// case issues directly, multi-line stores walk the span.
+func (c *Core) storeLines(addr, n uint64) {
+	first := c.lineBase(addr)
+	end := addr + n
+	if first >= end {
+		return
+	}
+	if first+c.m.cfg.LineSize >= end {
+		c.storeLine(first)
+		return
+	}
+	for line := first; line < end; line += c.m.cfg.LineSize {
+		c.storeLine(line)
+	}
+}
+
+// WriteU64 performs a timed 8-byte store. It bypasses the byte-slice
+// path: the backing store writes the word directly.
 func (c *Core) WriteU64(addr, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	c.Write(addr, b[:])
+	start := c.now
+	c.m.backing.WriteU64(addr, v)
+	c.storeLines(addr, 8)
+	c.emit(OpStore, addr, 8, c.now-start)
 }
 
 // Memset performs a timed fill of n bytes at addr.
 func (c *Core) Memset(addr, n uint64, v byte) {
 	start := c.now
 	c.m.backing.Fill(addr, n, v)
-	for line := c.lineBase(addr); line < addr+n; line += c.m.cfg.LineSize {
-		c.storeLine(line)
-	}
+	c.storeLines(addr, n)
 	c.emit(OpStore, addr, n, c.now-start)
 }
 
 // Memcpy performs a timed copy of n bytes from src to dst.
 func (c *Core) Memcpy(dst, src, n uint64) {
 	start := c.now
-	buf := make([]byte, n)
+	if uint64(cap(c.scratch)) < n {
+		c.scratch = make([]byte, n)
+	}
+	buf := c.scratch[:n]
 	c.m.backing.Read(src, buf)
 	c.readLines(src, n)
 	c.emit(OpLoad, src, n, c.now-start)
 	start = c.now
 	c.m.backing.Write(dst, buf)
-	for line := c.lineBase(dst); line < dst+n; line += c.m.cfg.LineSize {
-		c.storeLine(line)
-	}
+	c.storeLines(dst, n)
 	c.emit(OpStore, dst, n, c.now-start)
 }
 
@@ -373,19 +469,15 @@ func (c *Core) storeLine(line uint64) {
 	// Coalesce with an existing buffer entry for the same line. A
 	// cleaned entry belongs to the previous write generation — its
 	// write-back is in flight — so a new store starts a new entry
-	// (whose commit then waits for that write-back).
-	for i := len(c.sb) - 1; i >= 0; i-- {
-		if c.sb[i].line == line && !c.sb[i].cleaned {
-			return
-		}
-		if c.sb[i].line == line {
-			break
-		}
+	// (whose commit then waits for that write-back). Only the newest
+	// entry per line can be uncleaned, so the index decides.
+	if i := c.sbLookup(line); i >= 0 && !c.sb[i].cleaned {
+		return
 	}
-	if len(c.sb) >= c.m.cfg.SBEntries {
+	if len(c.sb)-c.sbHead >= c.m.cfg.SBEntries {
 		c.drainOldest()
 	}
-	c.sb = append(c.sb, sbEntry{line: line, issued: c.now})
+	c.sbAppend(sbEntry{line: line, issued: c.now})
 	if c.m.cfg.Drain == DrainEager {
 		c.startEntry(&c.sb[len(c.sb)-1], c.now)
 	}
@@ -394,7 +486,7 @@ func (c *Core) storeLine(line uint64) {
 // drainOldest retires the oldest store-buffer entry, stalling the core
 // until its line acquisition completes.
 func (c *Core) drainOldest() {
-	e := &c.sb[0]
+	e := &c.sb[c.sbHead]
 	if !e.started {
 		at := c.now
 		if t := e.issued + c.m.cfg.LazyDrainAge; t < at {
@@ -406,7 +498,12 @@ func (c *Core) drainOldest() {
 		c.stats.SBStall += e.readyAt - c.now
 		c.now = e.readyAt
 	}
-	c.sb = append(c.sb[:0], c.sb[1:]...)
+	c.sbHead++
+	c.sbBase++
+	if c.sbHead == len(c.sb) {
+		c.sb = c.sb[:0]
+		c.sbHead = 0
+	}
 }
 
 // startEntry begins the background acquisition (RFO + fill) of a store
@@ -437,28 +534,35 @@ func (c *Core) acquireLine(at units.Cycles, line uint64) units.Cycles {
 	if t := c.m.wbq.inflightUntil(line); t > at {
 		at = t
 	}
-	if c.m.dir.IsExclusive(c.id, line) && c.l1.Contains(line) {
-		c.l1.Access(line, true)
+	excl, sharer := c.m.dir.Holds(c.id, line)
+	if excl && c.l1.Touch(line, true) {
 		return at + c.l1.HitLatency()
 	}
 	done, _ := c.m.dir.Write(at, c.id, line)
 	switch {
-	case c.l1.Contains(line):
+	// A clear sharer bit proves the line absent from both private
+	// levels, letting the RFO skip their tag probes entirely.
+	case sharer && c.l1.Contains(line):
 		done += c.l1.HitLatency()
-	case c.l2 != nil && c.l2.Contains(line):
+		c.fillPrivate(line, true)
+	case sharer && c.l2 != nil && c.l2.Contains(line):
 		done += c.l2.HitLatency()
-	case c.m.llc.Contains(line):
+		if ev, evicted := c.l2.Insert(line, false); evicted {
+			c.handlePrivateEvict(ev)
+		}
+		c.fillL1Absent(line, true)
+	case c.m.llc.Touch(line, false):
 		done += c.m.llc.HitLatency()
-		c.m.llc.Access(line, false)
+		c.fillPrivateAbsent(line, true)
 	default:
 		// Write-allocate: the line must be read from memory before it
 		// can be partially updated (paper §4.2: "it needs to read the
 		// full cache line prior to updating it").
 		done = c.m.deviceFor(line).ReadLine(done+c.m.llc.HitLatency(), line, c.m.cfg.LineSize)
-		c.insertLLC(line, false)
+		c.fillLLCAbsent(line, false)
 		c.prefetchAfter(line) // L2 prefetchers also train on RFO misses
+		c.fillPrivateAbsent(line, true)
 	}
-	c.fillPrivate(line, true)
 	return done
 }
 
@@ -467,7 +571,9 @@ func (c *Core) acquireLine(at units.Cycles, line uint64) units.Cycles {
 //
 
 // fillPrivate inserts the line into the private levels (dirty or not),
-// cascading evictions downward.
+// cascading evictions downward. Callers that have just probed the
+// private levels and missed use fillPrivateAbsent, which skips the
+// redundant tag lookups.
 func (c *Core) fillPrivate(line uint64, dirty bool) {
 	if c.l2 != nil {
 		if ev, evicted := c.l2.Insert(line, false); evicted {
@@ -477,16 +583,42 @@ func (c *Core) fillPrivate(line uint64, dirty bool) {
 	c.fillL1(line, dirty)
 }
 
-func (c *Core) fillL1(line uint64, dirty bool) {
-	if ev, evicted := c.l1.Insert(line, dirty); evicted {
-		if c.l2 != nil {
-			if ev2, e2 := c.l2.Insert(ev.Addr, ev.Dirty); e2 {
-				c.handlePrivateEvict(ev2)
-			}
-			return
+// fillPrivateAbsent is fillPrivate for a line known absent from both
+// private levels.
+func (c *Core) fillPrivateAbsent(line uint64, dirty bool) {
+	if c.l2 != nil {
+		if ev, evicted := c.l2.Fill(line, false); evicted {
+			c.handlePrivateEvict(ev)
 		}
-		c.handlePrivateEvict(ev)
 	}
+	c.fillL1Absent(line, dirty)
+}
+
+func (c *Core) fillL1(line uint64, dirty bool) {
+	ev, evicted := c.l1.Insert(line, dirty)
+	if evicted {
+		c.l1Evicted(ev)
+	}
+}
+
+// fillL1Absent is fillL1 for a line known absent from the L1.
+func (c *Core) fillL1Absent(line uint64, dirty bool) {
+	ev, evicted := c.l1.Fill(line, dirty)
+	if evicted {
+		c.l1Evicted(ev)
+	}
+}
+
+// l1Evicted absorbs an L1 victim into the L2 (or the shared level when
+// the machine has no private L2).
+func (c *Core) l1Evicted(ev cache.Eviction) {
+	if c.l2 != nil {
+		if ev2, e2 := c.l2.Insert(ev.Addr, ev.Dirty); e2 {
+			c.handlePrivateEvict(ev2)
+		}
+		return
+	}
+	c.handlePrivateEvict(ev)
 }
 
 // handlePrivateEvict absorbs an eviction out of the last private level
@@ -503,6 +635,13 @@ func (c *Core) handlePrivateEvict(ev cache.Eviction) {
 // becomes the device's write-back order — the root of Problem #1.
 func (c *Core) insertLLC(line uint64, dirty bool) {
 	if ev, evicted := c.m.llc.Insert(line, dirty); evicted && ev.Dirty {
+		c.now, _ = c.m.wbq.enqueue(c.now, c.now, ev.Addr, c.m.cfg.LineSize, c.m.deviceFor)
+	}
+}
+
+// fillLLCAbsent is insertLLC for a line known absent from the LLC.
+func (c *Core) fillLLCAbsent(line uint64, dirty bool) {
+	if ev, evicted := c.m.llc.Fill(line, dirty); evicted && ev.Dirty {
 		c.now, _ = c.m.wbq.enqueue(c.now, c.now, ev.Addr, c.m.cfg.LineSize, c.m.deviceFor)
 	}
 }
@@ -530,7 +669,7 @@ func (c *Core) fenceInternal() {
 	// its publication in the background — even weak-memory CPUs retire
 	// old write-buffer entries when the interconnect is idle — so its
 	// start time is backdated accordingly.
-	for i := range c.sb {
+	for i := c.sbHead; i < len(c.sb); i++ {
 		e := &c.sb[i]
 		if !e.started {
 			at := c.now
@@ -543,7 +682,9 @@ func (c *Core) fenceInternal() {
 			done = e.readyAt
 		}
 	}
+	c.sbBase += uint64(len(c.sb) - c.sbHead)
 	c.sb = c.sb[:0]
+	c.sbHead = 0
 	// Flush NT write-combining buffers and wait for their acceptance.
 	if t := c.flushWC(); t > done {
 		done = t
@@ -640,21 +781,19 @@ func (c *Core) Prestore(addr, size uint64, op PrestoreOp) {
 // demoteLine starts background publication of any buffered store to the
 // line and pushes a dirty private copy down to the shared level.
 func (c *Core) demoteLine(line uint64) {
-	for i := range c.sb {
-		if c.sb[i].line == line && !c.sb[i].started {
-			c.startEntry(&c.sb[i], c.now)
-		}
+	// Only the newest buffered entry for a line can be unstarted: older
+	// duplicates were cleaned, and cleaning starts them.
+	if i := c.sbLookup(line); i >= 0 && !c.sb[i].started {
+		c.startEntry(&c.sb[i], c.now)
 	}
-	moveDown := func(cc *cache.Cache) {
-		if present, dirty := cc.Invalidate(line); present {
+	// Invalidate reports presence itself, so no pre-probe is needed.
+	if present, dirty := c.l1.Invalidate(line); present {
+		c.insertLLC(line, dirty)
+	}
+	if c.l2 != nil {
+		if present, dirty := c.l2.Invalidate(line); present {
 			c.insertLLC(line, dirty)
 		}
-	}
-	if c.l1.Contains(line) {
-		moveDown(c.l1)
-	}
-	if c.l2 != nil && c.l2.Contains(line) {
-		moveDown(c.l2)
 	}
 	c.m.dir.Downgrade(c.id, line)
 }
@@ -668,17 +807,17 @@ func (c *Core) demoteLine(line uint64) {
 func (c *Core) cleanLine(line uint64) {
 	at := c.now
 	dirty := false
-	for i := range c.sb {
-		if c.sb[i].line == line && !c.sb[i].cleaned {
-			if !c.sb[i].started {
-				c.startEntry(&c.sb[i], c.now)
-			}
-			if c.sb[i].readyAt > at {
-				at = c.sb[i].readyAt
-			}
-			dirty = true
-			c.sb[i].cleaned = true
+	// Only the newest buffered entry for a line can be uncleaned (see
+	// demoteLine), so the index lookup replaces the scan.
+	if i := c.sbLookup(line); i >= 0 && !c.sb[i].cleaned {
+		if !c.sb[i].started {
+			c.startEntry(&c.sb[i], c.now)
 		}
+		if c.sb[i].readyAt > at {
+			at = c.sb[i].readyAt
+		}
+		dirty = true
+		c.sb[i].cleaned = true
 	}
 	if c.l1.CleanLine(line) {
 		dirty = true
@@ -767,11 +906,19 @@ func (c *Core) ntStoreLine(line, lo, hi uint64) {
 // evictEverywhere flushes (if dirty) and invalidates the line from all
 // cache levels and the store buffer.
 func (c *Core) evictEverywhere(line uint64) {
-	for i := 0; i < len(c.sb); i++ {
+	removed := false
+	for i := c.sbHead; i < len(c.sb); i++ {
 		if c.sb[i].line == line {
 			c.sb = append(c.sb[:i], c.sb[i+1:]...)
+			removed = true
 			i--
 		}
+	}
+	if removed {
+		// Mid-buffer removal shifts every later entry, so seq->position
+		// arithmetic no longer holds; rebuild the index. NT stores are
+		// rare relative to buffer operations, and the buffer is small.
+		c.sbRebuildIndex()
 	}
 	wasDirty := false
 	if _, d := c.l1.Invalidate(line); d {

@@ -3,13 +3,30 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"prestores/internal/cache"
 	"prestores/internal/coherence"
+	"prestores/internal/flatmap"
 	"prestores/internal/memdev"
 	"prestores/internal/memspace"
 	"prestores/internal/units"
 )
+
+// retiredOps counts simulated operations (retired instructions) across
+// every machine in the process. The bench harness samples it around an
+// experiment to compute host-side simulation throughput (simulated
+// ops per wall-clock second). Cores count locally and machines flush
+// in bulk at Drain/ResetStats, so the hot path never touches the
+// atomic.
+var retiredOps atomic.Uint64
+
+// RetiredOps returns the process-wide count of simulated operations
+// flushed so far. Deltas around an experiment measure simulator
+// throughput; with concurrent experiments the deltas attribute each
+// other's ops, so per-experiment numbers are exact only when runs do
+// not overlap.
+func RetiredOps() uint64 { return retiredOps.Load() }
 
 // Machine is a complete simulated system: cores, caches, directory,
 // write-back queue, devices, and the byte-addressable backing store.
@@ -23,7 +40,10 @@ type Machine struct {
 	backing *memspace.Store
 
 	windows []WindowSpec // sorted by base
+	lastWin int          // index into windows of the last deviceFor hit
 	hook    Hook
+
+	opsFlushed uint64 // portion of core instr counters already in retiredOps
 }
 
 // NewMachine builds a machine from cfg. It panics on malformed
@@ -98,10 +118,15 @@ func (m *Machine) SetHook(h Hook) { m.hook = h }
 
 // deviceFor returns the device serving addr. It panics on an address
 // outside every window — that is a workload bug worth failing loudly.
+// Accesses cluster heavily by window, so the last hit is checked first.
 func (m *Machine) deviceFor(addr uint64) memdev.Device {
+	if w := &m.windows[m.lastWin]; addr >= w.Base && addr < w.Base+w.Size {
+		return w.Device
+	}
 	for i := range m.windows {
 		w := &m.windows[i]
 		if addr >= w.Base && addr < w.Base+w.Size {
+			m.lastWin = i
 			return w.Device
 		}
 	}
@@ -118,14 +143,20 @@ func (m *Machine) Device(window string) memdev.Device {
 	return nil
 }
 
-// Alloc carves a line-aligned region from the named window.
+// Alloc carves a line-aligned region from the named window. The
+// backing store installs a flat page index over the region so that
+// address translation inside it skips the page hash map.
 func (m *Machine) Alloc(window, name string, size uint64) memspace.Region {
-	return m.arena.MustAlloc(window, name, size, m.cfg.LineSize)
+	r := m.arena.MustAlloc(window, name, size, m.cfg.LineSize)
+	m.backing.Reserve(r.Base, r.Size)
+	return r
 }
 
 // AllocAligned carves a region with explicit alignment.
 func (m *Machine) AllocAligned(window, name string, size, align uint64) memspace.Region {
-	return m.arena.MustAlloc(window, name, size, align)
+	r := m.arena.MustAlloc(window, name, size, align)
+	m.backing.Reserve(r.Base, r.Size)
+	return r
 }
 
 // Drain completes all outstanding work: fences every core, flushes
@@ -152,6 +183,21 @@ func (m *Machine) Drain() {
 	}
 	for _, c := range m.cores {
 		c.now = now
+	}
+	m.flushOps()
+}
+
+// flushOps publishes the cores' retired-op counts into the process-wide
+// throughput counter. Called at natural synchronization points so the
+// per-op path stays atomic-free.
+func (m *Machine) flushOps() {
+	var total uint64
+	for _, c := range m.cores {
+		total += c.instr
+	}
+	if d := total - m.opsFlushed; d > 0 {
+		retiredOps.Add(d)
+		m.opsFlushed = total
 	}
 }
 
@@ -200,6 +246,7 @@ func (m *Machine) ResetStats() {
 	for _, w := range m.cfg.Windows {
 		w.Device.ResetStats()
 	}
+	m.flushOps()
 }
 
 // MaxCycles returns the highest core clock — the elapsed simulated time
@@ -235,9 +282,10 @@ func (m *Machine) Seconds(c units.Cycles) float64 {
 // evictions arrive in whatever order the replacement policy produced.
 type wbQueue struct {
 	cap      int
-	pending  []units.Cycles          // device-accept completion times, FIFO
-	inflight map[uint64]units.Cycles // line base -> accept completion
-	stalls   uint64                  // cycles cores stalled on a full queue
+	pending  []units.Cycles            // device-accept completion times, FIFO
+	inflight flatmap.Map[units.Cycles] // line base -> accept completion
+	reapKeys []uint64                  // scratch for track's expiry sweep
+	stalls   uint64                    // cycles cores stalled on a full queue
 }
 
 // enqueue submits a write-back of size bytes at line-aligned addr. The
@@ -249,9 +297,6 @@ type wbQueue struct {
 // acquisition). It returns the core's (possibly advanced) clock and the
 // device-accept completion cycle.
 func (q *wbQueue) enqueue(coreNow, dataReady units.Cycles, addr, size uint64, dev func(uint64) memdev.Device) (units.Cycles, units.Cycles) {
-	if q.inflight == nil {
-		q.inflight = make(map[uint64]units.Cycles)
-	}
 	q.reap(coreNow)
 	// A full queue exerts back-pressure: the core stalls until enough
 	// older write-backs have been accepted downstream. Accept times are
@@ -275,7 +320,7 @@ func (q *wbQueue) enqueue(coreNow, dataReady units.Cycles, addr, size uint64, de
 	// until the previous one has been accepted downstream. This chain
 	// is what makes clean-then-rewrite loops run at memory-write
 	// latency (the paper's Listing 3 measures ~75x).
-	if t := q.inflight[addr]; t > start {
+	if t, _ := q.inflight.Get(addr); t > start {
 		start = t
 	}
 	accept := dev(addr).WriteLine(start, addr, size)
@@ -288,22 +333,28 @@ func (q *wbQueue) enqueue(coreNow, dataReady units.Cycles, addr, size uint64, de
 // store to the same line can be made to wait for it (a store cannot
 // regain write permission on a line while its write-back is in flight).
 func (q *wbQueue) track(line uint64, accept, now units.Cycles) {
-	if len(q.inflight) > 1<<16 {
-		for l, t := range q.inflight {
+	if q.inflight.Len() > 1<<16 {
+		q.reapKeys = q.reapKeys[:0]
+		q.inflight.Range(func(l uint64, t units.Cycles) bool {
 			if t <= now {
-				delete(q.inflight, l)
+				q.reapKeys = append(q.reapKeys, l)
 			}
+			return true
+		})
+		for _, l := range q.reapKeys {
+			q.inflight.Delete(l)
 		}
 	}
-	if q.inflight[line] < accept {
-		q.inflight[line] = accept
+	if t, _ := q.inflight.Get(line); t < accept {
+		q.inflight.Put(line, accept)
 	}
 }
 
 // inflightUntil returns the accept completion of any in-flight
 // write-back of the line, or 0.
 func (q *wbQueue) inflightUntil(line uint64) units.Cycles {
-	return q.inflight[line]
+	t, _ := q.inflight.Get(line)
+	return t
 }
 
 // reap removes entries whose device accept has completed.

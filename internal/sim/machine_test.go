@@ -230,12 +230,12 @@ type scriptedDev struct {
 	i       int
 }
 
-func (d *scriptedDev) Name() string                 { return "scripted" }
-func (d *scriptedDev) Kind() memdev.Kind            { return memdev.KindDRAM }
-func (d *scriptedDev) InternalGranularity() uint64  { return 64 }
-func (d *scriptedDev) ReadLatency() units.Cycles    { return 1 }
-func (d *scriptedDev) Stats() memdev.Stats          { return memdev.Stats{} }
-func (d *scriptedDev) ResetStats()                  {}
+func (d *scriptedDev) Name() string                                  { return "scripted" }
+func (d *scriptedDev) Kind() memdev.Kind                             { return memdev.KindDRAM }
+func (d *scriptedDev) InternalGranularity() uint64                   { return 64 }
+func (d *scriptedDev) ReadLatency() units.Cycles                     { return 1 }
+func (d *scriptedDev) Stats() memdev.Stats                           { return memdev.Stats{} }
+func (d *scriptedDev) ResetStats()                                   {}
 func (d *scriptedDev) Flush(now units.Cycles) units.Cycles           { return now }
 func (d *scriptedDev) DirectoryAccess(now units.Cycles) units.Cycles { return now }
 func (d *scriptedDev) ReadLine(now units.Cycles, addr, size uint64) units.Cycles {
