@@ -1,6 +1,7 @@
 package prestores_test
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -28,10 +29,13 @@ func TestParallelRunnerMatchesSerial(t *testing.T) {
 	}
 	var serial strings.Builder
 	for _, e := range exps {
-		bench.RunOne(&serial, e, true)
+		bench.RunOne(context.Background(), &serial, e, true)
 	}
 	var par strings.Builder
-	results := bench.Run(&par, exps, bench.RunnerConfig{Parallel: 4, Quick: true})
+	results, err := bench.Run(context.Background(), &par, exps, bench.RunnerConfig{Parallel: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if par.String() != serial.String() {
 		t.Fatalf("parallel output differs from serial:\n--- parallel ---\n%s\n--- serial ---\n%s",
 			par.String(), serial.String())
@@ -54,7 +58,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e.Run(io.Discard, true)
+		e.Run(context.Background(), io.Discard, true)
 	}
 }
 

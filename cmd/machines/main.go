@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -13,7 +14,10 @@ import (
 
 func main() {
 	if e, ok := bench.Lookup("table1"); ok {
-		bench.RunOne(os.Stdout, e, true)
+		if err := bench.RunOne(context.Background(), os.Stdout, e, true); err != nil {
+			fmt.Fprintln(os.Stderr, "machines:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println()
 	for _, m := range []*sim.Machine{sim.MachineA(), sim.MachineBFast(), sim.MachineBSlow(), sim.MachineC()} {

@@ -10,18 +10,28 @@
 //	prestore-bench -all -parallel 8       # worker pool (output unchanged)
 //	prestore-bench -all -timeout 10m      # per-experiment wall-clock cap
 //	prestore-bench -all -json BENCH.json  # machine-readable results
+//	prestore-bench -all -server http://host:8344   # run on a prestored daemon
 //
 // Experiments are independent (each builds its own simulated machine),
 // so -parallel N runs them concurrently; output is flushed in
 // deterministic ID order and is byte-identical to -parallel 1. A
 // panicking or timed-out experiment is reported as failed without
 // killing the sweep, and the process exits non-zero.
+//
+// With -server, experiments run on a prestored daemon instead of in
+// process: every experiment is submitted up front (so the daemon's pool
+// runs them concurrently and identical requests hit its result cache),
+// then outputs are printed in ID order — byte-identical to a local run.
+// SIGINT cancels the sweep; local or remote, in-flight experiments stop
+// at their next iteration boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -39,9 +49,11 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"experiment worker-pool size (1 = serial; output is identical either way)")
 	timeout := flag.Duration("timeout", 0,
-		"per-experiment wall-clock timeout (0 = none)")
+		"per-experiment wall-clock timeout (0 = none; local runs only)")
 	jsonPath := flag.String("json", "",
 		"also write results as a JSON array to this file")
+	serverURL := flag.String("server", "",
+		"run experiments on a prestored daemon at this base URL instead of in process")
 	cpuProfile := flag.String("cpuprofile", "",
 		"write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "",
@@ -71,6 +83,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT cancels the sweep cooperatively: in-flight experiments
+	// stop at their next iteration boundary and are reported failed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -87,13 +104,22 @@ func main() {
 
 	sweepStart := time.Now()
 	opsBefore := sim.RetiredOps()
-	results := bench.Run(os.Stdout, exps, bench.RunnerConfig{
-		Parallel: *parallel,
-		Quick:    *quick,
-		Timeout:  *timeout,
-	})
+	var results []bench.Result
+	var runErr error
+	if *serverURL != "" {
+		results, runErr = runRemote(ctx, os.Stdout, *serverURL, exps, *quick)
+	} else {
+		results, runErr = bench.Run(ctx, os.Stdout, exps, bench.RunnerConfig{
+			Parallel: *parallel,
+			Quick:    *quick,
+			Timeout:  *timeout,
+		})
+	}
 	sweepOps := sim.RetiredOps() - opsBefore
 	sweepWall := time.Since(sweepStart)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "prestore-bench: sweep aborted: %v\n", runErr)
+	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -136,11 +162,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "prestore-bench: %d experiment(s), %s total experiment time, %d failed\n",
 		len(results), wall.Round(time.Millisecond), failed)
-	if s := sweepWall.Seconds(); s > 0 && sweepOps > 0 {
-		fmt.Fprintf(os.Stderr, "prestore-bench: %d simulated ops in %s (%.2f Mops/s host throughput)\n",
-			sweepOps, sweepWall.Round(time.Millisecond), float64(sweepOps)/s/1e6)
+	if *serverURL == "" {
+		if s := sweepWall.Seconds(); s > 0 && sweepOps > 0 {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %d simulated ops in %s (%.2f Mops/s host throughput)\n",
+				sweepOps, sweepWall.Round(time.Millisecond), float64(sweepOps)/s/1e6)
+		}
 	}
-	if failed > 0 {
+	if failed > 0 || runErr != nil {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"prestores/internal/bench"
+)
+
+// jobStatus and streamEvent mirror the prestored daemon's wire types
+// (internal/server.JobStatus and its NDJSON stream events).
+type jobStatus struct {
+	ID     string        `json:"id"`
+	State  string        `json:"state"`
+	Cached bool          `json:"cached"`
+	Error  string        `json:"error"`
+	Result *bench.Result `json:"result"`
+}
+
+type streamEvent struct {
+	Event string     `json:"event"`
+	Data  string     `json:"data"`
+	Job   *jobStatus `json:"job"`
+}
+
+// handle tracks one submitted experiment: the job ID to follow, or the
+// already-final result when the submit was answered from the cache.
+type handle struct {
+	id  string
+	res *bench.Result
+}
+
+// runRemote executes the sweep on a prestored daemon. All experiments
+// are submitted up front — the daemon runs them on its worker pool and
+// answers repeats from its result cache — then outputs are printed in
+// input order, streaming the job whose turn it is. The bytes written to
+// w are identical to a local bench.Run over the same experiments.
+func runRemote(ctx context.Context, w io.Writer, base string, exps []bench.Experiment, quick bool) ([]bench.Result, error) {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{}
+	results := make([]bench.Result, 0, len(exps))
+
+	handles := make([]handle, len(exps))
+	for i, e := range exps {
+		st, err := submitRemote(ctx, client, base, e.ID, quick)
+		if err != nil {
+			cancelRemote(client, base, handles)
+			return results, fmt.Errorf("submitting %s: %w", e.ID, err)
+		}
+		if st.Cached {
+			handles[i] = handle{res: st.Result}
+		} else {
+			handles[i] = handle{id: st.ID}
+		}
+	}
+
+	for i, h := range handles {
+		res := h.res
+		if res == nil {
+			r, err := streamRemote(ctx, client, w, base, h.id)
+			if err != nil {
+				cancelRemote(client, base, handles[i:])
+				return results, fmt.Errorf("streaming %s (%s): %w", exps[i].ID, h.id, err)
+			}
+			res = r
+			// The stream already carried the output bytes; only the
+			// failure trailer is local (it matches bench.Run's).
+		} else if _, err := io.WriteString(w, res.Output); err != nil {
+			cancelRemote(client, base, handles[i:])
+			return results, err
+		}
+		if res.Failed() {
+			fmt.Fprintf(w, "!!! %s failed: %s\n", res.ID, res.Err)
+		}
+		results = append(results, *res)
+	}
+	return results, nil
+}
+
+// submitRemote posts one experiment, retrying while the daemon's queue
+// is full (429): queued jobs drain as the sweep progresses.
+func submitRemote(ctx context.Context, client *http.Client, base, id string, quick bool) (*jobStatus, error) {
+	body, _ := json.Marshal(map[string]any{"id": id, "quick": quick})
+	for {
+		req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/experiments", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			var st jobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				return nil, fmt.Errorf("bad job handle: %v", err)
+			}
+			return &st, nil
+		case http.StatusTooManyRequests:
+			select {
+			case <-time.After(100 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		default:
+			return nil, fmt.Errorf("daemon returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+	}
+}
+
+// streamRemote follows one job's NDJSON stream, copying output chunks
+// to w as they arrive, and returns the final result.
+func streamRemote(ctx context.Context, client *http.Client, w io.Writer, base, id string) (*bench.Result, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("daemon returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("bad stream line: %v", err)
+		}
+		switch ev.Event {
+		case "output":
+			if _, err := io.WriteString(w, ev.Data); err != nil {
+				return nil, err
+			}
+		case "done":
+			if ev.Job == nil || ev.Job.Result == nil {
+				return nil, fmt.Errorf("done event without result")
+			}
+			return ev.Job.Result, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("stream ended without a done event")
+}
+
+// cancelRemote best-effort cancels jobs the client will no longer
+// collect, so an aborted sweep does not leave the daemon simulating
+// for nobody. Detached jobs need the explicit DELETE.
+func cancelRemote(client *http.Client, base string, handles []handle) {
+	for _, h := range handles {
+		if h.id == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		req, err := http.NewRequestWithContext(ctx, "DELETE", base+"/v1/jobs/"+h.id, nil)
+		if err == nil {
+			if resp, err := client.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+		cancel()
+	}
+}

@@ -1,0 +1,95 @@
+// Command prestored serves the prestores stack as a daemon: paper
+// experiments, DirtBuster analyses and trace analyses become HTTP jobs
+// with progress streaming, a content-addressed result cache, and
+// Prometheus metrics.
+//
+// Usage:
+//
+//	prestored                          # listen on :8344
+//	prestored -addr :9000 -workers 4   # custom listen address and pool
+//	prestored -queue 16 -job-timeout 10m
+//
+// Quick start against a running daemon:
+//
+//	curl -s localhost:8344/v1/experiments                      # registry
+//	curl -s -X POST localhost:8344/v1/experiments \
+//	     -d '{"id":"fig3","quick":true}'                       # submit
+//	curl -s localhost:8344/v1/jobs/job-1                       # poll
+//	curl -sN -X POST 'localhost:8344/v1/experiments?stream=1' \
+//	     -d '{"id":"fig3","quick":true}'                       # stream
+//	curl -s localhost:8344/metrics                             # scrape
+//
+// The first SIGINT/SIGTERM drains gracefully: the listener stops, new
+// submits get 503, queued and running jobs complete (bounded by
+// -drain-timeout). A second signal cancels the remaining jobs
+// cooperatively and exits as soon as they stop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prestores/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	workers := flag.Int("workers", 0, "job worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued-job bound; a full queue rejects submits with 429 (0 = default 64)")
+	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job wall-clock timeout (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute,
+		"graceful-shutdown bound; jobs still running at the deadline are cancelled")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "prestored: listening on %s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "prestored: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "prestored: %v: draining (second signal forces)\n", sig)
+	}
+
+	// Stop accepting connections, then drain jobs. A second signal
+	// collapses the drain window to an immediate cooperative cancel.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "prestored: forcing shutdown")
+		cancelDrain()
+	}()
+
+	lctx, cancelListen := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelListen()
+	if err := hs.Shutdown(lctx); err != nil {
+		hs.Close()
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "prestored: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "prestored: shutdown complete")
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,7 +39,7 @@ func init() {
 	})
 }
 
-func runAblateDrain(w io.Writer, quick bool) {
+func runAblateDrain(ctx context.Context, w io.Writer, quick bool) {
 	iters := 20000
 	if quick {
 		iters = 5000
@@ -46,6 +47,9 @@ func runAblateDrain(w io.Writer, quick bool) {
 	header(w, "drain", "reads", "base cyc", "demote cyc", "improvement")
 	for _, drain := range []sim.DrainMode{sim.DrainLazy, sim.DrainEager} {
 		for _, n := range []int{20, 80} {
+			if cancelled(ctx) {
+				return
+			}
 			mk := func() *sim.Machine {
 				cfg := sim.ConfigB(sim.MachineBConfig{FPGALatency: 60, FPGABandwidth: 10e9})
 				cfg.Drain = drain
@@ -64,11 +68,14 @@ func runAblateDrain(w io.Writer, quick bool) {
 	}
 }
 
-func runAblateLLC(w io.Writer, quick bool) {
+func runAblateLLC(ctx context.Context, w io.Writer, quick bool) {
 	esz := uint64(1024)
 	vol := fig3Volume(quick)
 	header(w, "llc policy", "base amp", "clean amp", "speedup")
 	for _, pol := range []cache.Policy{cache.QLRU, cache.PLRU, cache.LRU, cache.Random, cache.SRRIP} {
+		if cancelled(ctx) {
+			return
+		}
 		mk := func() *sim.Machine {
 			cfg := sim.ConfigA()
 			cfg.LLC.Policy = pol
@@ -87,13 +94,16 @@ func runAblateLLC(w io.Writer, quick bool) {
 	}
 }
 
-func runAblateDir(w io.Writer, quick bool) {
+func runAblateDir(ctx context.Context, w io.Writer, quick bool) {
 	iters := 20000
 	if quick {
 		iters = 5000
 	}
 	header(w, "directory", "base cyc", "demote cyc", "improvement")
 	for _, onDevice := range []bool{true, false} {
+		if cancelled(ctx) {
+			return
+		}
 		mk := func() *sim.Machine {
 			cfg := sim.ConfigB(sim.MachineBConfig{FPGALatency: 200, FPGABandwidth: 1.5e9})
 			cfg.DirOnDevice = onDevice
@@ -115,11 +125,14 @@ func runAblateDir(w io.Writer, quick bool) {
 	}
 }
 
-func runAblatePMEMBuf(w io.Writer, quick bool) {
+func runAblatePMEMBuf(ctx context.Context, w io.Writer, quick bool) {
 	esz := uint64(1024)
 	vol := fig3Volume(quick)
 	header(w, "buf entries", "base amp", "clean amp")
 	for _, entries := range []int{8, 32, 128} {
+		if cancelled(ctx) {
+			return
+		}
 		mk := func() *sim.Machine {
 			cfg := sim.ConfigA()
 			for i := range cfg.Windows {

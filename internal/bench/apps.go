@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,9 +54,12 @@ func trainCfg(batch int, mode tensor.Mode, quick bool) tensor.TrainConfig {
 	return tensor.TrainConfig{BatchSize: batch, Features: feat, Steps: steps, Mode: mode}
 }
 
-func runFig7(w io.Writer, quick bool) {
+func runFig7(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "batch", "base Mcyc", "clean gain", "skip gain")
 	for _, batch := range fig7Batches(quick) {
+		if cancelled(ctx) {
+			return
+		}
 		base := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Baseline, quick))
 		clean := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Clean, quick))
 		skip := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Skip, quick))
@@ -66,9 +70,12 @@ func runFig7(w io.Writer, quick bool) {
 	}
 }
 
-func runFig8(w io.Writer, quick bool) {
+func runFig8(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "batch", "base amp", "clean amp")
 	for _, batch := range fig7Batches(quick) {
+		if cancelled(ctx) {
+			return
+		}
 		base := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Baseline, quick))
 		clean := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Clean, quick))
 		row(w, fmt.Sprint(batch), f2(base.WriteAmp), f2(clean.WriteAmp))
@@ -82,9 +89,12 @@ func nasKernels(quick bool) []nas.Kernel {
 	return []nas.Kernel{nas.MG, nas.FT, nas.SP, nas.UA, nas.BT, nas.IS}
 }
 
-func runFig9(w io.Writer, quick bool) {
+func runFig9(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "kernel", "base amp", "clean amp", "norm runtime", "cksum ok")
 	for _, k := range nasKernels(quick) {
+		if cancelled(ctx) {
+			return
+		}
 		cfg := nas.Config{Kernel: k, Iters: 1, Seed: 3}
 		if quick {
 			cfg.Scale = quickScale(k)
@@ -117,13 +127,16 @@ func quickScale(k nas.Kernel) int {
 	}
 }
 
-func runOverhead(w io.Writer, quick bool) {
+func runOverhead(ctx context.Context, w io.Writer, quick bool) {
 	// 1. DirtBuster-recommended cleans on Machine B, where neither
 	// mechanism applies (no write amplification on the FPGA, NAS uses
 	// no fences): overhead should be negligible.
 	fmt.Fprintln(w, "-- recommended pre-stores on the wrong machine (B-fast): overhead --")
 	header(w, "kernel", "base Mcyc", "clean Mcyc", "overhead")
 	for _, k := range []nas.Kernel{nas.MG, nas.SP} {
+		if cancelled(ctx) {
+			return
+		}
 		cfg := nas.Config{Kernel: k, Iters: 1, Seed: 3, Window: sim.WindowRemote}
 		if quick {
 			cfg.Scale = quickScale(k)
@@ -140,6 +153,9 @@ func runOverhead(w io.Writer, quick bool) {
 
 	// 2. FT's fftz2: manually cleaning the hot in-cache scratch that
 	// DirtBuster refuses to recommend (write-back per rewrite).
+	if cancelled(ctx) {
+		return
+	}
 	fmt.Fprintln(w, "-- FT fftz2: manual clean of the hot scratch (the trap) --")
 	ftCfg := nas.Config{Kernel: nas.FT, Iters: 1, Seed: 3}
 	if quick {
@@ -156,6 +172,9 @@ func runOverhead(w io.Writer, quick bool) {
 
 	// 3. IS rank: small random writes, neither re-read nor sequential;
 	// a clean is useless but also (nearly) free.
+	if cancelled(ctx) {
+		return
+	}
 	fmt.Fprintln(w, "-- IS rank: manual clean of random small writes (no effect expected) --")
 	isCfg := nas.Config{Kernel: nas.IS, Iters: 1, Seed: 3}
 	if quick {

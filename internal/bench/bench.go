@@ -1,11 +1,12 @@
 // Package bench is the experiment harness: one registered experiment
 // per table and figure of the paper's evaluation, each regenerating the
 // same rows/series the paper reports, plus the ablations called out in
-// DESIGN.md. The cmd/prestore-bench binary and the root bench_test.go
-// drive this registry.
+// DESIGN.md. The cmd/prestore-bench binary, the prestored daemon
+// (internal/server) and the root bench_test.go drive this registry.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -20,8 +21,11 @@ type Experiment struct {
 	// Paper summarizes what the paper reports, for side-by-side reading.
 	Paper string
 	// Run executes the experiment, writing its table to w. quick mode
-	// shrinks sweeps for smoke tests and testing.B use.
-	Run func(w io.Writer, quick bool)
+	// shrinks sweeps for smoke tests and testing.B use. Implementations
+	// check ctx at sweep-iteration boundaries (see cancelled) and return
+	// early once it is done; the runner detects the cancellation and
+	// reports the experiment failed with its partial output.
+	Run func(ctx context.Context, w io.Writer, quick bool)
 }
 
 var registry = map[string]Experiment{}
@@ -50,17 +54,50 @@ func All() []Experiment {
 	return out
 }
 
+// cancelled reports whether ctx is done. Experiment sweep loops call it
+// at iteration boundaries, so a timeout, a client disconnect or a
+// daemon shutdown stops simulation work at the next boundary instead of
+// burning a worker until the sweep would have finished on its own.
+func cancelled(ctx context.Context) bool { return ctx.Err() != nil }
+
 // RunAll executes every experiment in ID order on a single worker; it
 // is Run with Parallel: 1 over the full registry.
-func RunAll(w io.Writer, quick bool) {
-	Run(w, All(), RunnerConfig{Parallel: 1, Quick: quick})
+func RunAll(ctx context.Context, w io.Writer, quick bool) error {
+	_, err := Run(ctx, w, All(), RunnerConfig{Parallel: 1, Quick: quick})
+	return err
 }
 
-// RunOne executes a single experiment with its header.
-func RunOne(w io.Writer, e Experiment, quick bool) {
-	fmt.Fprintf(w, "\n=== %s: %s ===\n", e.ID, e.Title)
-	fmt.Fprintf(w, "paper: %s\n", e.Paper)
-	e.Run(w, quick)
+// RunOne executes a single experiment with its header. It returns the
+// first error w reported; once a write fails, the remaining output is
+// discarded (experiments keep their plain io.Writer contract, so the
+// latched error is how a hung-up sink surfaces).
+func RunOne(ctx context.Context, w io.Writer, e Experiment, quick bool) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "\n=== %s: %s ===\n", e.ID, e.Title)
+	fmt.Fprintf(ew, "paper: %s\n", e.Paper)
+	if ew.err == nil && !cancelled(ctx) {
+		e.Run(ctx, ew, quick)
+	}
+	return ew.err
+}
+
+// errWriter latches the first write error and discards everything
+// after it. Experiments write through fmt helpers that drop errors, so
+// this is what lets RunOne and the runner notice a dead sink.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
 }
 
 // header prints a column header row.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -53,7 +54,7 @@ func TestExperimentMetadata(t *testing.T) {
 func TestTable1Output(t *testing.T) {
 	e, _ := Lookup("table1")
 	var sb strings.Builder
-	e.Run(&sb, true)
+	e.Run(context.Background(), &sb, true)
 	out := sb.String()
 	for _, want := range []string{"optane", "256B", "fpga", "64B"} {
 		if !strings.Contains(out, want) {
@@ -70,7 +71,7 @@ func TestQuickExperimentsRun(t *testing.T) {
 	for _, id := range []string{"listing3", "skipvsclean", "ablate-dir"} {
 		e, _ := Lookup(id)
 		var sb strings.Builder
-		RunOne(&sb, e, true)
+		RunOne(context.Background(), &sb, e, true)
 		if !strings.Contains(sb.String(), e.Title) {
 			t.Errorf("%s output missing title", id)
 		}
@@ -96,9 +97,9 @@ func TestTable2WorkloadsNamed(t *testing.T) {
 }
 
 func TestRunOneHeader(t *testing.T) {
-	e := Experiment{ID: "t", Title: "Title", Paper: "P", Run: func(w io.Writer, _ bool) {}}
+	e := Experiment{ID: "t", Title: "Title", Paper: "P", Run: func(_ context.Context, w io.Writer, _ bool) {}}
 	var sb strings.Builder
-	RunOne(&sb, e, true)
+	RunOne(context.Background(), &sb, e, true)
 	if !strings.Contains(sb.String(), "Title") || !strings.Contains(sb.String(), "P") {
 		t.Fatal("header incomplete")
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,7 +19,7 @@ func init() {
 	})
 }
 
-func runCXLSSD(w io.Writer, quick bool) {
+func runCXLSSD(ctx context.Context, w io.Writer, quick bool) {
 	sizes := []uint64{512, 2048, 8192}
 	vol := uint64(24 * units.MiB)
 	if quick {
@@ -27,6 +28,9 @@ func runCXLSSD(w io.Writer, quick bool) {
 	}
 	header(w, "elem", "base amp", "clean amp", "speedup")
 	for _, esz := range sizes {
+		if cancelled(ctx) {
+			return
+		}
 		cfg := micro.Listing1Config{
 			ElemSize: esz, Elements: int(32 * units.MiB / esz),
 			Threads: 2, Iters: int(vol / esz / 2),

@@ -1,10 +1,22 @@
-package bench
+// Golden-determinism guard. This file is an external test package so
+// it can drive the experiments the way real consumers do — through the
+// exported runner API and through the prestored HTTP daemon — and
+// assert all of them produce the same bytes.
+package bench_test
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
+
+	"prestores/internal/bench"
+	"prestores/internal/server"
 )
 
 // goldenIDs is a cross-section of the registry covering every subsystem
@@ -29,6 +41,19 @@ var goldenIDs = []string{
 // and update the constant in the same commit that explains the change.
 const goldenSHA256 = "001281f3bccc41f60a5ad26f76bf982231f2806b799de97970a160407ddb3424"
 
+func goldenExperiments(t *testing.T) []bench.Experiment {
+	t.Helper()
+	exps := make([]bench.Experiment, 0, len(goldenIDs))
+	for _, id := range goldenIDs {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
 // TestGoldenOutput locks the experiment output down to the byte. It is
 // the regression oracle that lets hot-path rewrites proceed safely:
 // any accidental change to timing, accounting, or formatting shows up
@@ -37,16 +62,12 @@ func TestGoldenOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden cross-section takes a few seconds; skipped with -short")
 	}
-	exps := make([]Experiment, 0, len(goldenIDs))
-	for _, id := range goldenIDs {
-		e, ok := Lookup(id)
-		if !ok {
-			t.Fatalf("experiment %q not registered", id)
-		}
-		exps = append(exps, e)
-	}
+	exps := goldenExperiments(t)
 	var buf bytes.Buffer
-	results := Run(&buf, exps, RunnerConfig{Parallel: 4, Quick: true})
+	results, err := bench.Run(context.Background(), &buf, exps, bench.RunnerConfig{Parallel: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var totalOps uint64
 	for i := range results {
 		if results[i].Failed() {
@@ -63,5 +84,94 @@ func TestGoldenOutput(t *testing.T) {
 	if got := hex.EncodeToString(sum[:]); got != goldenSHA256 {
 		t.Errorf("golden output hash = %s; want %s\n"+
 			"If the model changed intentionally, update goldenSHA256 (see comment).", got, goldenSHA256)
+	}
+}
+
+// TestGoldenOutputThroughServer extends the guard across the prestored
+// daemon: an experiment's output served over HTTP — both the uncached
+// run and the cache hit that follows it — must be byte-identical to
+// RunOne in process. If the service layer ever reformats, truncates or
+// re-times output, this catches it.
+func TestGoldenOutputThroughServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment; skipped with -short")
+	}
+	e, ok := bench.Lookup("listing3")
+	if !ok {
+		t.Fatal("experiment listing3 not registered")
+	}
+	var want bytes.Buffer
+	if err := bench.RunOne(context.Background(), &want, e, true); err != nil {
+		t.Fatal(err)
+	}
+
+	s := server.New(server.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	submit := func() server.JobStatus {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/experiments", "application/json",
+			bytes.NewReader([]byte(`{"id":"listing3","quick":true}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	poll := func(id string) server.JobStatus {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st server.JobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch st.State {
+			case "done", "failed", "cancelled":
+				return st
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still %s", id, st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	first := submit()
+	if first.Cached {
+		t.Fatalf("fresh daemon served from cache: %+v", first)
+	}
+	st := poll(first.ID)
+	if st.State != "done" || st.Result == nil {
+		t.Fatalf("uncached run: %+v", st)
+	}
+	if st.Result.Output != want.String() {
+		t.Fatalf("uncached server output differs from RunOne:\n got: %q\nwant: %q",
+			st.Result.Output, want.String())
+	}
+
+	second := submit()
+	if !second.Cached || second.Result == nil {
+		t.Fatalf("identical resubmit not served from cache: %+v", second)
+	}
+	if second.Result.Output != want.String() {
+		t.Fatalf("cached server output differs from RunOne:\n got: %q\nwant: %q",
+			second.Result.Output, want.String())
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,16 +19,16 @@ func init() {
 		ID:    "fig10",
 		Title: "CLHT, YCSB-A on Machine A: throughput vs value size",
 		Paper: "Fig 10: skip up to 2.9x, clean up to 2.3x over baseline",
-		Run: func(w io.Writer, quick bool) {
-			runKVA(w, quick, "clht", []kv.CraftMode{kv.CraftBaseline, kv.CraftClean, kv.CraftSkip})
+		Run: func(ctx context.Context, w io.Writer, quick bool) {
+			runKVA(ctx, w, quick, "clht", []kv.CraftMode{kv.CraftBaseline, kv.CraftClean, kv.CraftSkip})
 		},
 	})
 	register(Experiment{
 		ID:    "fig11",
 		Title: "Masstree, YCSB-A on Machine A: throughput vs value size",
 		Paper: "Fig 11: skip up to 2.5x, clean up to 1.9x over baseline",
-		Run: func(w io.Writer, quick bool) {
-			runKVA(w, quick, "masstree", []kv.CraftMode{kv.CraftBaseline, kv.CraftClean, kv.CraftSkip})
+		Run: func(ctx context.Context, w io.Writer, quick bool) {
+			runKVA(ctx, w, quick, "masstree", []kv.CraftMode{kv.CraftBaseline, kv.CraftClean, kv.CraftSkip})
 		},
 	})
 	register(Experiment{
@@ -40,16 +41,16 @@ func init() {
 		ID:    "fig13",
 		Title: "CLHT, YCSB-A (1KB values) on Machine B fast/slow",
 		Paper: "Fig 13: cleaning (dc cvau -> demote to L2) 52% faster on B-fast",
-		Run: func(w io.Writer, quick bool) {
-			runKVB(w, quick, "clht")
+		Run: func(ctx context.Context, w io.Writer, quick bool) {
+			runKVB(ctx, w, quick, "clht")
 		},
 	})
 	register(Experiment{
 		ID:    "fig14",
 		Title: "Masstree, YCSB-A (1KB values) on Machine B fast/slow",
 		Paper: "Fig 14: cleaning 25% faster",
-		Run: func(w io.Writer, quick bool) {
-			runKVB(w, quick, "masstree")
+		Run: func(ctx context.Context, w io.Writer, quick bool) {
+			runKVB(ctx, w, quick, "masstree")
 		},
 	})
 	register(Experiment{
@@ -83,7 +84,7 @@ func kvSetup(mk func() *sim.Machine, which, window string, quick bool) (*sim.Mac
 	return m, store, heap, cfg
 }
 
-func runKVA(w io.Writer, quick bool, which string, modes []kv.CraftMode) {
+func runKVA(ctx context.Context, w io.Writer, quick bool, which string, modes []kv.CraftMode) {
 	sizes := []uint32{64, 128, 256, 1024, 4096}
 	if quick {
 		sizes = []uint32{256, 1024}
@@ -92,6 +93,9 @@ func runKVA(w io.Writer, quick bool, which string, modes []kv.CraftMode) {
 	for _, vsz := range sizes {
 		results := map[kv.CraftMode]ycsb.Result{}
 		for _, mode := range modes {
+			if cancelled(ctx) {
+				return
+			}
 			m, store, heap, cfg := kvSetup(sim.MachineA, which, sim.WindowPMEM, quick)
 			cfg.ValueSize = vsz
 			cfg.Craft = mode
@@ -109,7 +113,7 @@ func runKVA(w io.Writer, quick bool, which string, modes []kv.CraftMode) {
 	}
 }
 
-func runFig12(w io.Writer, quick bool) {
+func runFig12(ctx context.Context, w io.Writer, quick bool) {
 	sizes := []uint32{64, 128, 256, 1024, 4096}
 	if quick {
 		sizes = []uint32{256, 1024}
@@ -118,6 +122,9 @@ func runFig12(w io.Writer, quick bool) {
 	for _, vsz := range sizes {
 		amps := map[kv.CraftMode]float64{}
 		for _, mode := range []kv.CraftMode{kv.CraftBaseline, kv.CraftClean, kv.CraftSkip} {
+			if cancelled(ctx) {
+				return
+			}
 			m, store, heap, cfg := kvSetup(sim.MachineA, "clht", sim.WindowPMEM, quick)
 			cfg.ValueSize = vsz
 			cfg.Craft = mode
@@ -129,7 +136,7 @@ func runFig12(w io.Writer, quick bool) {
 	}
 }
 
-func runKVB(w io.Writer, quick bool, which string) {
+func runKVB(ctx context.Context, w io.Writer, quick bool, which string) {
 	header(w, "machine", "baseline", "clean", "improvement")
 	for _, mk := range []struct {
 		name string
@@ -139,6 +146,9 @@ func runKVB(w io.Writer, quick bool, which string) {
 		// On ARM the "clean" patch compiles to dc cvau, which our
 		// machines model via CleanToPOU (paper §2 / §7.3.1).
 		for _, mode := range []kv.CraftMode{kv.CraftBaseline, kv.CraftClean} {
+			if cancelled(ctx) {
+				return
+			}
 			m, store, heap, cfg := kvSetup(mk.mk, which, sim.WindowRemote, quick)
 			cfg.ValueSize = 1024
 			cfg.Craft = mode
@@ -151,7 +161,7 @@ func runKVB(w io.Writer, quick bool, which string) {
 	}
 }
 
-func runX9(w io.Writer, quick bool) {
+func runX9(ctx context.Context, w io.Writer, quick bool) {
 	iters := 20000
 	if quick {
 		iters = 4000
@@ -161,6 +171,9 @@ func runX9(w io.Writer, quick bool) {
 		name string
 		mk   func() *sim.Machine
 	}{{"B-fast", sim.MachineBFast}, {"B-slow", sim.MachineBSlow}} {
+		if cancelled(ctx) {
+			return
+		}
 		cfg := x9.Config{Iters: iters, MsgSize: 512, Seed: 3}
 		cfg.Mode = x9.Baseline
 		base := x9.Run(mk.mk(), cfg)

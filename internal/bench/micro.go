@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -42,7 +43,7 @@ func init() {
 	})
 }
 
-func runTable1(w io.Writer, _ bool) {
+func runTable1(ctx context.Context, w io.Writer, _ bool) {
 	header(w, "device", "granularity", "read lat", "machine")
 	type dev struct{ machine, window string }
 	rows := []dev{
@@ -58,6 +59,9 @@ func runTable1(w io.Writer, _ bool) {
 		"machine-C": sim.MachineC(),
 	}
 	for _, r := range rows {
+		if cancelled(ctx) {
+			return
+		}
 		d := machines[r.machine].Device(r.window)
 		row(w, d.Name(), units.Bytes(d.InternalGranularity()),
 			fmt.Sprintf("%d cyc", d.ReadLatency()), r.machine)
@@ -75,7 +79,7 @@ func fig3Volume(quick bool) uint64 {
 	return 48 * units.MiB
 }
 
-func runFig3(w io.Writer, quick bool) {
+func runFig3(ctx context.Context, w io.Writer, quick bool) {
 	sizes := []uint64{256, 1024, 4096}
 	threads := []int{1, 2, 5}
 	if quick {
@@ -85,6 +89,9 @@ func runFig3(w io.Writer, quick bool) {
 	header(w, "threads", "elem", "base cyc/op", "base amp", "clean amp", "speedup")
 	for _, th := range threads {
 		for _, esz := range sizes {
+			if cancelled(ctx) {
+				return
+			}
 			iters := int(fig3Volume(quick) / esz / uint64(th))
 			elems := int(32 * units.MiB / esz)
 			cfg := micro.Listing1Config{
@@ -103,12 +110,15 @@ func runFig3(w io.Writer, quick bool) {
 	}
 }
 
-func runListing3(w io.Writer, quick bool) {
+func runListing3(ctx context.Context, w io.Writer, quick bool) {
 	iters := 200000
 	if quick {
 		iters = 20000
 	}
 	base := micro.RunListing3(sim.MachineA(), micro.Listing3Config{Iters: iters, Mode: micro.Baseline})
+	if cancelled(ctx) {
+		return
+	}
 	clean := micro.RunListing3(sim.MachineA(), micro.Listing3Config{Iters: iters, Mode: micro.CleanPrestore})
 	header(w, "variant", "cyc/rewrite", "slowdown")
 	row(w, "baseline", fmt.Sprintf("%.1f", base.CyclesPerRew), "1.0x")
@@ -116,12 +126,15 @@ func runListing3(w io.Writer, quick bool) {
 		fmt.Sprintf("%.0fx", clean.CyclesPerRew/base.CyclesPerRew))
 }
 
-func runSkipVsClean(w io.Writer, quick bool) {
+func runSkipVsClean(ctx context.Context, w io.Writer, quick bool) {
 	esz := uint64(256)
 	iters := int(fig3Volume(quick) / esz / 2)
 	elems := int(32 * units.MiB / esz)
 	header(w, "re-read?", "clean cyc/op", "skip cyc/op", "skip/clean")
 	for _, reread := range []bool{true, false} {
+		if cancelled(ctx) {
+			return
+		}
 		cfg := micro.Listing1Config{
 			ElemSize: esz, Elements: elems, Threads: 2, Iters: iters,
 			ReRead: reread, Seed: 42,
@@ -137,7 +150,7 @@ func runSkipVsClean(w io.Writer, quick bool) {
 	}
 }
 
-func runFig5(w io.Writer, quick bool) {
+func runFig5(ctx context.Context, w io.Writer, quick bool) {
 	reads := []int{0, 5, 10, 20, 40, 80, 160, 320}
 	iters := 20000
 	if quick {
@@ -150,6 +163,9 @@ func runFig5(w io.Writer, quick bool) {
 		mk   func() *sim.Machine
 	}{{"B-fast", sim.MachineBFast}, {"B-slow", sim.MachineBSlow}} {
 		for _, n := range reads {
+			if cancelled(ctx) {
+				return
+			}
 			cfg := micro.Listing2Config{Elements: 100000, Reads: n, Iters: iters, Seed: 7}
 			cfg.Mode = micro.Baseline
 			base := micro.RunListing2(mk.mk(), cfg)

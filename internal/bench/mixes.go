@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,12 +19,15 @@ func init() {
 	})
 }
 
-func runYCSBMixes(w io.Writer, quick bool) {
+func runYCSBMixes(ctx context.Context, w io.Writer, quick bool) {
 	mixes := []ycsb.Workload{ycsb.A, ycsb.B, ycsb.C, ycsb.F}
 	header(w, "mix", "write ratio", "baseline", "clean", "clean gain")
 	for _, mix := range mixes {
 		results := map[kv.CraftMode]ycsb.Result{}
 		for _, mode := range []kv.CraftMode{kv.CraftBaseline, kv.CraftClean} {
+			if cancelled(ctx) {
+				return
+			}
 			m, store, heap, cfg := kvSetup(sim.MachineA, "clht", sim.WindowPMEM, quick)
 			cfg.ValueSize = 1024
 			cfg.Workload = mix
@@ -53,7 +57,7 @@ func init() {
 	})
 }
 
-func runKVThreads(w io.Writer, quick bool) {
+func runKVThreads(ctx context.Context, w io.Writer, quick bool) {
 	threads := []int{1, 2, 5, 10}
 	if quick {
 		threads = []int{2, 10}
@@ -62,6 +66,9 @@ func runKVThreads(w io.Writer, quick bool) {
 	for _, th := range threads {
 		results := map[kv.CraftMode]ycsb.Result{}
 		for _, mode := range []kv.CraftMode{kv.CraftBaseline, kv.CraftClean} {
+			if cancelled(ctx) {
+				return
+			}
 			m, store, heap, cfg := kvSetup(sim.MachineA, "clht", sim.WindowPMEM, quick)
 			cfg.ValueSize = 1024
 			cfg.Threads = th

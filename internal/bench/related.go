@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,12 +27,15 @@ func init() {
 
 // runPrefetchOrthogonal runs Listing 1 with and without a next-line
 // prefetcher, crossed with the clean pre-store.
-func runPrefetchOrthogonal(w io.Writer, quick bool) {
+func runPrefetchOrthogonal(ctx context.Context, w io.Writer, quick bool) {
 	esz := uint64(1024)
 	vol := fig3Volume(quick)
 	header(w, "prefetch", "mode", "cyc/op", "write amp")
 	for _, depth := range []int{0, 2} {
 		for _, mode := range []micro.Mode{micro.Baseline, micro.CleanPrestore} {
+			if cancelled(ctx) {
+				return
+			}
 			cfg := sim.ConfigA()
 			cfg.PrefetchDepth = depth
 			m := sim.NewMachine(cfg)
@@ -53,12 +57,15 @@ func runPrefetchOrthogonal(w io.Writer, quick bool) {
 
 // runSeqLog runs the log-structured variant of Listing 1: application
 // writes are perfectly sequential, yet the baseline still amplifies.
-func runSeqLog(w io.Writer, quick bool) {
+func runSeqLog(ctx context.Context, w io.Writer, quick bool) {
 	esz := uint64(1024)
 	vol := fig3Volume(quick)
 	header(w, "writer", "mode", "cyc/op", "write amp")
 	for _, seq := range []bool{false, true} {
 		for _, mode := range []micro.Mode{micro.Baseline, micro.CleanPrestore} {
+			if cancelled(ctx) {
+				return
+			}
 			res := micro.RunListing1(sim.MachineA(), micro.Listing1Config{
 				ElemSize: esz, Elements: int(32 * units.MiB / esz),
 				Threads: 2, Iters: int(vol / esz / 2),

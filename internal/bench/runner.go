@@ -2,7 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -14,9 +16,9 @@ import (
 
 // Result records one experiment execution under the runner: what ran,
 // how long it took on the wall clock, everything it printed, and the
-// failure (panic or timeout) if it did not complete. Results are what
-// the -json emitter serializes, so benchmark trajectories can be diffed
-// across revisions.
+// failure (panic, timeout or cancellation) if it did not complete.
+// Results are what the -json emitter and the prestored daemon
+// serialize, so benchmark trajectories can be diffed across revisions.
 type Result struct {
 	ID       string        `json:"id"`
 	Title    string        `json:"title"`
@@ -26,7 +28,10 @@ type Result struct {
 	// wall time: the simulator's host-side throughput. With Parallel > 1
 	// concurrent experiments retire ops into the same process-wide
 	// counter, so per-experiment figures are exact only at -parallel 1;
-	// the sweep-wide aggregate is always meaningful.
+	// the sweep-wide aggregate is always meaningful. A timed-out or
+	// cancelled experiment stops at its next sweep-iteration boundary,
+	// so it does not keep retiring ops into the windows of experiments
+	// that run after it was reported failed.
 	SimOps       uint64  `json:"sim_ops"`
 	SimOpsPerSec float64 `json:"sim_ops_per_sec"`
 	Output       string  `json:"output"`
@@ -45,10 +50,11 @@ type RunnerConfig struct {
 	Parallel int
 	// Quick shrinks sweeps for smoke tests.
 	Quick bool
-	// Timeout bounds each experiment's wall-clock time; 0 disables.
-	// Experiments are not cancellable mid-run, so a timed-out experiment
-	// is reported failed and its goroutine abandoned (it keeps a worker's
-	// CPU busy but never blocks the sweep from finishing).
+	// Timeout bounds each experiment's wall-clock time; 0 disables. The
+	// deadline cancels the experiment's context; experiments observe it
+	// at sweep-iteration boundaries, return, and free their worker for
+	// the next experiment. An experiment that ignores its context keeps
+	// its worker until it finishes on its own.
 	Timeout time.Duration
 }
 
@@ -59,8 +65,15 @@ type RunnerConfig struct {
 // same experiments serially with RunOne — regardless of Parallel.
 //
 // A panicking experiment is contained: it yields a Result with Err set
-// (and an error line on w) instead of killing the sweep.
-func Run(w io.Writer, exps []Experiment, cfg RunnerConfig) []Result {
+// (and an error line on w) instead of killing the sweep. Cancelling ctx
+// stops in-flight experiments at their next sweep-iteration boundary
+// and fails the not-yet-flushed ones with a cancellation error.
+//
+// The returned error is the first write error w reported, if any (the
+// sink hung up — remaining experiments are cancelled rather than
+// simulated for nobody), else ctx's error if it was cancelled, else
+// nil. Even on error the returned slice always has len(exps) entries.
+func Run(ctx context.Context, w io.Writer, exps []Experiment, cfg RunnerConfig) ([]Result, error) {
 	workers := cfg.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -72,6 +85,9 @@ func Run(w io.Writer, exps []Experiment, cfg RunnerConfig) []Result {
 		workers = 1
 	}
 
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	results := make([]Result, len(exps))
 	jobs := make(chan int)
 	completed := make(chan int, len(exps))
@@ -81,7 +97,7 @@ func Run(w io.Writer, exps []Experiment, cfg RunnerConfig) []Result {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				results[idx] = runGuarded(exps[idx], cfg.Quick, cfg.Timeout)
+				results[idx] = runGuarded(runCtx, exps[idx], cfg.Quick, cfg.Timeout)
 				completed <- idx
 			}
 		}()
@@ -95,86 +111,127 @@ func Run(w io.Writer, exps []Experiment, cfg RunnerConfig) []Result {
 
 	// Flush in deterministic input order: a finished experiment waits
 	// until every earlier one has been flushed.
+	var writeErr error
 	done := make([]bool, len(exps))
 	next := 0
 	for range exps {
 		i := <-completed
 		done[i] = true
 		for next < len(exps) && done[next] {
-			flushResult(w, &results[next])
+			if writeErr == nil {
+				if err := flushResult(w, &results[next]); err != nil {
+					// The sink hung up mid-stream: stop the remaining
+					// experiments instead of simulating for nobody.
+					writeErr = err
+					cancel()
+				}
+			}
 			next++
 		}
 	}
 	wg.Wait()
-	return results
+	if writeErr != nil {
+		return results, writeErr
+	}
+	return results, ctx.Err()
 }
 
 // flushResult writes one experiment's captured output, appending an
-// error trailer for failed runs.
-func flushResult(w io.Writer, r *Result) {
-	io.WriteString(w, r.Output)
-	if r.Failed() {
-		fmt.Fprintf(w, "!!! %s failed: %s\n", r.ID, r.Err)
+// error trailer for failed runs, and reports the first write error.
+func flushResult(w io.Writer, r *Result) error {
+	if _, err := io.WriteString(w, r.Output); err != nil {
+		return err
 	}
-}
-
-// syncBuffer is a mutex-guarded output buffer. A timed-out experiment's
-// abandoned goroutine may still be writing when the runner snapshots the
-// partial output, so both sides must lock.
-type syncBuffer struct {
-	mu  sync.Mutex
-	buf bytes.Buffer
-}
-
-func (b *syncBuffer) Write(p []byte) (int, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.buf.Write(p)
-}
-
-func (b *syncBuffer) String() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.buf.String()
+	if r.Failed() {
+		if _, err := fmt.Fprintf(w, "!!! %s failed: %s\n", r.ID, r.Err); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runGuarded executes one experiment with panic recovery and an
-// optional wall-clock timeout, capturing its output.
-func runGuarded(e Experiment, quick bool, timeout time.Duration) Result {
-	buf := &syncBuffer{}
+// optional wall-clock deadline, capturing its output. It runs the
+// experiment on the calling goroutine: cancellation is cooperative
+// (the experiment returns at its next sweep-iteration boundary), so
+// a timed-out run frees its worker instead of being abandoned to burn
+// CPU — and to pollute the process-wide SimOps counter — in the
+// background.
+func runGuarded(ctx context.Context, e Experiment, quick bool, timeout time.Duration) Result {
+	r, _ := RunOneGuarded(ctx, nil, e, RunnerConfig{Quick: quick, Timeout: timeout})
+	return r
+}
+
+// RunOneGuarded executes a single experiment with the runner's full
+// harness — panic containment, cooperative timeout/cancellation
+// labeling, SimOps accounting — while streaming output to sink as it
+// is produced (Run buffers output for deterministic sweep
+// interleaving; a single guarded run has nothing to interleave with).
+// sink may be nil. The returned Result always captures the complete
+// output; the returned error is the first write error sink reported,
+// if any. cfg.Parallel is ignored.
+func RunOneGuarded(ctx context.Context, sink io.Writer, e Experiment, cfg RunnerConfig) (Result, error) {
+	rctx := ctx
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	t := &teeWriter{sink: sink}
 	start := time.Now()
 	opsBefore := sim.RetiredOps()
-	errc := make(chan string, 1) // buffered: an abandoned run must not block
-	go func() {
-		var errText string
-		defer func() {
-			if r := recover(); r != nil {
-				errText = fmt.Sprintf("panic: %v", r)
-			}
-			errc <- errText
-		}()
-		RunOne(buf, e, quick)
-	}()
+	errText := runRecovered(rctx, t, e, cfg.Quick)
 
-	res := Result{ID: e.ID, Title: e.Title}
-	if timeout <= 0 {
-		res.Err = <-errc
-	} else {
-		timer := time.NewTimer(timeout)
-		defer timer.Stop()
-		select {
-		case res.Err = <-errc:
-		case <-timer.C:
-			res.Err = fmt.Sprintf("timeout after %s (run abandoned)", timeout)
-		}
-	}
+	res := Result{ID: e.ID, Title: e.Title, Err: errText}
 	res.WallTime = time.Since(start)
 	res.SimOps = sim.RetiredOps() - opsBefore
 	if s := res.WallTime.Seconds(); s > 0 {
 		res.SimOpsPerSec = float64(res.SimOps) / s
 	}
-	res.Output = buf.String()
-	return res
+	res.Output = t.buf.String()
+	if res.Err == "" {
+		switch err := rctx.Err(); {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			res.Err = fmt.Sprintf("timeout after %s", cfg.Timeout)
+		default:
+			res.Err = fmt.Sprintf("cancelled: %v", err)
+		}
+	}
+	return res, t.err
+}
+
+// teeWriter captures all output in buf and forwards it to sink
+// best-effort, latching sink's first error without disturbing the
+// capture (the Result must stay complete even when the sink dies).
+type teeWriter struct {
+	buf  bytes.Buffer
+	sink io.Writer
+	err  error
+}
+
+func (t *teeWriter) Write(p []byte) (int, error) {
+	t.buf.Write(p)
+	if t.sink != nil && t.err == nil {
+		if _, err := t.sink.Write(p); err != nil {
+			t.err = err
+		}
+	}
+	return len(p), nil
+}
+
+// runRecovered executes RunOne with panic containment, returning the
+// failure text ("" for a clean run).
+func runRecovered(ctx context.Context, w io.Writer, e Experiment, quick bool) (errText string) {
+	defer func() {
+		if r := recover(); r != nil {
+			errText = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	if err := RunOne(ctx, w, e, quick); err != nil {
+		return err.Error()
+	}
+	return ""
 }
 
 // WriteJSON writes results as an indented JSON array — one well-formed

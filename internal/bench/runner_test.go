@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -17,7 +20,7 @@ func synth(id string, sleep time.Duration, body string) Experiment {
 		ID:    id,
 		Title: "synthetic " + id,
 		Paper: "n/a",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(_ context.Context, w io.Writer, quick bool) {
 			time.Sleep(sleep)
 			fmt.Fprintf(w, "%s quick=%v\n", body, quick)
 		},
@@ -28,7 +31,7 @@ func synth(id string, sleep time.Duration, body string) Experiment {
 func serialOutput(exps []Experiment, quick bool) string {
 	var sb strings.Builder
 	for _, e := range exps {
-		RunOne(&sb, e, quick)
+		RunOne(context.Background(), &sb, e, quick)
 	}
 	return sb.String()
 }
@@ -44,7 +47,10 @@ func TestRunParallelOutputMatchesSerial(t *testing.T) {
 	want := serialOutput(exps, true)
 	for _, workers := range []int{1, 2, 8, 32} {
 		var sb strings.Builder
-		results := Run(&sb, exps, RunnerConfig{Parallel: workers, Quick: true})
+		results, err := Run(context.Background(), &sb, exps, RunnerConfig{Parallel: workers, Quick: true})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
 		if got := sb.String(); got != want {
 			t.Fatalf("parallel=%d output differs from serial:\n got: %q\nwant: %q", workers, got, want)
 		}
@@ -67,13 +73,13 @@ func TestRunParallelOutputMatchesSerial(t *testing.T) {
 
 func TestRunDefaultsAndEmpty(t *testing.T) {
 	var sb strings.Builder
-	if results := Run(&sb, nil, RunnerConfig{}); len(results) != 0 {
-		t.Fatalf("empty run returned %d results", len(results))
+	if results, err := Run(context.Background(), &sb, nil, RunnerConfig{}); len(results) != 0 || err != nil {
+		t.Fatalf("empty run returned %d results, err %v", len(results), err)
 	}
 	// Parallel <= 0 falls back to GOMAXPROCS and still works.
-	results := Run(&sb, []Experiment{synth("one", 0, "x")}, RunnerConfig{Parallel: -3})
-	if len(results) != 1 || results[0].Failed() {
-		t.Fatalf("default-parallel run broken: %+v", results)
+	results, err := Run(context.Background(), &sb, []Experiment{synth("one", 0, "x")}, RunnerConfig{Parallel: -3})
+	if err != nil || len(results) != 1 || results[0].Failed() {
+		t.Fatalf("default-parallel run broken: %+v, err %v", results, err)
 	}
 }
 
@@ -81,14 +87,17 @@ func TestRunContainsPanics(t *testing.T) {
 	exps := []Experiment{
 		synth("a", 0, "ok-a"),
 		{ID: "boom", Title: "panicking experiment", Paper: "n/a",
-			Run: func(w io.Writer, _ bool) {
+			Run: func(_ context.Context, w io.Writer, _ bool) {
 				fmt.Fprintln(w, "partial output")
 				panic("kaboom")
 			}},
 		synth("z", 0, "ok-z"),
 	}
 	var sb strings.Builder
-	results := Run(&sb, exps, RunnerConfig{Parallel: 2, Quick: true})
+	results, err := Run(context.Background(), &sb, exps, RunnerConfig{Parallel: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if results[0].Failed() || results[2].Failed() {
 		t.Fatalf("healthy experiments failed: %+v", results)
 	}
@@ -108,22 +117,32 @@ func TestRunContainsPanics(t *testing.T) {
 	}
 }
 
-func TestRunTimeout(t *testing.T) {
-	block := make(chan struct{})
-	defer close(block)
+// TestRunTimeoutCooperative proves the timeout path is cooperative:
+// the experiment observes its context, returns, and frees the worker —
+// no goroutine keeps simulating in the background after the Result is
+// reported (the old runner abandoned it).
+func TestRunTimeoutCooperative(t *testing.T) {
+	var returned atomic.Bool
 	exps := []Experiment{
-		{ID: "stuck", Title: "never finishes", Paper: "n/a",
-			Run: func(w io.Writer, _ bool) {
+		{ID: "stuck", Title: "waits for cancellation", Paper: "n/a",
+			Run: func(ctx context.Context, w io.Writer, _ bool) {
+				defer returned.Store(true)
 				fmt.Fprintln(w, "started")
-				<-block
+				<-ctx.Done() // a sweep loop blocked at an iteration boundary
 			}},
 		synth("after", 0, "still-runs"),
 	}
 	var sb strings.Builder
 	start := time.Now()
-	results := Run(&sb, exps, RunnerConfig{Parallel: 2, Quick: true, Timeout: 30 * time.Millisecond})
+	results, err := Run(context.Background(), &sb, exps, RunnerConfig{Parallel: 1, Quick: true, Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if el := time.Since(start); el > 5*time.Second {
 		t.Fatalf("timed-out experiment blocked the runner for %s", el)
+	}
+	if !returned.Load() {
+		t.Fatal("timed-out experiment still running after Run returned (worker leaked)")
 	}
 	r := results[0]
 	if !r.Failed() || !strings.Contains(r.Err, "timeout after") {
@@ -135,11 +154,97 @@ func TestRunTimeout(t *testing.T) {
 	if !strings.Contains(r.Output, "started") {
 		t.Fatalf("partial output of timed-out run lost: %q", r.Output)
 	}
+	// Parallel: 1 means "after" only ran once the timed-out experiment
+	// freed the single worker.
 	if results[1].Failed() {
 		t.Fatalf("experiment after the timeout failed: %+v", results[1])
 	}
 	if !strings.Contains(sb.String(), "!!! stuck failed: timeout") {
 		t.Fatalf("stream missing timeout trailer:\n%s", sb.String())
+	}
+}
+
+// TestRunCancel checks that cancelling the sweep context fails
+// in-flight experiments with a cancellation error and surfaces
+// ctx.Err() from Run.
+func TestRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	exps := []Experiment{
+		{ID: "victim", Title: "cancelled mid-run", Paper: "n/a",
+			Run: func(ctx context.Context, w io.Writer, _ bool) {
+				fmt.Fprintln(w, "row 1")
+				cancel() // simulate a client disconnect mid-sweep
+				<-ctx.Done()
+			}},
+		synth("next", 0, "never-or-cancelled"),
+	}
+	var sb strings.Builder
+	results, err := Run(ctx, &sb, exps, RunnerConfig{Parallel: 1, Quick: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if !results[0].Failed() || !strings.Contains(results[0].Err, "cancelled") {
+		t.Fatalf("cancelled experiment not reported: %+v", results[0])
+	}
+	if !strings.Contains(results[0].Output, "row 1") {
+		t.Fatalf("partial output lost: %q", results[0].Output)
+	}
+	if !results[1].Failed() {
+		t.Fatalf("experiment queued behind the cancellation ran to completion: %+v", results[1])
+	}
+}
+
+// failAfterWriter fails every write after the first n bytes — a client
+// that hangs up mid-stream.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written >= w.n {
+		return 0, errors.New("broken pipe")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestRunWriteErrorPropagates checks the flush path: a failing sink
+// surfaces as Run's error and cancels the experiments that have not
+// been flushed yet instead of simulating for nobody.
+func TestRunWriteErrorPropagates(t *testing.T) {
+	var lateRan atomic.Bool
+	exps := []Experiment{
+		synth("first", 0, "body-1"),
+		{ID: "late", Title: "behind the broken pipe", Paper: "n/a",
+			Run: func(ctx context.Context, w io.Writer, _ bool) {
+				// Wait for the runner to notice the dead sink; sweep
+				// loops observe this as ctx cancellation.
+				select {
+				case <-ctx.Done():
+				case <-time.After(5 * time.Second):
+					lateRan.Store(true)
+				}
+				fmt.Fprintln(w, "late body")
+			}},
+	}
+	w := &failAfterWriter{n: 0} // the very first flush fails
+	results, err := Run(context.Background(), w, exps, RunnerConfig{Parallel: 1, Quick: true})
+	if err == nil || !strings.Contains(err.Error(), "broken pipe") {
+		t.Fatalf("Run returned %v, want broken pipe", err)
+	}
+	if lateRan.Load() {
+		t.Fatal("write error did not cancel the remaining experiments")
+	}
+	if !results[1].Failed() {
+		t.Fatalf("experiment behind the dead sink reported success: %+v", results[1])
+	}
+}
+
+func TestRunOneWriteError(t *testing.T) {
+	err := RunOne(context.Background(), &failAfterWriter{}, synth("x", 0, "b"), true)
+	if err == nil || !strings.Contains(err.Error(), "broken pipe") {
+		t.Fatalf("RunOne returned %v, want broken pipe", err)
 	}
 }
 

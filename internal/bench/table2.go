@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -116,9 +117,12 @@ func Table2Workloads(quick bool) []dirtbuster.Workload {
 	return out
 }
 
-func runTable2(w io.Writer, quick bool) {
+func runTable2(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "application", "write-int", "sequential", "before-fence", "choice")
 	for _, wl := range Table2Workloads(quick) {
+		if cancelled(ctx) {
+			return
+		}
 		rep := dirtbuster.Analyze(wl, dirtbuster.Config{})
 		seq, fence := "", ""
 		choice := core.NoPrestore

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"prestores/internal/bench"
+	"prestores/internal/dirtbuster"
+	"prestores/internal/pmcheck"
+	"prestores/internal/sim"
+)
+
+// experimentSpec is the POST /v1/experiments body. Its JSON encoding
+// (fixed field order) is part of the cache key.
+type experimentSpec struct {
+	ID    string `json:"id"`
+	Quick bool   `json:"quick"`
+}
+
+// dirtbusterSpec is the POST /v1/dirtbuster body.
+type dirtbusterSpec struct {
+	Workload string `json:"workload"`
+	Quick    bool   `json:"quick"`
+}
+
+// traceSpec is the POST /v1/trace body: record the named workload's
+// operation trace, then analyze it offline. Mode selects the analysis:
+// "dirtbuster" (default) for the paper-format report, "report" for the
+// perf-report-style per-function time profile, "pmcheck" for the
+// persistence checker.
+type traceSpec struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	PMBase   uint64 `json:"pm_base,omitempty"`
+	PMSize   uint64 `json:"pm_size,omitempty"`
+}
+
+// experimentRun builds the run function for an experiment job: the
+// bench runner's single-experiment harness (panic containment,
+// timeout, cooperative cancellation, SimOps accounting), streaming
+// output into the progress log as rows are produced. The output bytes
+// are exactly what bench.RunOne writes for the same experiment, which
+// is what the golden-determinism guard asserts.
+func (s *Server) experimentRun(e bench.Experiment, quick bool) func(context.Context, *progressLog) bench.Result {
+	return func(ctx context.Context, l *progressLog) bench.Result {
+		r, _ := bench.RunOneGuarded(ctx, l, e, bench.RunnerConfig{
+			Quick:   quick,
+			Timeout: s.cfg.JobTimeout,
+		})
+		return r
+	}
+}
+
+// analysisRun wraps a DirtBuster or trace analysis in the same
+// guarded shape as an experiment run: panic containment, wall-time and
+// SimOps accounting, cancellation labeling. The analyses themselves
+// are single pipeline stages over a private simulated machine, so
+// cancellation is observed between stages rather than mid-simulation.
+func analysisRun(id, title string, timeout time.Duration,
+	body func(ctx context.Context, out *bytes.Buffer) error) func(context.Context, *progressLog) bench.Result {
+	return func(ctx context.Context, l *progressLog) bench.Result {
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		var out bytes.Buffer
+		start := time.Now()
+		opsBefore := sim.RetiredOps()
+		errText := func() (errText string) {
+			defer func() {
+				if r := recover(); r != nil {
+					errText = fmt.Sprintf("panic: %v", r)
+				}
+			}()
+			if err := ctx.Err(); err != nil {
+				return fmt.Sprintf("cancelled: %v", err)
+			}
+			if err := body(ctx, &out); err != nil {
+				return err.Error()
+			}
+			return ""
+		}()
+		res := bench.Result{ID: id, Title: title, Err: errText}
+		res.WallTime = time.Since(start)
+		res.SimOps = sim.RetiredOps() - opsBefore
+		if sec := res.WallTime.Seconds(); sec > 0 {
+			res.SimOpsPerSec = float64(res.SimOps) / sec
+		}
+		res.Output = out.String()
+		l.Write(out.Bytes())
+		return res
+	}
+}
+
+// lookupWorkload finds a DirtBuster-analyzable workload by name.
+func (s *Server) lookupWorkload(name string, quick bool) (dirtbuster.Workload, bool) {
+	for _, w := range s.cfg.Workloads(quick) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return dirtbuster.Workload{}, false
+}
+
+// dirtbusterRun builds the run function for a DirtBuster analysis job.
+func (s *Server) dirtbusterRun(wl dirtbuster.Workload) func(context.Context, *progressLog) bench.Result {
+	return analysisRun("dirtbuster/"+wl.Name, "DirtBuster analysis of "+wl.Name, s.cfg.JobTimeout,
+		func(ctx context.Context, out *bytes.Buffer) error {
+			rep := dirtbuster.Analyze(wl, dirtbuster.Config{})
+			fmt.Fprintln(out, rep.Render())
+			return nil
+		})
+}
+
+// traceRun builds the run function for a trace-analysis job: record
+// the workload's full operation trace, then analyze the recording
+// offline per spec.Mode. Cancellation is checked between the record
+// and analyze stages.
+func (s *Server) traceRun(wl dirtbuster.Workload, spec traceSpec) func(context.Context, *progressLog) bench.Result {
+	mode := spec.Mode
+	if mode == "" {
+		mode = "dirtbuster"
+	}
+	return analysisRun("trace/"+mode+"/"+wl.Name, "trace analysis ("+mode+") of "+wl.Name, s.cfg.JobTimeout,
+		func(ctx context.Context, out *bytes.Buffer) error {
+			tb, line := dirtbuster.Record(wl)
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cancelled: %w", err)
+			}
+			switch mode {
+			case "dirtbuster":
+				rep := dirtbuster.AnalyzeTrace(wl.Name, tb, line, dirtbuster.Config{})
+				fmt.Fprintln(out, rep.Render())
+			case "report":
+				fmt.Fprintf(out, "%-32s %10s %8s %8s %8s\n", "function", "cycles", "time%", "store%", "ops")
+				for _, ft := range tb.TimeByFunction() {
+					if ft.Fn == "" {
+						ft.Fn = "(untagged)"
+					}
+					storePct := 0.0
+					if ft.Cycles > 0 {
+						storePct = 100 * float64(ft.StoreCyc) / float64(ft.Cycles)
+					}
+					fmt.Fprintf(out, "%-32s %10d %7.1f%% %7.1f%% %8d\n",
+						ft.Fn, ft.Cycles, ft.TimeShare*100, storePct, ft.Ops)
+				}
+			case "pmcheck":
+				base, size := spec.PMBase, spec.PMSize
+				if base == 0 {
+					base = 1 << 40
+				}
+				if size == 0 {
+					size = 256 << 30
+				}
+				res := pmcheck.Check(tb, pmcheck.Config{Base: base, Size: size, LineSize: line})
+				fmt.Fprintf(out, "pmcheck: %d line-stores checked, %d commits, %d violations\n",
+					res.StoresChecked, res.Commits, len(res.Violations))
+				for _, v := range res.Violations {
+					fmt.Fprintln(out, "  ", v)
+				}
+			default:
+				return fmt.Errorf("unknown trace mode %q (want dirtbuster, report or pmcheck)", mode)
+			}
+			return nil
+		})
+}

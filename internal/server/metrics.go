@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"prestores/internal/sim"
+)
+
+// metrics holds the daemon's monotonic counters. Gauges that are
+// derived from scheduler state (queue depth, cache size) are sampled
+// at scrape time and passed to render as metricsGauges.
+type metrics struct {
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	coalesced     atomic.Int64
+	rejected      atomic.Int64
+	running       atomic.Int64
+
+	startOps uint64 // sim.RetiredOps() at server start
+	start    time.Time
+}
+
+func (m *metrics) init() {
+	m.startOps = sim.RetiredOps()
+	m.start = time.Now()
+}
+
+// metricsGauges is the point-in-time scheduler state sampled per scrape.
+type metricsGauges struct {
+	queueDepth    int
+	queueCapacity int
+	workers       int
+	inflight      int
+	cacheEntries  int
+	uptime        time.Duration
+}
+
+// render writes the Prometheus text exposition format (version 0.0.4).
+func (m *metrics) render(w io.Writer, g metricsGauges) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("prestored_jobs_completed_total", "Jobs that finished successfully.", m.jobsDone.Load())
+	counter("prestored_jobs_failed_total", "Jobs that finished with an error (panic or timeout).", m.jobsFailed.Load())
+	counter("prestored_jobs_cancelled_total", "Jobs cancelled before completion.", m.jobsCancelled.Load())
+	counter("prestored_jobs_rejected_total", "Submits rejected with 429 because the queue was full.", m.rejected.Load())
+	counter("prestored_cache_hits_total", "Submits answered from the result cache.", m.cacheHits.Load())
+	counter("prestored_cache_misses_total", "Submits that enqueued new work.", m.cacheMisses.Load())
+	counter("prestored_coalesced_total", "Submits attached to an identical in-flight job.", m.coalesced.Load())
+
+	gauge("prestored_jobs_running", "Jobs currently executing on a worker.", float64(m.running.Load()))
+	gauge("prestored_queue_depth", "Jobs waiting in the queue.", float64(g.queueDepth))
+	gauge("prestored_queue_capacity", "Bound on queued jobs; full queue rejects with 429.", float64(g.queueCapacity))
+	gauge("prestored_workers", "Worker-pool size.", float64(g.workers))
+	gauge("prestored_inflight_keys", "Distinct cache keys currently queued or running.", float64(g.inflight))
+	gauge("prestored_cache_entries", "Results held in the cache.", float64(g.cacheEntries))
+	gauge("prestored_uptime_seconds", "Seconds since the daemon started.", g.uptime.Seconds())
+
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	gauge("prestored_cache_hit_ratio", "cache_hits / (cache_hits + cache_misses) since start.", ratio)
+
+	ops := sim.RetiredOps() - m.startOps
+	counter("prestored_sim_ops_total", "Simulated operations retired since the daemon started.", int64(ops))
+	opsPerSec := 0.0
+	if sec := time.Since(m.start).Seconds(); sec > 0 {
+		opsPerSec = float64(ops) / sec
+	}
+	gauge("prestored_sim_ops_per_second", "Average simulated-operation throughput since start.", opsPerSec)
+}

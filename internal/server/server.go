@@ -1,0 +1,634 @@
+// Package server exposes the whole prestores stack — paper
+// experiments, DirtBuster analyses and trace analyses — as a
+// simulation-as-a-service HTTP/JSON daemon (cmd/prestored). It is
+// stdlib-only: net/http for transport, a bounded job queue feeding a
+// worker pool built on the bench runner's guarded single-experiment
+// harness, a content-addressed result cache with in-flight request
+// coalescing, NDJSON progress streaming, Prometheus-text metrics, and
+// graceful shutdown that drains running jobs.
+//
+// API (all JSON unless noted):
+//
+//	POST   /v1/experiments        {"id":"fig3","quick":true}    submit an experiment job
+//	POST   /v1/dirtbuster         {"workload":"clht","quick":true}
+//	POST   /v1/trace              {"workload":"clht","mode":"dirtbuster|report|pmcheck"}
+//	       ?stream=1 on any submit streams NDJSON progress instead of returning a job handle
+//	GET    /v1/experiments        registry listing
+//	GET    /v1/workloads          DirtBuster workload listing
+//	GET    /v1/jobs/{id}          job status (+ result when finished)
+//	GET    /v1/jobs/{id}/stream   NDJSON progress stream (attach/replay)
+//	DELETE /v1/jobs/{id}          cooperative cancellation
+//	GET    /metrics               Prometheus text format
+//	GET    /healthz               liveness ("ok", or 503 while draining)
+//
+// Submits return 202 with a job handle (or 200 with the result on a
+// cache hit), 429 when the queue is full, and 503 while shutting down.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"prestores/internal/bench"
+	"prestores/internal/dirtbuster"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers is the job worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// <= 0 means 64. A full queue rejects submits with 429.
+	QueueDepth int
+	// JobTimeout bounds each job's wall-clock time; 0 disables.
+	JobTimeout time.Duration
+	// MaxFinished bounds how many finished jobs (and cached results)
+	// are retained, oldest evicted first; <= 0 means 1024.
+	MaxFinished int
+	// Version namespaces the result cache: results computed by one
+	// build must not be served for another. Empty means the VCS
+	// revision from build info, or "dev".
+	Version string
+	// Lookup resolves experiment IDs; nil means bench.Lookup.
+	// Tests inject synthetic experiments here.
+	Lookup func(id string) (bench.Experiment, bool)
+	// Workloads lists the DirtBuster-analyzable workloads; nil means
+	// bench.Table2Workloads.
+	Workloads func(quick bool) []dirtbuster.Workload
+}
+
+var (
+	errQueueFull    = errors.New("job queue full")
+	errShuttingDown = errors.New("server shutting down")
+)
+
+// Server is the prestored daemon: scheduler, cache and HTTP surface.
+// Create with New, serve s.Handler(), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *job
+	wg    sync.WaitGroup // worker goroutines
+
+	mu       sync.Mutex
+	closed   bool
+	seq      uint64
+	jobs     map[string]*job          // by job ID, bounded by MaxFinished
+	finished []string                 // finished job IDs, eviction order
+	inflight map[string]*job          // cache key → queued/running job (coalescing)
+	cache    map[string]*bench.Result // cache key → successful result
+	cacheIDs map[string]string        // cache key → job ID that produced it
+
+	m     metrics
+	start time.Time
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxFinished <= 0 {
+		cfg.MaxFinished = 1024
+	}
+	if cfg.Version == "" {
+		cfg.Version = buildVersion()
+	}
+	if cfg.Lookup == nil {
+		cfg.Lookup = bench.Lookup
+	}
+	if cfg.Workloads == nil {
+		cfg.Workloads = bench.Table2Workloads
+	}
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		cache:    make(map[string]*bench.Result),
+		cacheIDs: make(map[string]string),
+		start:    time.Now(),
+	}
+	s.m.init()
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// buildVersion is the cache-key namespace: the VCS revision when the
+// binary carries one, else "dev".
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				return kv.Value
+			}
+		}
+	}
+	return "dev"
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the daemon: no new submits are accepted (503),
+// queued and running jobs run to completion, workers exit. If ctx
+// expires first, the remaining jobs are cancelled cooperatively and
+// Shutdown waits for them to stop, returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Drain deadline hit: cancel everything still alive and wait for
+	// the cooperative stops.
+	s.mu.Lock()
+	for _, j := range s.inflight {
+		j.cancel()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// worker drains the job queue. Dequeued jobs that were cancelled while
+// waiting have already been finalized and are skipped.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if !j.trySetRunning() {
+			continue
+		}
+		s.m.running.Add(1)
+		res := j.run(j.ctx, j.out)
+		s.m.running.Add(-1)
+		s.finalize(j, res)
+	}
+}
+
+// submit is the scheduling core: content-address the request, answer
+// from the cache, coalesce onto an identical in-flight job, or enqueue
+// a new one (429 when the queue is full). detached jobs run to
+// completion even if every watcher disconnects.
+func (s *Server) submit(kind string, spec any, detached bool,
+	run func(context.Context, *progressLog) bench.Result) (JobStatus, *job, error) {
+	key := cacheKey(kind, spec, s.cfg.Version)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, nil, errShuttingDown
+	}
+	if res, ok := s.cache[key]; ok {
+		s.m.cacheHits.Add(1)
+		return JobStatus{
+			ID: s.cacheIDs[key], Kind: kind, Key: key,
+			State: stateDone.String(), Cached: true, Result: res,
+		}, nil, nil
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.m.coalesced.Add(1)
+		if detached {
+			j.mu.Lock()
+			j.detached = true
+			j.mu.Unlock()
+		}
+		st := j.status()
+		st.Coalesced = true
+		return st, j, nil
+	}
+
+	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id: fmt.Sprintf("job-%d", s.seq), kind: kind, key: key,
+		run: run, ctx: ctx, cancel: cancel,
+		out: newProgressLog(), done: make(chan struct{}),
+		detached: detached,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.m.rejected.Add(1)
+		return JobStatus{}, nil, errQueueFull
+	}
+	s.jobs[j.id] = j
+	s.inflight[key] = j
+	s.m.cacheMisses.Add(1)
+	return j.status(), j, nil
+}
+
+// finalize moves a job to its final state, caches successful results,
+// updates metrics, evicts old finished jobs, and releases streamers.
+func (s *Server) finalize(j *job, res bench.Result) {
+	j.mu.Lock()
+	switch {
+	case j.ctx.Err() != nil:
+		j.state = stateCancelled
+	case res.Err != "":
+		j.state = stateFailed
+	default:
+		j.state = stateDone
+	}
+	final := j.state
+	j.result = &res
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	if final == stateDone {
+		s.cache[j.key] = &res
+		s.cacheIDs[j.key] = j.id
+	}
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.MaxFinished {
+		old := s.finished[0]
+		s.finished = s.finished[1:]
+		if oj, ok := s.jobs[old]; ok {
+			delete(s.jobs, old)
+			if s.cacheIDs[oj.key] == old {
+				delete(s.cache, oj.key)
+				delete(s.cacheIDs, oj.key)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	switch final {
+	case stateDone:
+		s.m.jobsDone.Add(1)
+	case stateFailed:
+		s.m.jobsFailed.Add(1)
+	case stateCancelled:
+		s.m.jobsCancelled.Add(1)
+	}
+	j.cancel() // release the context's resources
+	j.out.close()
+	close(j.done)
+}
+
+// watch registers a streaming connection on a job.
+func (s *Server) watch(j *job) {
+	j.mu.Lock()
+	j.watchers++
+	j.mu.Unlock()
+}
+
+// unwatch drops a streaming connection. When the last watcher of a
+// non-detached job disconnects before the job finishes, the job is
+// cancelled: nobody is waiting for the answer, so the simulation work
+// stops at its next iteration boundary. A job still in the queue is
+// finalized immediately.
+func (s *Server) unwatch(j *job) {
+	j.mu.Lock()
+	j.watchers--
+	abandon := j.watchers == 0 && !j.detached &&
+		(j.state == stateQueued || j.state == stateRunning)
+	wasQueued := abandon && j.state == stateQueued
+	if wasQueued {
+		j.state = stateCancelled // worker will skip it at dequeue
+	}
+	j.mu.Unlock()
+	if !abandon {
+		return
+	}
+	j.cancel()
+	if wasQueued {
+		s.finalizeAbandoned(j)
+	}
+}
+
+// cancelJob handles DELETE: cancel the context; a job still in the
+// queue is finalized immediately, a running one stops cooperatively.
+func (s *Server) cancelJob(j *job) {
+	j.mu.Lock()
+	wasQueued := j.state == stateQueued
+	if wasQueued {
+		j.state = stateCancelled
+	}
+	j.mu.Unlock()
+	j.cancel()
+	if wasQueued {
+		s.finalizeAbandoned(j)
+	}
+}
+
+// finalizeAbandoned records the final state of a job cancelled before
+// a worker picked it up. The state is already stateCancelled (set by
+// the caller under the job lock, which is what makes the worker skip
+// it), so finalize's bookkeeping runs with a synthetic result.
+func (s *Server) finalizeAbandoned(j *job) {
+	res := bench.Result{ID: j.kind, Title: "cancelled before start", Err: "cancelled: " + context.Canceled.Error()}
+	j.mu.Lock()
+	j.result = &res
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.finished = append(s.finished, j.id)
+	s.mu.Unlock()
+	s.m.jobsCancelled.Add(1)
+	j.out.close()
+	close(j.done)
+}
+
+// cacheKey content-addresses a request: kind, canonical spec JSON and
+// build version, hashed. Identical work submitted twice — across time
+// (cache) or concurrently (coalescing) — maps to the same key.
+func cacheKey(kind string, spec any, version string) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// Specs are plain structs; this cannot fail.
+		panic("server: unmarshalable spec: " + err.Error())
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(version))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ---- HTTP surface ----
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmitExperiment)
+	s.mux.HandleFunc("POST /v1/dirtbuster", s.handleSubmitDirtbuster)
+	s.mux.HandleFunc("POST /v1/trace", s.handleSubmitTrace)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleListWorkloads)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStreamJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// respondSubmit answers a submit: stream the job when requested,
+// otherwise return the job handle (202) or cached result (200).
+func (s *Server) respondSubmit(w http.ResponseWriter, r *http.Request, st JobStatus, j *job, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusTooManyRequests, "job queue full (depth %d); retry later", s.cfg.QueueDepth)
+	case errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	case j == nil: // cache hit
+		writeJSON(w, http.StatusOK, st)
+	case streamRequested(r):
+		s.streamJob(w, r, j)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func streamRequested(r *http.Request) bool {
+	v := r.URL.Query().Get("stream")
+	return v == "1" || v == "true"
+}
+
+func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) {
+	var spec experimentSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	e, ok := s.cfg.Lookup(spec.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q; GET /v1/experiments lists the registry", spec.ID)
+		return
+	}
+	st, j, err := s.submit("experiment", spec, !streamRequested(r), s.experimentRun(e, spec.Quick))
+	s.respondSubmit(w, r, st, j, err)
+}
+
+func (s *Server) handleSubmitDirtbuster(w http.ResponseWriter, r *http.Request) {
+	var spec dirtbusterSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	wl, ok := s.lookupWorkload(spec.Workload, spec.Quick)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown workload %q; GET /v1/workloads lists them", spec.Workload)
+		return
+	}
+	st, j, err := s.submit("dirtbuster", spec, !streamRequested(r), s.dirtbusterRun(wl))
+	s.respondSubmit(w, r, st, j, err)
+}
+
+func (s *Server) handleSubmitTrace(w http.ResponseWriter, r *http.Request) {
+	var spec traceSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	// Trace recordings always use smoke-sized workloads, like
+	// prestore-trace: full traces of full-size workloads are huge.
+	wl, ok := s.lookupWorkload(spec.Workload, true)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown workload %q; GET /v1/workloads lists them", spec.Workload)
+		return
+	}
+	st, j, err := s.submit("trace", spec, !streamRequested(r), s.traceRun(wl, spec))
+	s.respondSubmit(w, r, st, j, err)
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Paper string `json:"paper"`
+	}
+	var out []entry
+	for _, e := range bench.All() {
+		out = append(out, entry{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleListWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []string
+	for _, wl := range s.cfg.Workloads(true) {
+		out = append(out, wl.Name)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// streamEvent is one NDJSON line of a progress stream.
+type streamEvent struct {
+	Event string     `json:"event"` // "status", "output", "done"
+	Data  string     `json:"data,omitempty"`
+	Job   *JobStatus `json:"job,omitempty"`
+}
+
+func (s *Server) handleStreamJob(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.streamJob(w, r, j)
+}
+
+// streamJob follows a job as NDJSON: a status line, output chunks as
+// the simulation produces them, and a final done line carrying the
+// result. The connection is a watcher: if the last watcher of a
+// non-detached job disconnects, the job is cancelled (see unwatch).
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+
+	s.watch(j)
+	defer s.unwatch(j)
+
+	st := j.status()
+	if err := enc.Encode(streamEvent{Event: "status", Job: &st}); err != nil {
+		return
+	}
+	flush()
+
+	off := 0
+	for {
+		chunk, noff, closed, wake := j.out.next(off)
+		if len(chunk) > 0 {
+			off = noff
+			if err := enc.Encode(streamEvent{Event: "output", Data: string(chunk)}); err != nil {
+				return
+			}
+			flush()
+			continue
+		}
+		if closed {
+			break
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	<-j.done
+	st = j.status()
+	enc.Encode(streamEvent{Event: "done", Job: &st})
+	flush()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued := len(s.queue)
+	cacheEntries := len(s.cache)
+	inflight := len(s.inflight)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.render(w, metricsGauges{
+		queueDepth:    queued,
+		queueCapacity: s.cfg.QueueDepth,
+		workers:       s.cfg.Workers,
+		inflight:      inflight,
+		cacheEntries:  cacheEntries,
+		uptime:        time.Since(s.start),
+	})
+}

@@ -1,0 +1,626 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prestores/internal/bench"
+	"prestores/internal/dirtbuster"
+	"prestores/internal/sim"
+)
+
+// synthExperiment is a fast fake experiment: prints body, no simulation.
+func synthExperiment(id, body string) bench.Experiment {
+	return bench.Experiment{
+		ID: id, Title: "synthetic " + id, Paper: "n/a",
+		Run: func(_ context.Context, w io.Writer, quick bool) {
+			fmt.Fprintf(w, "%s quick=%v\n", body, quick)
+		},
+	}
+}
+
+// lookupOf builds a Config.Lookup over the given experiments.
+func lookupOf(exps ...bench.Experiment) func(string) (bench.Experiment, bool) {
+	m := map[string]bench.Experiment{}
+	for _, e := range exps {
+		m[e.ID] = e
+	}
+	return func(id string) (bench.Experiment, bool) { e, ok := m[id]; return e, ok }
+}
+
+// synthWorkload is a tiny DirtBuster-analyzable workload: a sequential
+// never-re-read writer, cheap enough for unit tests.
+func synthWorkload() dirtbuster.Workload {
+	return dirtbuster.Workload{
+		Name:       "synthwl",
+		NewMachine: sim.MachineA,
+		Run: func(m *sim.Machine) {
+			c := m.Core(0)
+			c.PushFunc("synthwl.write")
+			buf := make([]byte, 1024)
+			for i := uint64(0); i < 300; i++ {
+				c.Write(1<<40+i*1024, buf)
+			}
+			c.PopFunc()
+		},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		ts.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func getJob(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitFinal polls a job until it reaches a final state.
+func waitFinal(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := getJob(t, base, id)
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 10s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func submit(t *testing.T, base string, body any) JobStatus {
+	t.Helper()
+	code, data := postJSON(t, base+"/v1/experiments", body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", code, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestExperimentJobMatchesRunOne(t *testing.T) {
+	e := synthExperiment("e1", "hello rows")
+	_, ts := newTestServer(t, Config{Workers: 2, Lookup: lookupOf(e)})
+
+	st := submit(t, ts.URL, map[string]any{"id": "e1", "quick": true})
+	if st.State != "queued" && st.State != "running" {
+		t.Fatalf("fresh submit state = %q", st.State)
+	}
+	st = waitFinal(t, ts.URL, st.ID)
+	if st.State != "done" || st.Result == nil {
+		t.Fatalf("job did not finish cleanly: %+v", st)
+	}
+
+	var want bytes.Buffer
+	if err := bench.RunOne(context.Background(), &want, e, true); err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.Output != want.String() {
+		t.Fatalf("server output differs from RunOne:\n got: %q\nwant: %q", st.Result.Output, want.String())
+	}
+	if st.Result.WallTime <= 0 {
+		t.Fatalf("missing wall time: %+v", st.Result)
+	}
+}
+
+func TestCacheHitSkipsSecondRun(t *testing.T) {
+	var runs atomic.Int64
+	e := bench.Experiment{ID: "counted", Title: "counts runs", Paper: "n/a",
+		Run: func(_ context.Context, w io.Writer, _ bool) {
+			runs.Add(1)
+			fmt.Fprintln(w, "counted body")
+		}}
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	first := submit(t, ts.URL, map[string]any{"id": "counted", "quick": true})
+	first = waitFinal(t, ts.URL, first.ID)
+	if first.State != "done" {
+		t.Fatalf("first run: %+v", first)
+	}
+
+	code, data := postJSON(t, ts.URL+"/v1/experiments", map[string]any{"id": "counted", "quick": true})
+	if code != http.StatusOK {
+		t.Fatalf("cached submit: status %d (want 200): %s", code, data)
+	}
+	var second JobStatus
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Result == nil {
+		t.Fatalf("second submit not served from cache: %+v", second)
+	}
+	if second.Result.Output != first.Result.Output {
+		t.Fatalf("cached output differs:\n got: %q\nwant: %q", second.Result.Output, first.Result.Output)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("experiment ran %d times, want 1", n)
+	}
+
+	// A different spec (quick=false) is a different cache key.
+	third := submit(t, ts.URL, map[string]any{"id": "counted", "quick": false})
+	if third.Cached {
+		t.Fatalf("different spec served from cache: %+v", third)
+	}
+	waitFinal(t, ts.URL, third.ID)
+	if n := runs.Load(); n != 2 {
+		t.Fatalf("experiment ran %d times after distinct spec, want 2", n)
+	}
+}
+
+func TestCoalesceConcurrentIdenticalSubmits(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := bench.Experiment{ID: "slow", Title: "holds its worker", Paper: "n/a",
+		Run: func(ctx context.Context, w io.Writer, _ bool) {
+			close(started)
+			select {
+			case <-release:
+				fmt.Fprintln(w, "slow body")
+			case <-ctx.Done():
+			}
+		}}
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	first := submit(t, ts.URL, map[string]any{"id": "slow", "quick": true})
+	<-started
+	second := submit(t, ts.URL, map[string]any{"id": "slow", "quick": true})
+	if !second.Coalesced || second.ID != first.ID {
+		t.Fatalf("identical in-flight submit not coalesced: first=%+v second=%+v", first, second)
+	}
+	close(release)
+	st := waitFinal(t, ts.URL, first.ID)
+	if st.State != "done" || !strings.Contains(st.Result.Output, "slow body") {
+		t.Fatalf("coalesced job result: %+v", st)
+	}
+}
+
+func TestQueueFullRejectsWith429(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	blocker := func(id string) bench.Experiment {
+		return bench.Experiment{ID: id, Title: "blocker " + id, Paper: "n/a",
+			Run: func(ctx context.Context, w io.Writer, _ bool) {
+				started <- struct{}{}
+				select {
+				case <-release:
+				case <-ctx.Done():
+				}
+			}}
+	}
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 1,
+		Lookup: lookupOf(blocker("b1"), blocker("b2"), blocker("b3")),
+	})
+
+	first := submit(t, ts.URL, map[string]any{"id": "b1", "quick": true})
+	<-started // b1 occupies the only worker; the queue is empty
+	second := submit(t, ts.URL, map[string]any{"id": "b2", "quick": true})
+	code, data := postJSON(t, ts.URL+"/v1/experiments", map[string]any{"id": "b3", "quick": true})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("submit to full queue: status %d (want 429): %s", code, data)
+	}
+	if !strings.Contains(string(data), "queue full") {
+		t.Fatalf("429 body: %s", data)
+	}
+	close(release)
+	waitFinal(t, ts.URL, first.ID)
+	waitFinal(t, ts.URL, second.ID)
+}
+
+// readEvents decodes a full NDJSON stream.
+func readEvents(t *testing.T, r io.Reader) []streamEvent {
+	t.Helper()
+	var evs []streamEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func TestStreamDeliversOutputAndResult(t *testing.T) {
+	e := synthExperiment("es", "streamed rows")
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	body, _ := json.Marshal(map[string]any{"id": "es", "quick": true})
+	resp, err := http.Post(ts.URL+"/v1/experiments?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	evs := readEvents(t, resp.Body)
+	if len(evs) < 3 || evs[0].Event != "status" || evs[len(evs)-1].Event != "done" {
+		t.Fatalf("stream shape wrong: %+v", evs)
+	}
+	var streamed strings.Builder
+	for _, ev := range evs {
+		if ev.Event == "output" {
+			streamed.WriteString(ev.Data)
+		}
+	}
+	final := evs[len(evs)-1]
+	if final.Job == nil || final.Job.State != "done" || final.Job.Result == nil {
+		t.Fatalf("done event malformed: %+v", final)
+	}
+	var want bytes.Buffer
+	bench.RunOne(context.Background(), &want, e, true)
+	if streamed.String() != want.String() {
+		t.Fatalf("streamed output differs from RunOne:\n got: %q\nwant: %q", streamed.String(), want.String())
+	}
+	if final.Job.Result.Output != want.String() {
+		t.Fatalf("final result output differs: %q", final.Job.Result.Output)
+	}
+}
+
+// TestStreamDisconnectCancelsJob proves a hung-up client stops the
+// simulation: the job's context is cancelled, the run function returns
+// (no leaked worker), and the job lands in state cancelled.
+func TestStreamDisconnectCancelsJob(t *testing.T) {
+	started := make(chan struct{})
+	returned := make(chan struct{})
+	e := bench.Experiment{ID: "eb", Title: "runs until cancelled", Paper: "n/a",
+		Run: func(ctx context.Context, w io.Writer, _ bool) {
+			fmt.Fprintln(w, "begin")
+			close(started)
+			<-ctx.Done() // a sweep loop parked at an iteration boundary
+			close(returned)
+		}}
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e, synthExperiment("after", "worker is free"))})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	body, _ := json.Marshal(map[string]any{"id": "eb", "quick": true})
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/experiments?stream=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Read the status event to learn the job ID, then hang up.
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev streamEvent
+	if err := json.Unmarshal(line, &ev); err != nil || ev.Job == nil {
+		t.Fatalf("first stream line %q: %v", line, err)
+	}
+	<-started
+	cancel()
+
+	select {
+	case <-returned:
+	case <-time.After(10 * time.Second):
+		t.Fatal("experiment still running 10s after client disconnect (leaked worker)")
+	}
+	st := waitFinal(t, ts.URL, ev.Job.ID)
+	if st.State != "cancelled" {
+		t.Fatalf("abandoned job state = %q, want cancelled", st.State)
+	}
+	// The worker is free again: an unrelated job completes.
+	st = submit(t, ts.URL, map[string]any{"id": "after", "quick": true})
+	if st = waitFinal(t, ts.URL, st.ID); st.State != "done" {
+		t.Fatalf("job after disconnect: %+v", st)
+	}
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	running := bench.Experiment{ID: "run", Title: "running victim", Paper: "n/a",
+		Run: func(ctx context.Context, w io.Writer, _ bool) {
+			close(started)
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+		}}
+	queued := synthExperiment("queued", "never ran")
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(running, queued)})
+
+	first := submit(t, ts.URL, map[string]any{"id": "run", "quick": true})
+	<-started
+	second := submit(t, ts.URL, map[string]any{"id": "queued", "quick": true})
+
+	del := func(id string) JobStatus {
+		req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	// Cancelling a queued job finalizes it without ever running it.
+	if st := del(second.ID); st.State != "cancelled" {
+		t.Fatalf("cancelled queued job state = %q", st.State)
+	}
+	// Cancelling the running job stops it cooperatively.
+	del(first.ID)
+	if st := waitFinal(t, ts.URL, first.ID); st.State != "cancelled" {
+		t.Fatalf("cancelled running job state = %q", st.State)
+	}
+}
+
+func TestMetricsAndHealthz(t *testing.T) {
+	e := synthExperiment("m1", "metric rows")
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	st := submit(t, ts.URL, map[string]any{"id": "m1", "quick": true})
+	waitFinal(t, ts.URL, st.ID)
+	submit(t, ts.URL, map[string]any{"id": "m1", "quick": true}) // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	text := string(data)
+	for _, want := range []string{
+		"prestored_jobs_completed_total 1",
+		"prestored_cache_hits_total 1",
+		"prestored_cache_misses_total 1",
+		"prestored_cache_hit_ratio 0.5",
+		"prestored_queue_capacity",
+		"prestored_jobs_running 0",
+		"prestored_sim_ops_total",
+		"prestored_sim_ops_per_second",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hz.StatusCode)
+	}
+}
+
+func TestShutdownDrainsAndRefuses(t *testing.T) {
+	e := synthExperiment("d1", "drained")
+	s, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	st := submit(t, ts.URL, map[string]any{"id": "d1", "quick": true})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain shutdown: %v", err)
+	}
+	// The in-flight job completed rather than being killed.
+	if got := waitFinal(t, ts.URL, st.ID); got.State != "done" {
+		t.Fatalf("job state after drain = %q", got.State)
+	}
+	// New submits are refused, health reports draining.
+	code, _ := postJSON(t, ts.URL+"/v1/experiments", map[string]any{"id": "d1", "quick": true})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown: status %d (want 503)", code)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after shutdown: status %d (want 503)", hz.StatusCode)
+	}
+}
+
+func TestShutdownDeadlineCancelsStuckJobs(t *testing.T) {
+	e := bench.Experiment{ID: "stuck", Title: "waits for cancellation", Paper: "n/a",
+		Run: func(ctx context.Context, w io.Writer, _ bool) {
+			<-ctx.Done()
+		}}
+	s := New(Config{Workers: 1, Lookup: lookupOf(e)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st := submit(t, ts.URL, map[string]any{"id": "stuck", "quick": true})
+	waitRunning := time.Now().Add(5 * time.Second)
+	for getJob(t, ts.URL, st.ID).State != "running" {
+		if time.Now().After(waitRunning) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown returned %v, want deadline exceeded", err)
+	}
+	if got := getJob(t, ts.URL, st.ID); got.State != "cancelled" {
+		t.Fatalf("stuck job state after forced shutdown = %q", got.State)
+	}
+}
+
+func TestDirtbusterEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:   1,
+		Workloads: func(bool) []dirtbuster.Workload { return []dirtbuster.Workload{synthWorkload()} },
+	})
+	code, data := postJSON(t, ts.URL+"/v1/dirtbuster", map[string]any{"workload": "synthwl", "quick": true})
+	if code != http.StatusAccepted {
+		t.Fatalf("dirtbuster submit: status %d: %s", code, data)
+	}
+	var st JobStatus
+	json.Unmarshal(data, &st)
+	st = waitFinal(t, ts.URL, st.ID)
+	if st.State != "done" || !strings.Contains(st.Result.Output, "synthwl") {
+		t.Fatalf("dirtbuster job: %+v", st)
+	}
+
+	code, data = postJSON(t, ts.URL+"/v1/dirtbuster", map[string]any{"workload": "nope", "quick": true})
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown workload: status %d: %s", code, data)
+	}
+}
+
+func TestTraceEndpointModes(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:   1,
+		Workloads: func(bool) []dirtbuster.Workload { return []dirtbuster.Workload{synthWorkload()} },
+	})
+	for mode, want := range map[string]string{
+		"report":  "synthwl.write",
+		"pmcheck": "pmcheck:",
+		"":        "synthwl", // default dirtbuster report
+	} {
+		code, data := postJSON(t, ts.URL+"/v1/trace", map[string]any{"workload": "synthwl", "mode": mode})
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("trace mode %q: status %d: %s", mode, code, data)
+		}
+		var st JobStatus
+		json.Unmarshal(data, &st)
+		st = waitFinal(t, ts.URL, st.ID)
+		if st.State != "done" || !strings.Contains(st.Result.Output, want) {
+			t.Fatalf("trace mode %q: %+v", mode, st)
+		}
+	}
+	// An unknown mode fails the job, not the daemon.
+	code, data := postJSON(t, ts.URL+"/v1/trace", map[string]any{"workload": "synthwl", "mode": "bogus"})
+	if code != http.StatusAccepted {
+		t.Fatalf("bogus mode submit: status %d: %s", code, data)
+	}
+	var st JobStatus
+	json.Unmarshal(data, &st)
+	st = waitFinal(t, ts.URL, st.ID)
+	if st.State != "failed" || !strings.Contains(st.Error, "unknown trace mode") {
+		t.Fatalf("bogus trace mode job: %+v", st)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, _ := postJSON(t, ts.URL+"/v1/experiments", map[string]any{"id": "no-such-experiment"})
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown experiment: status %d (want 404)", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d (want 400)", resp.StatusCode)
+	}
+	if _, err := http.Get(ts.URL + "/v1/jobs/job-999"); err != nil {
+		t.Fatal(err)
+	}
+	code, _ = postJSON(t, ts.URL+"/v1/trace", map[string]any{"workload": "listing1", "mode": "report", "pm_base": 1 << 40})
+	if code != http.StatusAccepted && code != http.StatusOK && code != http.StatusNotFound {
+		t.Fatalf("trace submit: status %d", code)
+	}
+}
+
+func TestListEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var entries []struct{ ID, Title, Paper string }
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("experiment listing empty")
+	}
+	wl, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wl.Body.Close()
+	var names []string
+	if err := json.NewDecoder(wl.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("workload listing empty")
+	}
+}

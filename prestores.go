@@ -39,6 +39,11 @@
 package prestores
 
 import (
+	"context"
+	"fmt"
+	"io"
+
+	"prestores/internal/bench"
 	"prestores/internal/dirtbuster"
 	"prestores/internal/memdev"
 	"prestores/internal/memspace"
@@ -159,4 +164,38 @@ type (
 // distance analysis, recommendation) on a workload.
 func Analyze(w Workload, cfg AnalysisConfig) *Report {
 	return dirtbuster.Analyze(w, cfg)
+}
+
+// Experiment-harness surface. Every table and figure of the paper is a
+// registered experiment; this is the same registry cmd/prestore-bench
+// sweeps and the prestored daemon serves over HTTP.
+type (
+	// Experiment is one registered paper experiment (a table or figure).
+	Experiment = bench.Experiment
+	// ExperimentResult records one experiment execution: wall time,
+	// simulated-op throughput, the full captured output, and the
+	// failure (panic, timeout or cancellation) if it did not complete.
+	ExperimentResult = bench.Result
+)
+
+// Experiments returns the registered experiments in ID order.
+func Experiments() []Experiment { return bench.All() }
+
+// LookupExperiment finds a registered experiment by ID.
+func LookupExperiment(id string) (Experiment, bool) { return bench.Lookup(id) }
+
+// RunExperiment executes one registered experiment under the guarded
+// harness — panic containment and cooperative cancellation — streaming
+// its human-readable output to w as it is produced (w may be nil).
+// Quick shrinks sweeps to smoke size. Cancelling ctx stops the
+// experiment at its next iteration boundary; that and any panic are
+// reported in the result's Err field, not the returned error, which is
+// reserved for the first write error w reported. The complete output
+// is always available in the result regardless of w.
+func RunExperiment(ctx context.Context, w io.Writer, id string, quick bool) (ExperimentResult, error) {
+	e, ok := bench.Lookup(id)
+	if !ok {
+		return ExperimentResult{}, fmt.Errorf("prestores: unknown experiment %q", id)
+	}
+	return bench.RunOneGuarded(ctx, w, e, bench.RunnerConfig{Quick: quick})
 }

@@ -1,6 +1,7 @@
 package prestores_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -125,5 +126,47 @@ func TestHookSurface(t *testing.T) {
 	m.Core(0).Write(1<<40, []byte{1})
 	if stores != 1 {
 		t.Fatalf("hook saw %d stores", stores)
+	}
+}
+
+// TestExperimentSurface exercises the façade's experiment harness: the
+// registry is visible, lookups work, and RunExperiment produces the
+// same output bytes as the bench runner while honouring cancellation.
+func TestExperimentSurface(t *testing.T) {
+	if len(prestores.Experiments()) == 0 {
+		t.Fatal("experiment registry empty")
+	}
+	if _, ok := prestores.LookupExperiment("listing3"); !ok {
+		t.Fatal("listing3 not registered")
+	}
+	if _, ok := prestores.LookupExperiment("no-such"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+	if _, err := prestores.RunExperiment(context.Background(), nil, "no-such", true); err == nil {
+		t.Fatal("RunExperiment accepted an unknown ID")
+	}
+
+	var sb strings.Builder
+	res, err := prestores.RunExperiment(context.Background(), &sb, "listing3", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != "" {
+		t.Fatalf("listing3 failed: %s", res.Err)
+	}
+	if sb.String() != res.Output || res.Output == "" {
+		t.Fatalf("streamed output (%d bytes) differs from captured result (%d bytes)",
+			sb.Len(), len(res.Output))
+	}
+
+	// A pre-cancelled context stops the run before any simulation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = prestores.RunExperiment(ctx, nil, "listing3", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Err, "cancelled") {
+		t.Fatalf("cancelled run reported %q", res.Err)
 	}
 }
