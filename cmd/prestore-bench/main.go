@@ -11,6 +11,9 @@
 //	prestore-bench -all -timeout 10m      # per-experiment wall-clock cap
 //	prestore-bench -all -json BENCH.json  # machine-readable results
 //	prestore-bench -all -server http://host:8344   # run on a prestored daemon
+//	prestore-bench -dump-spec fig3        # print a spec-driven experiment's JSON spec
+//	prestore-bench -spec my.json          # run a custom scenario spec locally
+//	prestore-bench -spec my.json -server http://host:8344   # ... or on a daemon
 //
 // Experiments are independent (each builds its own simulated machine),
 // so -parallel N runs them concurrently; output is flushed in
@@ -54,6 +57,10 @@ func main() {
 		"also write results as a JSON array to this file")
 	serverURL := flag.String("server", "",
 		"run experiments on a prestored daemon at this base URL instead of in process")
+	specPath := flag.String("spec", "",
+		"run a declarative scenario spec from this JSON file (locally, or on -server)")
+	dumpSpec := flag.String("dump-spec", "",
+		"print the declarative spec behind a spec-driven experiment and exit")
 	cpuProfile := flag.String("cpuprofile", "",
 		"write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "",
@@ -67,6 +74,12 @@ func main() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
 		return
+	case *dumpSpec != "":
+		if err := writeSpec(os.Stdout, *dumpSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(2)
+		}
+		return
 	case *all:
 		exps = bench.All()
 	case *run != "":
@@ -78,6 +91,7 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
+	case *specPath != "": // handled below, after signal setup
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -87,6 +101,14 @@ func main() {
 	// stop at their next iteration boundary and are reported failed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *specPath != "" {
+		if err := runSpecFile(ctx, os.Stdout, *specPath, *serverURL, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -88,8 +88,14 @@ func runRemote(ctx context.Context, w io.Writer, base string, exps []bench.Exper
 // is full (429): queued jobs drain as the sweep progresses.
 func submitRemote(ctx context.Context, client *http.Client, base, id string, quick bool) (*jobStatus, error) {
 	body, _ := json.Marshal(map[string]any{"id": id, "quick": quick})
+	return submitJob(ctx, client, base, "/v1/experiments", body)
+}
+
+// submitJob posts a job body to one of the daemon's submit endpoints,
+// retrying while the queue is full (429).
+func submitJob(ctx context.Context, client *http.Client, base, path string, body []byte) (*jobStatus, error) {
 	for {
-		req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/experiments", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, "POST", base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}

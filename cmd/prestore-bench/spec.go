@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"prestores/internal/bench"
+	"prestores/internal/scenario"
+)
+
+// writeSpec prints the declarative spec behind a spec-driven
+// experiment as indented JSON — ready to edit and feed back through
+// -spec, locally or via POST /v1/scenarios.
+func writeSpec(w io.Writer, id string) error {
+	s, ok := bench.SpecFor(id)
+	if !ok {
+		return fmt.Errorf("experiment %q is not spec-driven (spec-driven: %s)",
+			id, strings.Join(bench.SpecIDs(), ", "))
+	}
+	data, err := s.Canonical()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, data, "", "  "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// runSpecFile runs a scenario spec from a JSON file: validated here
+// either way, then executed in process or submitted to a prestored
+// daemon (whose output streams back byte-identical).
+func runSpecFile(ctx context.Context, w io.Writer, path, serverURL string, quick bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sp, err := scenario.Decode(data)
+	if err != nil {
+		return fmt.Errorf("%s: invalid scenario spec: %v", path, err)
+	}
+	if serverURL != "" {
+		return runSpecRemote(ctx, w, serverURL, sp, quick)
+	}
+	return bench.RunSpec(ctx, w, sp, quick)
+}
+
+// runSpecRemote submits the spec to a prestored daemon's /v1/scenarios
+// endpoint and streams the job's output, or prints the cached result.
+func runSpecRemote(ctx context.Context, w io.Writer, base string, sp scenario.Spec, quick bool) error {
+	canon, err := sp.Canonical()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(struct {
+		Spec  json.RawMessage `json:"spec"`
+		Quick bool            `json:"quick"`
+	}{canon, quick})
+	if err != nil {
+		return err
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{}
+	st, err := submitJob(ctx, client, base, "/v1/scenarios", body)
+	if err != nil {
+		return err
+	}
+	res := st.Result
+	if res == nil {
+		r, err := streamRemote(ctx, client, w, base, st.ID)
+		if err != nil {
+			cancelRemote(client, base, []handle{{id: st.ID}})
+			return err
+		}
+		res = r
+	} else if _, err := io.WriteString(w, res.Output); err != nil {
+		return err
+	}
+	if res.Failed() {
+		return fmt.Errorf("scenario failed: %s", res.Err)
+	}
+	return nil
+}

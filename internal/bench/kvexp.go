@@ -10,7 +10,6 @@ import (
 	"prestores/internal/workloads/clht"
 	"prestores/internal/workloads/kv"
 	"prestores/internal/workloads/masstree"
-	"prestores/internal/workloads/x9"
 	"prestores/internal/workloads/ycsb"
 )
 
@@ -53,12 +52,7 @@ func init() {
 			runKVB(ctx, w, quick, "masstree")
 		},
 	})
-	register(Experiment{
-		ID:    "x9",
-		Title: "X9 message passing latency on Machine B",
-		Paper: "Section 7.3.2: demote cuts message latency 62% (B-fast) / 40% (B-slow)",
-		Run:   runX9,
-	})
+	// x9 is registered as a declarative scenario spec in spec.go.
 }
 
 // kvSetup builds a machine + store + heap sized per DESIGN.md §6.
@@ -158,30 +152,5 @@ func runKVB(ctx context.Context, w io.Writer, quick bool, which string) {
 		base, clean := results[kv.CraftBaseline], results[kv.CraftClean]
 		row(w, mk.name, mops(base.OpsPerSec), mops(clean.OpsPerSec),
 			pct(clean.OpsPerSec/base.OpsPerSec))
-	}
-}
-
-func runX9(ctx context.Context, w io.Writer, quick bool) {
-	iters := 20000
-	if quick {
-		iters = 4000
-	}
-	header(w, "machine", "base lat", "demote lat", "reduction")
-	for _, mk := range []struct {
-		name string
-		mk   func() *sim.Machine
-	}{{"B-fast", sim.MachineBFast}, {"B-slow", sim.MachineBSlow}} {
-		if cancelled(ctx) {
-			return
-		}
-		cfg := x9.Config{Iters: iters, MsgSize: 512, Seed: 3}
-		cfg.Mode = x9.Baseline
-		base := x9.Run(mk.mk(), cfg)
-		cfg.Mode = x9.Demote
-		dem := x9.Run(mk.mk(), cfg)
-		row(w, mk.name,
-			fmt.Sprintf("%.0f cyc", base.LatencyCyc),
-			fmt.Sprintf("%.0f cyc", dem.LatencyCyc),
-			fmt.Sprintf("-%.0f%%", 100*(1-dem.LatencyCyc/base.LatencyCyc)))
 	}
 }

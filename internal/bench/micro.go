@@ -18,29 +18,13 @@ func init() {
 		Run:   runTable1,
 	})
 	register(Experiment{
-		ID:    "fig3",
-		Title: "Listing 1 on Machine A: clean pre-store speedup and write amplification",
-		Paper: "Fig 3: up to 3x speedup at 5 threads; amp 1.8x (1 thread) / 3.3x (2+ threads) -> 1.0 with cleaning",
-		Run:   runFig3,
-	})
-	register(Experiment{
 		ID:    "listing3",
 		Title: "Listing 3: cleaning a constantly re-written line",
 		Paper: "Section 5: ~75x slowdown (ratio of memory vs cache write latency)",
 		Run:   runListing3,
 	})
-	register(Experiment{
-		ID:    "skipvsclean",
-		Title: "Listing 1 variants: when to skip vs clean",
-		Paper: "Section 5: with the re-read, skipping is 2x slower than cleaning; without it, skipping wins",
-		Run:   runSkipVsClean,
-	})
-	register(Experiment{
-		ID:    "fig5",
-		Title: "Listing 2 on Machine B: demote pre-store vs reads-before-fence",
-		Paper: "Fig 5: up to 65% faster; no gain at 0 reads; fast FPGA peaks earlier than slow FPGA",
-		Run:   runFig5,
-	})
+	// fig3, skipvsclean and fig5 are registered as declarative scenario
+	// specs in spec.go.
 }
 
 func runTable1(ctx context.Context, w io.Writer, _ bool) {
@@ -79,37 +63,6 @@ func fig3Volume(quick bool) uint64 {
 	return 48 * units.MiB
 }
 
-func runFig3(ctx context.Context, w io.Writer, quick bool) {
-	sizes := []uint64{256, 1024, 4096}
-	threads := []int{1, 2, 5}
-	if quick {
-		sizes = []uint64{1024}
-		threads = []int{1, 2}
-	}
-	header(w, "threads", "elem", "base cyc/op", "base amp", "clean amp", "speedup")
-	for _, th := range threads {
-		for _, esz := range sizes {
-			if cancelled(ctx) {
-				return
-			}
-			iters := int(fig3Volume(quick) / esz / uint64(th))
-			elems := int(32 * units.MiB / esz)
-			cfg := micro.Listing1Config{
-				ElemSize: esz, Elements: elems, Threads: th, Iters: iters,
-				ReRead: true, Seed: 42,
-			}
-			cfg.Mode = micro.Baseline
-			base := micro.RunListing1(sim.MachineA(), cfg)
-			cfg.Mode = micro.CleanPrestore
-			clean := micro.RunListing1(sim.MachineA(), cfg)
-			row(w, fmt.Sprint(th), units.Bytes(esz),
-				fmt.Sprintf("%.0f", base.ElapsedPerOp),
-				f2(base.WriteAmp), f2(clean.WriteAmp),
-				fmt.Sprintf("%.2fx", float64(base.Elapsed)/float64(clean.Elapsed)))
-		}
-	}
-}
-
 func runListing3(ctx context.Context, w io.Writer, quick bool) {
 	iters := 200000
 	if quick {
@@ -124,57 +77,4 @@ func runListing3(ctx context.Context, w io.Writer, quick bool) {
 	row(w, "baseline", fmt.Sprintf("%.1f", base.CyclesPerRew), "1.0x")
 	row(w, "clean", fmt.Sprintf("%.1f", clean.CyclesPerRew),
 		fmt.Sprintf("%.0fx", clean.CyclesPerRew/base.CyclesPerRew))
-}
-
-func runSkipVsClean(ctx context.Context, w io.Writer, quick bool) {
-	esz := uint64(256)
-	iters := int(fig3Volume(quick) / esz / 2)
-	elems := int(32 * units.MiB / esz)
-	header(w, "re-read?", "clean cyc/op", "skip cyc/op", "skip/clean")
-	for _, reread := range []bool{true, false} {
-		if cancelled(ctx) {
-			return
-		}
-		cfg := micro.Listing1Config{
-			ElemSize: esz, Elements: elems, Threads: 2, Iters: iters,
-			ReRead: reread, Seed: 42,
-		}
-		cfg.Mode = micro.CleanPrestore
-		clean := micro.RunListing1(sim.MachineA(), cfg)
-		cfg.Mode = micro.SkipNT
-		skip := micro.RunListing1(sim.MachineA(), cfg)
-		row(w, fmt.Sprint(reread),
-			fmt.Sprintf("%.0f", clean.ElapsedPerOp),
-			fmt.Sprintf("%.0f", skip.ElapsedPerOp),
-			fmt.Sprintf("%.2fx", skip.ElapsedPerOp/clean.ElapsedPerOp))
-	}
-}
-
-func runFig5(ctx context.Context, w io.Writer, quick bool) {
-	reads := []int{0, 5, 10, 20, 40, 80, 160, 320}
-	iters := 20000
-	if quick {
-		reads = []int{0, 20, 80, 320}
-		iters = 5000
-	}
-	header(w, "machine", "reads", "base cyc", "demote cyc", "improvement")
-	for _, mk := range []struct {
-		name string
-		mk   func() *sim.Machine
-	}{{"B-fast", sim.MachineBFast}, {"B-slow", sim.MachineBSlow}} {
-		for _, n := range reads {
-			if cancelled(ctx) {
-				return
-			}
-			cfg := micro.Listing2Config{Elements: 100000, Reads: n, Iters: iters, Seed: 7}
-			cfg.Mode = micro.Baseline
-			base := micro.RunListing2(mk.mk(), cfg)
-			cfg.Mode = micro.DemotePrestore
-			dem := micro.RunListing2(mk.mk(), cfg)
-			row(w, mk.name, fmt.Sprint(n),
-				fmt.Sprintf("%.0f", base.CyclesPerIter),
-				fmt.Sprintf("%.0f", dem.CyclesPerIter),
-				pct(base.CyclesPerIter/dem.CyclesPerIter))
-		}
-	}
 }

@@ -17,12 +17,7 @@ func init() {
 		Paper: "Intro/§8: pre-fetching moves data up; it cannot fix the write-back ordering of Problem #1 — only pre-stores do",
 		Run:   runPrefetchOrthogonal,
 	})
-	register(Experiment{
-		ID:    "ext-seqlog",
-		Title: "Extension: sequential-by-design writers still amplify",
-		Paper: "§8: data structures written in long sequential strides get no hardware eviction-order guarantee; DirtBuster/pre-stores enforce it",
-		Run:   runSeqLog,
-	})
+	// ext-seqlog is registered as a declarative scenario spec in spec.go.
 }
 
 // runPrefetchOrthogonal runs Listing 1 with and without a next-line
@@ -53,32 +48,4 @@ func runPrefetchOrthogonal(ctx context.Context, w io.Writer, quick bool) {
 		}
 	}
 	fmt.Fprintln(w, "(prefetching cannot lower the baseline's amplification; cleaning can)")
-}
-
-// runSeqLog runs the log-structured variant of Listing 1: application
-// writes are perfectly sequential, yet the baseline still amplifies.
-func runSeqLog(ctx context.Context, w io.Writer, quick bool) {
-	esz := uint64(1024)
-	vol := fig3Volume(quick)
-	header(w, "writer", "mode", "cyc/op", "write amp")
-	for _, seq := range []bool{false, true} {
-		for _, mode := range []micro.Mode{micro.Baseline, micro.CleanPrestore} {
-			if cancelled(ctx) {
-				return
-			}
-			res := micro.RunListing1(sim.MachineA(), micro.Listing1Config{
-				ElemSize: esz, Elements: int(32 * units.MiB / esz),
-				Threads: 2, Iters: int(vol / esz / 2),
-				Mode: mode, ReRead: true, Sequential: seq, Seed: 42,
-			})
-			kind := "random"
-			if seq {
-				kind = "sequential"
-			}
-			row(w, kind, mode.String(),
-				fmt.Sprintf("%.0f", res.ElapsedPerOp), f2(res.WriteAmp))
-		}
-	}
-	fmt.Fprintln(w, "(even a perfectly sequential application write stream amplifies at the")
-	fmt.Fprintln(w, " device until cleans enforce the eviction order)")
 }

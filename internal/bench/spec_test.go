@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"prestores/internal/scenario"
+)
+
+// TestSpecIDsRegistered pins which named experiments are spec-driven.
+func TestSpecIDsRegistered(t *testing.T) {
+	want := []string{"ext-cxlssd", "ext-seqlog", "fig3", "fig5", "skipvsclean", "x9"}
+	got := SpecIDs()
+	if len(got) != len(want) {
+		t.Fatalf("SpecIDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SpecIDs() = %v, want %v", got, want)
+		}
+		if _, ok := Lookup(want[i]); !ok {
+			t.Errorf("spec %s has no registered experiment", want[i])
+		}
+	}
+}
+
+// TestDumpedSpecByteIdentical runs every spec-driven experiment both
+// through its registry entry and through RunSpec on its dumped
+// (canonical JSON, re-decoded) spec, and requires byte-identical
+// output — the acceptance oracle for the declarative refactor.
+func TestDumpedSpecByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	ctx := context.Background()
+	for _, id := range SpecIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := SpecFor(id)
+			if !ok {
+				t.Fatalf("SpecFor(%q) missing", id)
+			}
+			data, err := spec.Canonical()
+			if err != nil {
+				t.Fatalf("canonical: %v", err)
+			}
+			decoded, err := scenario.Decode(data)
+			if err != nil {
+				t.Fatalf("decode dumped spec: %v\njson: %s", err, data)
+			}
+			e, _ := Lookup(id)
+			var legacy, viaSpec bytes.Buffer
+			if err := RunOne(ctx, &legacy, e, true); err != nil {
+				t.Fatalf("RunOne: %v", err)
+			}
+			if err := RunSpec(ctx, &viaSpec, decoded, true); err != nil {
+				t.Fatalf("RunSpec: %v", err)
+			}
+			if legacy.String() != viaSpec.String() {
+				t.Errorf("output differs:\n--- registry ---\n%s\n--- dumped spec ---\n%s",
+					legacy.String(), viaSpec.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package btree
+
+import (
+	"fmt"
+
+	"prestores/internal/scenario"
+	"prestores/internal/sim"
+)
+
+func init() {
+	// The B-tree is a host-memory structure (the verification oracle
+	// the simulated stores are checked against), so the workload runs
+	// no simulated cycles and supports no pre-store ops; it is
+	// registered so spec-driven correctness sweeps can exercise it.
+	scenario.Register(scenario.Workload{
+		Name:        "btree",
+		Description: "host-memory B-tree oracle: seeded insert/lookup/delete mix with structural self-checks",
+		Params: []scenario.ParamDef{
+			{Name: "keys", Kind: scenario.KindInt, Help: "keys inserted (default 10000)"},
+			{Name: "deletes", Kind: scenario.KindInt, Help: "keys deleted afterwards (default keys/2)"},
+			{Name: "seed", Kind: scenario.KindInt, Help: "key-mixing seed"},
+		},
+		Ops:         []string{"none"},
+		MetricNames: []string{"inserted", "found", "deleted", "remaining"},
+		Run: func(_ *sim.Machine, op string, p scenario.Params) (scenario.Metrics, error) {
+			if op != "none" {
+				return nil, fmt.Errorf("unknown op %q", op)
+			}
+			keys := p.Int("keys", 10000)
+			deletes := p.Int("deletes", -1)
+			if deletes < 0 {
+				deletes = keys / 2
+			}
+			if deletes > keys {
+				return nil, fmt.Errorf("deletes: must be at most keys (got %d > %d)", deletes, keys)
+			}
+			seed := p.Uint64("seed", 0)
+			mix := func(i uint64) uint64 { // splitmix64 with the seed folded in
+				z := i + seed + 0x9e3779b97f4a7c15
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+				return z ^ (z >> 31)
+			}
+			var t Tree[uint64]
+			for i := 0; i < keys; i++ {
+				t.Put(mix(uint64(i)), uint64(i))
+			}
+			found := 0
+			for i := 0; i < keys; i++ {
+				if v, ok := t.Get(mix(uint64(i))); ok && v == uint64(i) {
+					found++
+				}
+			}
+			deleted := 0
+			for i := 0; i < deletes; i++ {
+				if t.Delete(mix(uint64(i))) {
+					deleted++
+				}
+			}
+			return scenario.Metrics{
+				"inserted":  float64(keys),
+				"found":     float64(found),
+				"deleted":   float64(deleted),
+				"remaining": float64(t.Len()),
+			}, nil
+		},
+	})
+}

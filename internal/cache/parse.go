@@ -1,0 +1,26 @@
+package cache
+
+import "fmt"
+
+// policyNames lists every replacement policy by its String() name, in
+// declaration order, for parsing and registry listings.
+var policyNames = []string{"LRU", "PLRU", "FIFO", "Random", "QLRU", "SRRIP"}
+
+// PolicyNames returns the parseable replacement-policy names in
+// declaration order.
+func PolicyNames() []string {
+	out := make([]string, len(policyNames))
+	copy(out, policyNames)
+	return out
+}
+
+// ParsePolicy is the inverse of Policy.String. The error string is
+// deterministic and lists the accepted names.
+func ParsePolicy(s string) (Policy, error) {
+	for i, name := range policyNames {
+		if s == name {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown replacement policy %q (one of %v)", s, policyNames)
+}

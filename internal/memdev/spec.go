@@ -1,0 +1,217 @@
+package memdev
+
+import (
+	"fmt"
+	"sort"
+
+	"prestores/internal/units"
+)
+
+// Spec is the declarative, JSON-serializable form of a device: a
+// registered kind plus the full tunable surface of Config. A Spec with
+// only Kind set builds the kind's default device; Describe returns the
+// fully-defaulted Spec of a constructed device, so Spec → Build →
+// Describe is the identity on effective parameters. Specs are what the
+// scenario layer (internal/scenario) persists and what custom machine
+// configurations are assembled from.
+type Spec struct {
+	Kind            string  `json:"kind"`
+	Name            string  `json:"name,omitempty"`
+	ReadLat         uint64  `json:"read_lat,omitempty"`          // cycles
+	WriteLat        uint64  `json:"write_lat,omitempty"`         // cycles
+	DirLat          uint64  `json:"dir_lat,omitempty"`           // cycles
+	Granularity     uint64  `json:"granularity,omitempty"`       // bytes
+	BandwidthBS     float64 `json:"bandwidth_bs,omitempty"`      // bytes/s
+	ReadBandwidthBS float64 `json:"read_bandwidth_bs,omitempty"` // bytes/s
+	ClockHz         float64 `json:"clock_hz,omitempty"`
+	BufferEntries   int     `json:"buffer_entries,omitempty"`
+}
+
+// builder constructs a device of one kind from a (possibly partial)
+// Config; each kind's New* constructor fills its own defaults.
+type builder func(Config) Device
+
+// kindRegistry maps kind names to constructors. Device kinds register
+// at init time; the map is read-only afterwards.
+var kindRegistry = map[string]builder{
+	"dram":   func(c Config) Device { return NewDRAM(c) },
+	"pmem":   func(c Config) Device { return NewPMEM(c) },
+	"remote": func(c Config) Device { return NewRemote(c) },
+	"cxlssd": func(c Config) Device { return NewCXLSSD(c) },
+}
+
+// Kinds returns the registered device kinds, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(kindRegistry))
+	for k := range kindRegistry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParamNames returns the parameter-map keys Apply accepts, sorted.
+// "kind" and "name" take strings; every other parameter is numeric.
+func ParamNames() []string {
+	return []string{
+		"bandwidth_bs", "buffer_entries", "clock_hz", "dir_lat",
+		"granularity", "kind", "name", "read_bandwidth_bs", "read_lat",
+		"write_lat",
+	}
+}
+
+// Validate checks the Spec without building it. Error strings are
+// deterministic and name the offending field.
+func (s Spec) Validate() error {
+	if s.Kind == "" {
+		return fmt.Errorf("kind: required (one of %v)", Kinds())
+	}
+	if _, ok := kindRegistry[s.Kind]; !ok {
+		return fmt.Errorf("kind: unknown device kind %q (one of %v)", s.Kind, Kinds())
+	}
+	if s.BandwidthBS < 0 {
+		return fmt.Errorf("bandwidth_bs: must be non-negative (got %g)", s.BandwidthBS)
+	}
+	if s.ReadBandwidthBS < 0 {
+		return fmt.Errorf("read_bandwidth_bs: must be non-negative (got %g)", s.ReadBandwidthBS)
+	}
+	if s.ClockHz < 0 {
+		return fmt.Errorf("clock_hz: must be non-negative (got %g)", s.ClockHz)
+	}
+	if s.BufferEntries < 0 {
+		return fmt.Errorf("buffer_entries: must be non-negative (got %d)", s.BufferEntries)
+	}
+	if s.Granularity != 0 && (s.Granularity&(s.Granularity-1)) != 0 {
+		return fmt.Errorf("granularity: must be a power of two (got %d)", s.Granularity)
+	}
+	return nil
+}
+
+// Build constructs the device the Spec describes. Zero fields keep the
+// kind's defaults, exactly as the hand-written constructors behave.
+func (s Spec) Build() (Device, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return kindRegistry[s.Kind](Config{
+		Name:            s.Name,
+		ReadLat:         s.ReadLat,
+		WriteLat:        s.WriteLat,
+		DirLat:          s.DirLat,
+		Granularity:     s.Granularity,
+		BandwidthBS:     s.BandwidthBS,
+		ReadBandwidthBS: s.ReadBandwidthBS,
+		Clock:           units.Hz(s.ClockHz),
+		BufferEntries:   s.BufferEntries,
+	}), nil
+}
+
+// Apply overlays a validated parameter map onto the Spec and returns
+// the patched copy. Keys are the JSON field names (see ParamNames);
+// unknown keys and mistyped values produce deterministic errors naming
+// the key. Numeric parameters must be non-negative.
+func (s Spec) Apply(params map[string]any) (Spec, error) {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := params[k]
+		switch k {
+		case "kind", "name":
+			str, ok := v.(string)
+			if !ok {
+				return s, fmt.Errorf("%s: must be a string (got %v)", k, v)
+			}
+			if k == "kind" {
+				s.Kind = str
+			} else {
+				s.Name = str
+			}
+		case "read_lat", "write_lat", "dir_lat", "granularity", "buffer_entries",
+			"bandwidth_bs", "read_bandwidth_bs", "clock_hz":
+			num, ok := v.(float64)
+			if !ok {
+				return s, fmt.Errorf("%s: must be a number (got %v)", k, v)
+			}
+			if num < 0 {
+				return s, fmt.Errorf("%s: must be non-negative (got %g)", k, num)
+			}
+			switch k {
+			case "bandwidth_bs":
+				s.BandwidthBS = num
+			case "read_bandwidth_bs":
+				s.ReadBandwidthBS = num
+			case "clock_hz":
+				s.ClockHz = num
+			default:
+				if num != float64(uint64(num)) {
+					return s, fmt.Errorf("%s: must be an integer (got %g)", k, num)
+				}
+				switch k {
+				case "read_lat":
+					s.ReadLat = uint64(num)
+				case "write_lat":
+					s.WriteLat = uint64(num)
+				case "dir_lat":
+					s.DirLat = uint64(num)
+				case "granularity":
+					s.Granularity = uint64(num)
+				case "buffer_entries":
+					s.BufferEntries = int(num)
+				}
+			}
+		default:
+			return s, fmt.Errorf("%s: unknown device parameter (known: %v)", k, ParamNames())
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// New builds a device of the registered kind from a validated
+// parameter map — the scenario layer's entry point for fully
+// parameterized devices.
+func New(kind string, params map[string]any) (Device, error) {
+	s, err := Spec{Kind: kind}.Apply(params)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build()
+}
+
+// Describe returns the fully-defaulted Spec of a constructed device:
+// rebuilding from the returned Spec yields a device with identical
+// effective configuration. Only the four registered concrete kinds are
+// describable; wrappers and test fakes return false.
+func Describe(d Device) (Spec, bool) {
+	var cfg Config
+	var kind string
+	switch dev := d.(type) {
+	case *DRAM:
+		cfg, kind = dev.cfg, "dram"
+	case *PMEM:
+		cfg, kind = dev.cfg, "pmem"
+	case *Remote:
+		cfg, kind = dev.cfg, "remote"
+	case *CXLSSD:
+		cfg, kind = dev.cfg, "cxlssd"
+	default:
+		return Spec{}, false
+	}
+	return Spec{
+		Kind:            kind,
+		Name:            cfg.Name,
+		ReadLat:         cfg.ReadLat,
+		WriteLat:        cfg.WriteLat,
+		DirLat:          cfg.DirLat,
+		Granularity:     cfg.Granularity,
+		BandwidthBS:     cfg.BandwidthBS,
+		ReadBandwidthBS: cfg.ReadBandwidthBS,
+		ClockHz:         float64(cfg.Clock),
+		BufferEntries:   cfg.BufferEntries,
+	}, true
+}

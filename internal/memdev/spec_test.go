@@ -1,0 +1,85 @@
+package memdev
+
+import (
+	"reflect"
+	"testing"
+
+	"prestores/internal/units"
+)
+
+func TestKindsRegistered(t *testing.T) {
+	want := []string{"cxlssd", "dram", "pmem", "remote"}
+	if got := Kinds(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Kinds() = %v, want %v", got, want)
+	}
+}
+
+// TestDescribeBuildIdentity checks that Describe∘Build is the identity
+// on effective parameters for every kind: a device rebuilt from its own
+// description behaves identically to the original.
+func TestDescribeBuildIdentity(t *testing.T) {
+	devices := []Device{
+		NewDRAM(Config{Name: "ddr4", Clock: 2100 * units.MHz}),
+		NewPMEM(Config{Name: "optane", Clock: 2100 * units.MHz}),
+		NewRemote(Config{Name: "fpga", ReadLat: 60, BandwidthBS: 10e9, Granularity: 128, Clock: 2000 * units.MHz}),
+		NewCXLSSD(Config{Clock: 2100 * units.MHz}),
+	}
+	for _, d := range devices {
+		spec, ok := Describe(d)
+		if !ok {
+			t.Fatalf("Describe(%s) not describable", d.Name())
+		}
+		rebuilt, err := spec.Build()
+		if err != nil {
+			t.Fatalf("Build(%+v): %v", spec, err)
+		}
+		if !reflect.DeepEqual(d, rebuilt) {
+			t.Errorf("%s: rebuilt device differs from original:\n  orig: %#v\n  rebuilt: %#v", d.Name(), d, rebuilt)
+		}
+		spec2, ok := Describe(rebuilt)
+		if !ok || spec2 != spec {
+			t.Errorf("%s: Describe(Build(spec)) = %+v, want %+v", d.Name(), spec2, spec)
+		}
+	}
+}
+
+func TestNewFromParams(t *testing.T) {
+	d, err := New("remote", map[string]any{
+		"name": "fpga", "read_lat": float64(200), "bandwidth_bs": 1.5e9,
+		"granularity": float64(128), "clock_hz": 2000e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind() != KindRemote || d.ReadLatency() != 200 || d.InternalGranularity() != 128 {
+		t.Fatalf("unexpected device: kind=%v lat=%d gran=%d", d.Kind(), d.ReadLatency(), d.InternalGranularity())
+	}
+}
+
+// TestApplyErrors locks the deterministic error strings the scenario
+// validator surfaces as 400s.
+func TestApplyErrors(t *testing.T) {
+	cases := []struct {
+		params map[string]any
+		want   string
+	}{
+		{map[string]any{"bogus": 1.0}, "bogus: unknown device parameter (known: [bandwidth_bs buffer_entries clock_hz dir_lat granularity kind name read_bandwidth_bs read_lat write_lat])"},
+		{map[string]any{"read_lat": "fast"}, "read_lat: must be a number (got fast)"},
+		{map[string]any{"read_lat": -5.0}, "read_lat: must be non-negative (got -5)"},
+		{map[string]any{"read_lat": 1.5}, "read_lat: must be an integer (got 1.5)"},
+		{map[string]any{"kind": 7.0}, "kind: must be a string (got 7)"},
+		{map[string]any{"kind": "flash"}, `kind: unknown device kind "flash" (one of [cxlssd dram pmem remote])`},
+		{map[string]any{"granularity": 96.0}, "granularity: must be a power of two (got 96)"},
+	}
+	for _, c := range cases {
+		base := Spec{Kind: "dram"}
+		_, err := base.Apply(c.params)
+		if err == nil || err.Error() != c.want {
+			t.Errorf("Apply(%v) error = %v, want %q", c.params, err, c.want)
+		}
+	}
+	empty := Spec{}
+	if _, err := empty.Build(); err == nil {
+		t.Error("Build of empty spec should fail")
+	}
+}

@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"prestores/internal/sim"
+)
+
+// Metrics is what one workload run reports: named scalar results
+// (cycles, amplification factors, throughput). Column definitions in a
+// Spec reference these names.
+type Metrics map[string]float64
+
+// Params carries a workload's decoded parameters. Values are JSON
+// scalars (float64, bool, string) or native Go scalars when a spec is
+// built in code; the typed getters below normalize. Validation against
+// the workload's ParamDefs happens before Run sees the map, so getters
+// are lenient.
+type Params map[string]any
+
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case uint32:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// Int returns the named integer parameter, or def when absent.
+func (p Params) Int(name string, def int) int {
+	if v, ok := p[name]; ok {
+		if f, ok := asFloat(v); ok {
+			return int(f)
+		}
+	}
+	return def
+}
+
+// Uint64 returns the named integer parameter, or def when absent.
+func (p Params) Uint64(name string, def uint64) uint64 {
+	if v, ok := p[name]; ok {
+		if f, ok := asFloat(v); ok {
+			return uint64(f)
+		}
+	}
+	return def
+}
+
+// Float returns the named float parameter, or def when absent.
+func (p Params) Float(name string, def float64) float64 {
+	if v, ok := p[name]; ok {
+		if f, ok := asFloat(v); ok {
+			return f
+		}
+	}
+	return def
+}
+
+// Bool returns the named bool parameter, or def when absent.
+func (p Params) Bool(name string, def bool) bool {
+	if v, ok := p[name]; ok {
+		if b, ok := v.(bool); ok {
+			return b
+		}
+	}
+	return def
+}
+
+// Str returns the named string parameter, or def when absent.
+func (p Params) Str(name, def string) string {
+	if v, ok := p[name]; ok {
+		if s, ok := v.(string); ok {
+			return s
+		}
+	}
+	return def
+}
+
+func (p Params) clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Param kinds.
+const (
+	KindInt    = "int"    // non-negative integer
+	KindFloat  = "float"  // real number
+	KindBool   = "bool"   // true/false
+	KindString = "string" // free-form or enumerated string
+)
+
+// ParamDef declares one typed workload parameter for validation and
+// the /v1/registry listing.
+type ParamDef struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // KindInt, KindFloat, KindBool, KindString
+	Help string `json:"help,omitempty"`
+}
+
+// Workload is one registered workload: a named, parameterized
+// simulation entry point the scenario grid runner can invoke. Workload
+// packages register themselves at init time via Register.
+type Workload struct {
+	Name        string
+	Description string
+	Params      []ParamDef // accepted parameters, for validation + registry
+	Ops         []string   // supported pre-store ops (e.g. none, clean, skip, demote)
+	MetricNames []string   // metric names Run reports, for column validation
+	// Run executes the workload once on a fresh machine under the given
+	// pre-store op and returns its metrics. Implementations must be
+	// deterministic for fixed (machine config, op, params).
+	Run func(m *sim.Machine, op string, p Params) (Metrics, error)
+}
+
+var workloadRegistry = map[string]Workload{}
+
+// Register adds a workload to the registry; duplicate names and
+// malformed registrations panic at init time.
+func Register(w Workload) {
+	if w.Name == "" || w.Run == nil {
+		panic("scenario: workload registration needs a name and a Run func")
+	}
+	if _, dup := workloadRegistry[w.Name]; dup {
+		panic("scenario: duplicate workload " + w.Name)
+	}
+	if len(w.Ops) == 0 {
+		panic("scenario: workload " + w.Name + " registers no ops")
+	}
+	for _, p := range w.Params {
+		switch p.Kind {
+		case KindInt, KindFloat, KindBool, KindString:
+		default:
+			panic(fmt.Sprintf("scenario: workload %s param %s has unknown kind %q", w.Name, p.Name, p.Kind))
+		}
+	}
+	workloadRegistry[w.Name] = w
+}
+
+// Get returns the named workload.
+func Get(name string) (Workload, bool) {
+	w, ok := workloadRegistry[name]
+	return w, ok
+}
+
+// Workloads returns every registered workload sorted by name.
+func Workloads() []Workload {
+	out := make([]Workload, 0, len(workloadRegistry))
+	for _, w := range workloadRegistry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WorkloadNames returns the registered workload names, sorted.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloadRegistry))
+	for n := range workloadRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (w Workload) paramDef(name string) (ParamDef, bool) {
+	for _, p := range w.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ParamDef{}, false
+}
+
+func (w Workload) paramNames() []string {
+	names := make([]string, len(w.Params))
+	for i, p := range w.Params {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (w Workload) hasOp(op string) bool {
+	for _, o := range w.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func (w Workload) hasMetric(m string) bool {
+	for _, n := range w.MetricNames {
+		if n == m {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"prestores/internal/scenario"
+	"prestores/internal/workloads/kv"
+
+	// Each workload package registers its scenario workloads (and kv
+	// stores) in init; linking them all is the completeness oracle —
+	// Register panics on duplicates, so each registers exactly once.
+	_ "prestores/internal/btree"
+	_ "prestores/internal/workloads/clht"
+	_ "prestores/internal/workloads/masstree"
+	_ "prestores/internal/workloads/nas"
+	_ "prestores/internal/workloads/phoronix"
+	_ "prestores/internal/workloads/tensor"
+	_ "prestores/internal/workloads/x9"
+	_ "prestores/internal/workloads/ycsb"
+)
+
+// TestRegistryComplete pins the full workload registry: every workload
+// package registers, under its expected name, with a complete listing.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"btree", "listing1", "listing2", "listing3", "nas",
+		"phoronix", "tensor-train", "x9", "ycsb",
+	}
+	got := scenario.WorkloadNames()
+	if len(got) != len(want) {
+		t.Fatalf("WorkloadNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WorkloadNames() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		w, ok := scenario.Get(name)
+		if !ok {
+			t.Fatalf("Get(%q) missing", name)
+		}
+		if w.Description == "" {
+			t.Errorf("workload %s has no description", name)
+		}
+		if len(w.Ops) == 0 || len(w.MetricNames) == 0 {
+			t.Errorf("workload %s listing incomplete: ops %v, metrics %v", name, w.Ops, w.MetricNames)
+		}
+	}
+}
+
+// TestStoreRegistryComplete pins the kv store registry the ycsb
+// workload's "store" parameter selects from.
+func TestStoreRegistryComplete(t *testing.T) {
+	want := []string{"clht", "masstree"}
+	got := kv.Stores()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("kv.Stores() = %v, want %v", got, want)
+	}
+}

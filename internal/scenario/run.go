@@ -1,0 +1,264 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"prestores/internal/memdev"
+	"prestores/internal/sim"
+	"prestores/internal/units"
+)
+
+// Exec runs a validated spec, writing its table to w. quick mode
+// applies the axes' Quick value lists and the run.quick parameter
+// overrides. The sweep checks ctx before each row and returns silently
+// when cancelled, matching the hand-written experiments' contract with
+// the bench harness.
+func (s *Spec) Exec(ctx context.Context, w io.Writer, quick bool) error {
+	wl, ok := Get(s.Workload.Name)
+	if !ok {
+		return fmt.Errorf("workload.name: unknown workload %q (one of %v)", s.Workload.Name, WorkloadNames())
+	}
+
+	// Effective base parameters: spec params + quick overrides +
+	// policy placement + seed override.
+	base := Params(s.Workload.Params).clone()
+	if quick {
+		for k, v := range s.Run.Quick {
+			base[k] = v
+		}
+	}
+	if s.Policy.Window != "" {
+		base["window"] = s.Policy.Window
+	}
+	if s.Run.Seed != 0 {
+		base["seed"] = s.Run.Seed
+	}
+
+	// Effective axis values.
+	axes := make([]Axis, len(s.Policy.Axes))
+	copy(axes, s.Policy.Axes)
+	for i := range axes {
+		if quick && len(axes[i].Quick) > 0 {
+			axes[i].Values = axes[i].Quick
+		}
+	}
+
+	titles := make([]string, len(s.Policy.Columns))
+	for i, c := range s.Policy.Columns {
+		titles[i] = c.Title
+	}
+	header(w, titles...)
+
+	// Odometer over the axes; the first axis varies slowest.
+	idx := make([]int, len(axes))
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err := s.runRow(w, wl, axes, idx, base); err != nil {
+			return err
+		}
+		// Advance.
+		i := len(axes) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	for _, line := range s.Policy.Footer {
+		fmt.Fprintln(w, line)
+	}
+	return nil
+}
+
+// runRow executes one grid point (all its ops) and renders the row.
+func (s *Spec) runRow(w io.Writer, wl Workload, axes []Axis, idx []int, base Params) error {
+	params := base.clone()
+	machinePreset := s.Machine.Preset
+	ops := s.Policy.Ops
+	for ai, a := range axes {
+		v := a.Values[idx[ai]]
+		switch a.Param {
+		case "machine":
+			machinePreset = v.(string)
+		case "op":
+			ops = []string{v.(string)}
+		default:
+			params[a.Param] = v
+		}
+	}
+
+	results := make(map[string]Metrics, len(ops))
+	for _, op := range ops {
+		m, err := s.buildMachine(machinePreset)
+		if err != nil {
+			return err
+		}
+		metrics, err := wl.Run(m, op, params)
+		if err != nil {
+			return fmt.Errorf("workload %s, op %s: %w", wl.Name, op, err)
+		}
+		results[op] = metrics
+	}
+
+	cells := make([]string, len(s.Policy.Columns))
+	for ci, c := range s.Policy.Columns {
+		cells[ci] = s.renderCell(c, axes, idx, ops, results)
+	}
+	row(w, cells...)
+	return nil
+}
+
+func (s *Spec) renderCell(c Column, axes []Axis, idx []int, ops []string, results map[string]Metrics) string {
+	if c.Axis != "" {
+		for ai, a := range axes {
+			if a.Param != c.Axis {
+				continue
+			}
+			if len(a.Labels) > 0 {
+				return a.Labels[idx[ai]]
+			}
+			return formatCell(c.Format, a.Values[idx[ai]])
+		}
+		return "?"
+	}
+	op := c.Op
+	if op == "" && len(ops) == 1 {
+		op = ops[0] // "op" axis: the row's single run
+	}
+	num := results[op][c.Metric]
+	if c.DenOp != "" {
+		den := c.DenMetric
+		if den == "" {
+			den = c.Metric
+		}
+		return formatCell(c.Format, num/results[c.DenOp][den])
+	}
+	return formatCell(c.Format, num)
+}
+
+// buildMachine constructs a fresh machine for one run: preset or
+// custom config, with device patches applied. Devices are rebuilt each
+// time so runs never share device state.
+func (s *Spec) buildMachine(preset string) (*sim.Machine, error) {
+	var cfg sim.Config
+	if preset != "" {
+		c, ok := sim.PresetConfig(preset)
+		if !ok {
+			return nil, fmt.Errorf("machine.preset: unknown preset %q (one of %v)", preset, presetNames())
+		}
+		cfg = c
+	} else if s.Machine.Config != nil {
+		cfg = *s.Machine.Config
+		// The spec's config holds live device instances; clone them so
+		// repeated runs start from pristine device state.
+		windows := make([]sim.WindowSpec, len(cfg.Windows))
+		copy(windows, cfg.Windows)
+		for i, ws := range windows {
+			spec, ok := memdev.Describe(ws.Device)
+			if !ok {
+				return nil, fmt.Errorf("machine.config.windows[%d].device: not a registered device kind", i)
+			}
+			dev, err := spec.Build()
+			if err != nil {
+				return nil, fmt.Errorf("machine.config.windows[%d].device.%v", i, err)
+			}
+			windows[i].Device = dev
+		}
+		cfg.Windows = windows
+	} else {
+		return nil, fmt.Errorf("machine: no machine resolved for this row")
+	}
+	for i, ws := range cfg.Windows {
+		patch, ok := s.Machine.Devices[ws.Name]
+		if !ok {
+			continue
+		}
+		spec, ok := memdev.Describe(ws.Device)
+		if !ok {
+			return nil, fmt.Errorf("machine.devices.%s: window device is not patchable", ws.Name)
+		}
+		patched, err := spec.Apply(patch)
+		if err != nil {
+			return nil, fmt.Errorf("machine.devices.%s.%v", ws.Name, err)
+		}
+		dev, err := patched.Build()
+		if err != nil {
+			return nil, fmt.Errorf("machine.devices.%s.%v", ws.Name, err)
+		}
+		cfg.Windows[i].Device = dev
+	}
+	return sim.NewMachine(cfg), nil
+}
+
+// formatCell renders one value. The formats replicate the hand-written
+// experiments' fmt verbs exactly, so spec-ified experiments stay
+// byte-identical to their legacy rendering:
+//
+//	plain  fmt.Sprint(v)
+//	bytes  units.Bytes (value must be a non-negative integer)
+//	f0/f1/f2  %.0f / %.1f / %.2f
+//	x2     %.2fx (ratio)
+//	pct    %+.1f%% of (ratio-1)*100
+//	cyc0   %.0f cyc
+//	drop0  -%.0f%% of 100*(1-ratio)
+//	mops   %.2fM/s of v/1e6
+func formatCell(format string, v any) string {
+	f, isNum := asFloat(v)
+	switch format {
+	case "", "plain":
+		return fmt.Sprint(v)
+	case "bytes":
+		if !isNum {
+			return fmt.Sprint(v)
+		}
+		return units.Bytes(uint64(f))
+	case "f0":
+		return fmt.Sprintf("%.0f", f)
+	case "f1":
+		return fmt.Sprintf("%.1f", f)
+	case "f2":
+		return fmt.Sprintf("%.2f", f)
+	case "x2":
+		return fmt.Sprintf("%.2fx", f)
+	case "pct":
+		return fmt.Sprintf("%+.1f%%", (f-1)*100)
+	case "cyc0":
+		return fmt.Sprintf("%.0f cyc", f)
+	case "drop0":
+		return fmt.Sprintf("-%.0f%%", 100*(1-f))
+	case "mops":
+		return fmt.Sprintf("%.2fM/s", f/1e6)
+	}
+	return fmt.Sprint(v)
+}
+
+// header and row replicate internal/bench's fixed-width table layout
+// ("%12s" cells, two-space separators) byte for byte.
+func header(w io.Writer, cols ...string) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+func row(w io.Writer, cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+}

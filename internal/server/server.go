@@ -12,8 +12,10 @@
 //	POST   /v1/experiments        {"id":"fig3","quick":true}    submit an experiment job
 //	POST   /v1/dirtbuster         {"workload":"clht","quick":true}
 //	POST   /v1/trace              {"workload":"clht","mode":"dirtbuster|report|pmcheck"}
+//	POST   /v1/scenarios          {"spec":{...},"quick":true}   run a declarative scenario spec
 //	       ?stream=1 on any submit streams NDJSON progress instead of returning a job handle
 //	GET    /v1/experiments        registry listing
+//	GET    /v1/registry           scenario building blocks (machines, devices, workloads, stores, formats)
 //	GET    /v1/workloads          DirtBuster workload listing
 //	GET    /v1/jobs/{id}          job status (+ result when finished)
 //	GET    /v1/jobs/{id}/stream   NDJSON progress stream (attach/replay)
@@ -393,7 +395,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmitExperiment)
 	s.mux.HandleFunc("POST /v1/dirtbuster", s.handleSubmitDirtbuster)
 	s.mux.HandleFunc("POST /v1/trace", s.handleSubmitTrace)
+	s.mux.HandleFunc("POST /v1/scenarios", s.handleSubmitScenario)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleListWorkloads)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStreamJob)

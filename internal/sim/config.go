@@ -17,6 +17,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"prestores/internal/cache"
 	"prestores/internal/memdev"
 	"prestores/internal/units"
@@ -181,6 +183,34 @@ type MachineBConfig struct {
 	FPGABandwidth float64
 }
 
+// Validate rejects physically meaningless tunings. FPGALatency and
+// FPGABandwidth must both be positive: a zero latency or a zero (or
+// negative/NaN) bandwidth would silently produce nonsense timings.
+func (bc MachineBConfig) Validate() error {
+	if bc.FPGALatency == 0 {
+		return fmt.Errorf("fpga_latency: must be positive (got 0)")
+	}
+	if !(bc.FPGABandwidth > 0) {
+		return fmt.Errorf("fpga_bandwidth: must be positive (got %g)", bc.FPGABandwidth)
+	}
+	return nil
+}
+
+// machineBName derives the machine name from the actual tuning: the
+// two paper presets keep their historical names, and any other tuning
+// is labeled with its parameters instead of being mislabeled as
+// "fast" or "slow".
+func machineBName(bc MachineBConfig) string {
+	switch bc {
+	case MachineBFastOptions():
+		return "machine-B-fast (ARM + FPGA)"
+	case MachineBSlowOptions():
+		return "machine-B-slow (ARM + FPGA)"
+	}
+	return fmt.Sprintf("machine-B (ARM + FPGA, %d cyc, %.3g GB/s)",
+		bc.FPGALatency, bc.FPGABandwidth/1e9)
+}
+
 // MachineBFastOptions returns the low-latency FPGA tuning (60 cycles,
 // 10 GB/s — future high-end CXL memory).
 func MachineBFastOptions() MachineBConfig {
@@ -217,14 +247,24 @@ func MachineB(bc MachineBConfig) *Machine { return NewMachine(ConfigB(bc)) }
 
 // ConfigB returns Machine B's configuration for the given FPGA tuning,
 // for experiments that need to ablate one knob before construction.
+// Invalid tunings panic; use ConfigBChecked to get the error instead.
 func ConfigB(bc MachineBConfig) Config {
-	clock := 2000 * units.MHz
-	name := "machine-B-fast (ARM + FPGA)"
-	if bc.FPGALatency >= 100 {
-		name = "machine-B-slow (ARM + FPGA)"
+	cfg, err := ConfigBChecked(bc)
+	if err != nil {
+		panic("sim.ConfigB: " + err.Error())
 	}
+	return cfg
+}
+
+// ConfigBChecked returns Machine B's configuration for the given FPGA
+// tuning, or an error naming the offending field for invalid tunings.
+func ConfigBChecked(bc MachineBConfig) (Config, error) {
+	if err := bc.Validate(); err != nil {
+		return Config{}, err
+	}
+	clock := 2000 * units.MHz
 	cfg := Config{
-		Name:     name,
+		Name:     machineBName(bc),
 		Clock:    clock,
 		Cores:    12,
 		LineSize: 128,
@@ -254,7 +294,7 @@ func ConfigB(bc MachineBConfig) Config {
 				})},
 		},
 	}
-	return cfg
+	return cfg, nil
 }
 
 // MachineC returns an extension configuration beyond the paper's

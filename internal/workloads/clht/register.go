@@ -1,0 +1,14 @@
+package clht
+
+import (
+	"prestores/internal/sim"
+	"prestores/internal/units"
+	"prestores/internal/workloads/kv"
+)
+
+func init() {
+	// Default sizing matches the bench harness's kvSetup.
+	kv.RegisterStore("clht", func(m *sim.Machine, window string) kv.Store {
+		return New(m, Config{Window: window, Buckets: 1 << 18, Overflow: 64 * units.MiB})
+	})
+}

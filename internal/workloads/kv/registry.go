@@ -1,0 +1,49 @@
+package kv
+
+import (
+	"sort"
+
+	"prestores/internal/sim"
+)
+
+// The store registry lets the scenario layer (and any other caller)
+// construct a key-value store implementation by name. Store packages
+// (clht, masstree) register factories at init time, so the "store"
+// parameter of declarative workloads like ycsb is data, not code.
+
+// StoreFactory builds a store instance on m with its values placed in
+// the named memory window, using the package's default sizing.
+type StoreFactory func(m *sim.Machine, window string) Store
+
+var storeRegistry = map[string]StoreFactory{}
+
+// RegisterStore adds a named store factory; duplicates panic at init
+// time.
+func RegisterStore(name string, f StoreFactory) {
+	if name == "" || f == nil {
+		panic("kv: store registration needs a name and a factory")
+	}
+	if _, dup := storeRegistry[name]; dup {
+		panic("kv: duplicate store " + name)
+	}
+	storeRegistry[name] = f
+}
+
+// NewStore builds the named store.
+func NewStore(name string, m *sim.Machine, window string) (Store, bool) {
+	f, ok := storeRegistry[name]
+	if !ok {
+		return nil, false
+	}
+	return f(m, window), true
+}
+
+// Stores returns the registered store names, sorted.
+func Stores() []string {
+	out := make([]string, 0, len(storeRegistry))
+	for n := range storeRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

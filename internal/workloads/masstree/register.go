@@ -1,0 +1,13 @@
+package masstree
+
+import (
+	"prestores/internal/sim"
+	"prestores/internal/workloads/kv"
+)
+
+func init() {
+	// Default sizing matches the bench harness's kvSetup.
+	kv.RegisterStore("masstree", func(m *sim.Machine, window string) kv.Store {
+		return New(m, Config{Window: window, PoolNodes: 1 << 17})
+	})
+}

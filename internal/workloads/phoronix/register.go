@@ -1,0 +1,59 @@
+package phoronix
+
+import (
+	"fmt"
+
+	"prestores/internal/scenario"
+	"prestores/internal/sim"
+)
+
+// tests maps the registered test names to their entry points with the
+// bench harness's default scales.
+var tests = map[string]struct {
+	defaultScale int
+	run          func(m *sim.Machine, scale int, seed uint64) Result
+}{
+	"c-ray":        {1 << 11, CRay},
+	"gzip":         {1 << 16, Gzip},
+	"build-kernel": {12, BuildKernel},
+	"rust-prime":   {8000, RustPrime},
+	"numpy":        {1 << 15, Numpy},
+}
+
+func testNames() []string {
+	return []string{"build-kernel", "c-ray", "gzip", "numpy", "rust-prime"}
+}
+
+func init() {
+	scenario.Register(scenario.Workload{
+		Name:        "phoronix",
+		Description: "Phoronix suite proxies (Table 2's non-write-intensive set): c-ray, gzip, build-kernel, rust-prime, numpy",
+		Params: []scenario.ParamDef{
+			{Name: "test", Kind: scenario.KindString, Help: "test name: build-kernel c-ray gzip numpy rust-prime"},
+			{Name: "scale", Kind: scenario.KindInt, Help: "input size (pixels, bytes, files, limit, or n); 0 picks the test default"},
+			{Name: "seed", Kind: scenario.KindInt, Help: "PRNG seed"},
+		},
+		Ops:         []string{"none"},
+		MetricNames: []string{"elapsed", "stores", "instr"},
+		Run: func(m *sim.Machine, op string, p scenario.Params) (scenario.Metrics, error) {
+			if op != "none" {
+				return nil, fmt.Errorf("unknown op %q", op)
+			}
+			name := p.Str("test", "gzip")
+			t, ok := tests[name]
+			if !ok {
+				return nil, fmt.Errorf("test: unknown test %q (one of %v)", name, testNames())
+			}
+			scale := p.Int("scale", 0)
+			if scale == 0 {
+				scale = t.defaultScale
+			}
+			r := t.run(m, scale, p.Uint64("seed", 0))
+			return scenario.Metrics{
+				"elapsed": float64(r.Elapsed),
+				"stores":  float64(r.Stores),
+				"instr":   float64(r.Instr),
+			}, nil
+		},
+	})
+}
