@@ -11,6 +11,8 @@
 //	prestore-bench -all -timeout 10m      # per-experiment wall-clock cap
 //	prestore-bench -all -json BENCH.json  # machine-readable results
 //	prestore-bench -all -server http://host:8344   # run on a prestored daemon
+//	prestore-bench -run fig3 -quick -timeline t.json     # record a Perfetto timeline
+//	prestore-bench -run fig3 -quick -linereport lines.json   # cache-line attribution
 //	prestore-bench -dump-spec fig3        # print a spec-driven experiment's JSON spec
 //	prestore-bench -spec my.json          # run a custom scenario spec locally
 //	prestore-bench -spec my.json -server http://host:8344   # ... or on a daemon
@@ -42,7 +44,50 @@ import (
 
 	"prestores/internal/bench"
 	"prestores/internal/sim"
+	"prestores/internal/telemetry"
 )
+
+// writeTelemetry flushes the recorded timeline and line report to the
+// requested files after a local run; the text form of the line report
+// goes to stderr alongside the sweep summary. A nil recorder (no
+// telemetry flags) is a no-op.
+func writeTelemetry(rec *telemetry.Recorder, timelinePath, lineReportPath string) error {
+	if rec == nil {
+		return nil
+	}
+	if timelinePath != "" {
+		f, err := os.Create(timelinePath)
+		if err != nil {
+			return err
+		}
+		err = rec.WriteTimeline(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", timelinePath, err)
+		}
+		fmt.Fprintf(os.Stderr, "prestore-bench: wrote timeline (%d events, %d dropped) to %s\n",
+			rec.Events(), rec.Dropped(), timelinePath)
+	}
+	if lineReportPath != "" {
+		rep := rec.LineReport(256)
+		f, err := os.Create(lineReportPath)
+		if err != nil {
+			return err
+		}
+		err = rep.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", lineReportPath, err)
+		}
+		rep.WriteText(os.Stderr)
+		fmt.Fprintf(os.Stderr, "prestore-bench: wrote line report to %s\n", lineReportPath)
+	}
+	return nil
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -65,6 +110,10 @@ func main() {
 		"write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "",
 		"write a heap profile (taken after the sweep) to this file")
+	timelinePath := flag.String("timeline", "",
+		"record a simulated-cycle timeline and write it as Chrome trace-event JSON to this file (forces -parallel 1)")
+	lineReportPath := flag.String("linereport", "",
+		"record per-cache-line write attribution and write the report as JSON to this file (forces -parallel 1)")
 	flag.Parse()
 
 	var exps []bench.Experiment
@@ -97,13 +146,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Telemetry recording observes every machine the sweep builds via
+	// the global registry, so it is inherently single-run: force serial
+	// execution and refuse the remote path (a daemon job records
+	// telemetry through the scenario spec's telemetry block instead).
+	var rec *telemetry.Recorder
+	if *timelinePath != "" || *lineReportPath != "" {
+		if *serverURL != "" {
+			fmt.Fprintln(os.Stderr, "prestore-bench: -timeline/-linereport record in process and cannot be combined with -server; submit a scenario spec with a telemetry block instead")
+			os.Exit(2)
+		}
+		if *parallel != 1 {
+			*parallel = 1
+		}
+		rec = telemetry.New(telemetry.Config{
+			Timeline:   *timelinePath != "",
+			LineReport: *lineReportPath != "",
+		})
+		cancelObs := sim.ObserveMachines(rec.Attach)
+		defer cancelObs()
+	}
+
 	// SIGINT cancels the sweep cooperatively: in-flight experiments
 	// stop at their next iteration boundary and are reported failed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	if *specPath != "" {
-		if err := runSpecFile(ctx, os.Stdout, *specPath, *serverURL, *quick); err != nil {
+		err := runSpecFile(ctx, os.Stdout, *specPath, *serverURL, *quick)
+		if err == nil {
+			err = writeTelemetry(rec, *timelinePath, *lineReportPath)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -155,6 +229,11 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+	}
+
+	if err := writeTelemetry(rec, *timelinePath, *lineReportPath); err != nil {
+		fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+		os.Exit(1)
 	}
 
 	if *jsonPath != "" {

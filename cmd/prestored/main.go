@@ -8,6 +8,8 @@
 //	prestored                          # listen on :8344
 //	prestored -addr :9000 -workers 4   # custom listen address and pool
 //	prestored -queue 16 -job-timeout 10m
+//	prestored -log-level debug         # structured logs (slog) to stderr
+//	prestored -pprof                   # expose /debug/pprof on the same mux
 //
 // Quick start against a running daemon:
 //
@@ -29,10 +31,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,18 +49,39 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job wall-clock timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute,
 		"graceful-shutdown bound; jobs still running at the deadline are cancelled")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the listen address")
 	flag.Parse()
 
+	var level slog.Level
+	switch strings.ToLower(*logLevel) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).
+			Error("invalid -log-level (want debug, info, warn or error)", "got", *logLevel)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		Logger:      log,
+		EnablePprof: *pprofFlag,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "prestored: listening on %s\n", *addr)
+		log.Info("listening", "addr", *addr, "pprof", *pprofFlag)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -66,10 +90,10 @@ func main() {
 
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "prestored: %v\n", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "prestored: %v: draining (second signal forces)\n", sig)
+		log.Info("draining (second signal forces)", "signal", sig.String())
 	}
 
 	// Stop accepting connections, then drain jobs. A second signal
@@ -78,7 +102,7 @@ func main() {
 	defer cancelDrain()
 	go func() {
 		<-sigc
-		fmt.Fprintln(os.Stderr, "prestored: forcing shutdown")
+		log.Warn("forcing shutdown")
 		cancelDrain()
 	}()
 
@@ -88,8 +112,8 @@ func main() {
 		hs.Close()
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
-		fmt.Fprintf(os.Stderr, "prestored: drain incomplete: %v\n", err)
+		log.Error("drain incomplete", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "prestored: shutdown complete")
+	log.Info("shutdown complete")
 }

@@ -1,0 +1,103 @@
+package dirtbuster
+
+import (
+	"testing"
+
+	"prestores/internal/sim"
+	"prestores/internal/telemetry"
+)
+
+// TestTelemetryLineStatsAgree pins the telemetry recorder's per-line
+// attribution to DirtBuster's step-3 analysis on the same workload.
+//
+// The two differ in exactly one rule: DirtBuster does not count a write
+// that continues the same sequentiality context as a rewrite. The
+// workload below writes single 8-byte words at a 256-byte stride, so no
+// write ever lands within SeqGap of a context's end — every context
+// stays an unpromoted singleton (ctx id 0) and the exclusion never
+// fires. With that rule neutralized the two implementations must
+// produce identical rewrite/re-read counts and distance sums per line.
+func TestTelemetryLineStatsAgree(t *testing.T) {
+	const (
+		fn     = "agree.writer"
+		stride = 256 // > SeqGap + line size: no context extension possible
+		nLines = 40
+	)
+	body := func(m *sim.Machine) {
+		c := m.Core(0)
+		c.PushFunc(fn)
+		for pass := uint64(0); pass < 3; pass++ {
+			for i := uint64(0); i < nLines; i++ {
+				c.WriteU64(base+i*stride, pass)
+			}
+			for i := uint64(0); i < nLines; i += 2 {
+				c.ReadU64(base + i*stride)
+			}
+		}
+		c.PopFunc()
+	}
+
+	// DirtBuster's step-2/3 instrumentation, as Analyze wires it.
+	cfg := Config{}
+	cfg.fillDefaults()
+	an := &analysis{cfg: cfg, fns: map[string]*fnState{
+		fn: {name: fn, buckets: make(map[uint64]*bucketAgg)},
+	}}
+	m1 := sim.MachineA()
+	an.lineSize = m1.LineSize()
+	an.cores = make([]coreState, m1.Cores())
+	m1.SetHook(an.hook)
+	body(m1)
+	m1.SetHook(nil)
+	an.finish()
+
+	// The telemetry recorder on a fresh machine running the same body:
+	// both machines are deterministic, so per-core instruction counts —
+	// the distance unit — line up exactly.
+	rec := telemetry.New(telemetry.Config{LineReport: true})
+	m2 := sim.MachineA()
+	rec.Attach(m2)
+	body(m2)
+
+	rep := rec.LineReport(0)
+	stats := map[uint64]telemetry.LineStat{}
+	for _, s := range rep.Lines {
+		stats[s.Addr] = s
+	}
+
+	dbLines := 0
+	an.lines.Ascend(func(line uint64, li lineInfo) bool {
+		dbLines++
+		s, ok := stats[line]
+		if !ok {
+			t.Errorf("line %#x tracked by DirtBuster but not telemetry", line)
+			return true
+		}
+		if li.ctxID != 0 {
+			t.Errorf("line %#x got context %d; the workload must not form sequential contexts", line, li.ctxID)
+		}
+		if s.Rewrites != li.rewrites || s.RewriteDistSum != li.rewriteSum || s.NearRewrites != li.nearRewrites {
+			t.Errorf("line %#x rewrites: telemetry (%d, sum %d, near %d) != dirtbuster (%d, sum %d, near %d)",
+				line, s.Rewrites, s.RewriteDistSum, s.NearRewrites, li.rewrites, li.rewriteSum, li.nearRewrites)
+		}
+		if s.Rereads != li.rereads || s.RereadDistSum != li.rereadSum || s.NearRereads != li.nearRereads {
+			t.Errorf("line %#x rereads: telemetry (%d, sum %d, near %d) != dirtbuster (%d, sum %d, near %d)",
+				line, s.Rereads, s.RereadDistSum, s.NearRereads, li.rereads, li.rereadSum, li.nearRereads)
+		}
+		if s.Writes != li.rewrites+1 {
+			t.Errorf("line %#x writes = %d, want rewrites+1 = %d", line, s.Writes, li.rewrites+1)
+		}
+		return true
+	})
+	if dbLines != nLines {
+		t.Fatalf("DirtBuster tracked %d lines, want %d", dbLines, nLines)
+	}
+	if len(stats) != dbLines {
+		t.Fatalf("telemetry tracked %d lines, DirtBuster %d", len(stats), dbLines)
+	}
+	// Sanity: the workload actually exercises the counters.
+	hot := stats[base]
+	if hot.Rewrites != 2 || hot.Rereads == 0 {
+		t.Fatalf("workload too weak: line %#x rewrites=%d rereads=%d", base, hot.Rewrites, hot.Rereads)
+	}
+}

@@ -10,6 +10,24 @@ import (
 	"prestores/internal/units"
 )
 
+// observerKey carries a machine observer through a context (see
+// WithObserver).
+type observerKey struct{}
+
+// WithObserver returns a context that makes Exec call obs with every
+// machine the spec run builds, before the workload runs on it. This is
+// the scoped counterpart to sim.ObserveMachines: a daemon running
+// concurrent jobs attaches each job's telemetry recorder to that job's
+// machines only, via that job's context.
+func WithObserver(ctx context.Context, obs func(*sim.Machine)) context.Context {
+	return context.WithValue(ctx, observerKey{}, obs)
+}
+
+func observerFrom(ctx context.Context) func(*sim.Machine) {
+	obs, _ := ctx.Value(observerKey{}).(func(*sim.Machine))
+	return obs
+}
+
 // Exec runs a validated spec, writing its table to w. quick mode
 // applies the axes' Quick value lists and the run.quick parameter
 // overrides. The sweep checks ctx before each row and returns silently
@@ -52,12 +70,13 @@ func (s *Spec) Exec(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, titles...)
 
 	// Odometer over the axes; the first axis varies slowest.
+	obs := observerFrom(ctx)
 	idx := make([]int, len(axes))
 	for {
 		if ctx.Err() != nil {
 			return nil
 		}
-		if err := s.runRow(w, wl, axes, idx, base); err != nil {
+		if err := s.runRow(w, wl, axes, idx, base, obs); err != nil {
 			return err
 		}
 		// Advance.
@@ -80,7 +99,7 @@ func (s *Spec) Exec(ctx context.Context, w io.Writer, quick bool) error {
 }
 
 // runRow executes one grid point (all its ops) and renders the row.
-func (s *Spec) runRow(w io.Writer, wl Workload, axes []Axis, idx []int, base Params) error {
+func (s *Spec) runRow(w io.Writer, wl Workload, axes []Axis, idx []int, base Params, obs func(*sim.Machine)) error {
 	params := base.clone()
 	machinePreset := s.Machine.Preset
 	ops := s.Policy.Ops
@@ -101,6 +120,9 @@ func (s *Spec) runRow(w io.Writer, wl Workload, axes []Axis, idx []int, base Par
 		m, err := s.buildMachine(machinePreset)
 		if err != nil {
 			return err
+		}
+		if obs != nil {
+			obs(m)
 		}
 		metrics, err := wl.Run(m, op, params)
 		if err != nil {

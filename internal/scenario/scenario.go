@@ -97,16 +97,38 @@ type RunSpec struct {
 	MaxPoints int `json:"max_points,omitempty"`
 }
 
+// TelemetrySpec opts a spec run into telemetry capture (see
+// internal/telemetry). At least one of Timeline / LineReport must be
+// set. The block is optional and omitted from the canonical form when
+// absent, so specs without it keep their content-addressed identity.
+type TelemetrySpec struct {
+	// Timeline records a simulated-cycle timeline (Chrome trace-event
+	// JSON, Perfetto-loadable).
+	Timeline bool `json:"timeline,omitempty"`
+	// LineReport records per-cache-line attribution and per-bucket
+	// write amplification.
+	LineReport bool `json:"line_report,omitempty"`
+	// MaxEvents caps the timeline ring (0 = recorder default).
+	MaxEvents int `json:"max_events,omitempty"`
+	// BucketBytes sets the write-amp bucket size (0 = default).
+	BucketBytes uint64 `json:"bucket_bytes,omitempty"`
+}
+
+// MaxTelemetryEvents bounds telemetry.max_events — the daemon's guard
+// against a spec requesting an absurdly large ring.
+const MaxTelemetryEvents = 4 << 20
+
 // Spec is one complete declarative scenario.
 type Spec struct {
-	Version  int          `json:"version"`
-	Name     string       `json:"name,omitempty"`
-	Title    string       `json:"title,omitempty"`
-	Paper    string       `json:"paper,omitempty"`
-	Machine  MachineSpec  `json:"machine"`
-	Workload WorkloadSpec `json:"workload"`
-	Policy   PolicySpec   `json:"policy"`
-	Run      RunSpec      `json:"run,omitempty"`
+	Version   int            `json:"version"`
+	Name      string         `json:"name,omitempty"`
+	Title     string         `json:"title,omitempty"`
+	Paper     string         `json:"paper,omitempty"`
+	Machine   MachineSpec    `json:"machine"`
+	Workload  WorkloadSpec   `json:"workload"`
+	Policy    PolicySpec     `json:"policy"`
+	Run       RunSpec        `json:"run,omitempty"`
+	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
 }
 
 // Decode parses a JSON spec strictly (unknown fields are errors) and
@@ -400,6 +422,19 @@ func (s *Spec) Validate() error {
 		}
 		if c.DenOp != "" && !containsStr(s.Policy.Ops, c.DenOp) {
 			return fmt.Errorf("%s.den_op: %q not in policy.ops %v", path, c.DenOp, s.Policy.Ops)
+		}
+	}
+
+	// Telemetry.
+	if t := s.Telemetry; t != nil {
+		if !t.Timeline && !t.LineReport {
+			return fmt.Errorf("telemetry: at least one of timeline or line_report must be true")
+		}
+		if t.MaxEvents < 0 {
+			return fmt.Errorf("telemetry.max_events: must be non-negative (got %d)", t.MaxEvents)
+		}
+		if t.MaxEvents > MaxTelemetryEvents {
+			return fmt.Errorf("telemetry.max_events: %d exceeds the limit of %d", t.MaxEvents, MaxTelemetryEvents)
 		}
 	}
 

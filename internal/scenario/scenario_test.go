@@ -73,6 +73,14 @@ func TestValidateErrorFieldPaths(t *testing.T) {
 			s.Policy.Axes = append(s.Policy.Axes,
 				scenario.Axis{Param: "iters", Values: []any{1, 2}, Labels: []string{"one"}})
 		}, "policy.axes[0].labels: got 1 labels for 2 values"},
+		{"empty telemetry", func(s *scenario.Spec) { s.Telemetry = &scenario.TelemetrySpec{} },
+			"telemetry: at least one of timeline or line_report must be true"},
+		{"negative telemetry ring", func(s *scenario.Spec) {
+			s.Telemetry = &scenario.TelemetrySpec{Timeline: true, MaxEvents: -1}
+		}, "telemetry.max_events: must be non-negative (got -1)"},
+		{"oversized telemetry ring", func(s *scenario.Spec) {
+			s.Telemetry = &scenario.TelemetrySpec{Timeline: true, MaxEvents: scenario.MaxTelemetryEvents + 1}
+		}, "telemetry.max_events: 4194305 exceeds the limit of 4194304"},
 		{"no ops", func(s *scenario.Spec) { s.Policy.Ops = nil },
 			"policy.ops: at least one op required"},
 		{"duplicate op", func(s *scenario.Spec) { s.Policy.Ops = []string{"none", "none"} },

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"prestores/internal/bench"
 )
@@ -45,19 +46,43 @@ type job struct {
 	kind string
 	key  string
 	// run executes the work, writing human-readable output to the
-	// progress log as it is produced, and returns the final Result.
-	run func(ctx context.Context, l *progressLog) bench.Result
+	// job's progress log as it is produced, and returns the final
+	// Result. It receives the job so it can attach artifacts
+	// (setArtifact) such as recorded telemetry.
+	run func(ctx context.Context, j *job) bench.Result
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	out    *progressLog
-	done   chan struct{} // closed when the job reaches a final state
+	ctx       context.Context
+	cancel    context.CancelFunc
+	out       *progressLog
+	done      chan struct{} // closed when the job reaches a final state
+	submitted time.Time
 
-	mu       sync.Mutex
-	state    jobState
-	result   *bench.Result
-	detached bool // an async submit owns it: run to completion even with no watchers
-	watchers int  // active stream connections
+	mu        sync.Mutex
+	state     jobState
+	result    *bench.Result
+	detached  bool // an async submit owns it: run to completion even with no watchers
+	watchers  int  // active stream connections
+	artifacts map[string][]byte
+}
+
+// setArtifact attaches a named byte artifact (e.g. a recorded timeline)
+// to the job, retrievable over GET /v1/jobs/{id}/{name} while the job
+// is retained.
+func (j *job) setArtifact(name string, data []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.artifacts == nil {
+		j.artifacts = map[string][]byte{}
+	}
+	j.artifacts[name] = data
+}
+
+// artifact returns a named artifact.
+func (j *job) artifact(name string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, ok := j.artifacts[name]
+	return data, ok
 }
 
 // JobStatus is the wire representation of a job.

@@ -43,9 +43,9 @@ type traceSpec struct {
 // output into the progress log as rows are produced. The output bytes
 // are exactly what bench.RunOne writes for the same experiment, which
 // is what the golden-determinism guard asserts.
-func (s *Server) experimentRun(e bench.Experiment, quick bool) func(context.Context, *progressLog) bench.Result {
-	return func(ctx context.Context, l *progressLog) bench.Result {
-		r, _ := bench.RunOneGuarded(ctx, l, e, bench.RunnerConfig{
+func (s *Server) experimentRun(e bench.Experiment, quick bool) func(context.Context, *job) bench.Result {
+	return func(ctx context.Context, j *job) bench.Result {
+		r, _ := bench.RunOneGuarded(ctx, j.out, e, bench.RunnerConfig{
 			Quick:   quick,
 			Timeout: s.cfg.JobTimeout,
 		})
@@ -58,9 +58,10 @@ func (s *Server) experimentRun(e bench.Experiment, quick bool) func(context.Cont
 // SimOps accounting, cancellation labeling. The analyses themselves
 // are single pipeline stages over a private simulated machine, so
 // cancellation is observed between stages rather than mid-simulation.
+// The body receives the job so it can attach artifacts.
 func analysisRun(id, title string, timeout time.Duration,
-	body func(ctx context.Context, out *bytes.Buffer) error) func(context.Context, *progressLog) bench.Result {
-	return func(ctx context.Context, l *progressLog) bench.Result {
+	body func(ctx context.Context, j *job, out *bytes.Buffer) error) func(context.Context, *job) bench.Result {
+	return func(ctx context.Context, j *job) bench.Result {
 		if timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -78,7 +79,7 @@ func analysisRun(id, title string, timeout time.Duration,
 			if err := ctx.Err(); err != nil {
 				return fmt.Sprintf("cancelled: %v", err)
 			}
-			if err := body(ctx, &out); err != nil {
+			if err := body(ctx, j, &out); err != nil {
 				return err.Error()
 			}
 			return ""
@@ -90,7 +91,7 @@ func analysisRun(id, title string, timeout time.Duration,
 			res.SimOpsPerSec = float64(res.SimOps) / sec
 		}
 		res.Output = out.String()
-		l.Write(out.Bytes())
+		j.out.Write(out.Bytes())
 		return res
 	}
 }
@@ -106,9 +107,9 @@ func (s *Server) lookupWorkload(name string, quick bool) (dirtbuster.Workload, b
 }
 
 // dirtbusterRun builds the run function for a DirtBuster analysis job.
-func (s *Server) dirtbusterRun(wl dirtbuster.Workload) func(context.Context, *progressLog) bench.Result {
+func (s *Server) dirtbusterRun(wl dirtbuster.Workload) func(context.Context, *job) bench.Result {
 	return analysisRun("dirtbuster/"+wl.Name, "DirtBuster analysis of "+wl.Name, s.cfg.JobTimeout,
-		func(ctx context.Context, out *bytes.Buffer) error {
+		func(ctx context.Context, _ *job, out *bytes.Buffer) error {
 			rep := dirtbuster.Analyze(wl, dirtbuster.Config{})
 			fmt.Fprintln(out, rep.Render())
 			return nil
@@ -119,13 +120,13 @@ func (s *Server) dirtbusterRun(wl dirtbuster.Workload) func(context.Context, *pr
 // the workload's full operation trace, then analyze the recording
 // offline per spec.Mode. Cancellation is checked between the record
 // and analyze stages.
-func (s *Server) traceRun(wl dirtbuster.Workload, spec traceSpec) func(context.Context, *progressLog) bench.Result {
+func (s *Server) traceRun(wl dirtbuster.Workload, spec traceSpec) func(context.Context, *job) bench.Result {
 	mode := spec.Mode
 	if mode == "" {
 		mode = "dirtbuster"
 	}
 	return analysisRun("trace/"+mode+"/"+wl.Name, "trace analysis ("+mode+") of "+wl.Name, s.cfg.JobTimeout,
-		func(ctx context.Context, out *bytes.Buffer) error {
+		func(ctx context.Context, _ *job, out *bytes.Buffer) error {
 			tb, line := dirtbuster.Record(wl)
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("cancelled: %w", err)

@@ -3,11 +3,112 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"prestores/internal/sim"
 )
+
+// durBuckets are the histogram upper bounds (seconds) shared by the
+// queue-wait and run-duration families: exponential from 5 ms to 5 min,
+// wide enough for both a cache-warm quick experiment and a full sweep.
+var durBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// histogram is one Prometheus histogram series: per-bucket counts (the
+// last slot is +Inf), an observation count and a sum in nanoseconds.
+// Counts are stored per bucket and cumulated at render time.
+type histogram struct {
+	counts   [16]atomic.Int64 // len(durBuckets)+1; last is +Inf
+	total    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	slot := len(durBuckets)
+	for i, b := range durBuckets {
+		if s <= b {
+			slot = i
+			break
+		}
+	}
+	h.counts[slot].Add(1)
+	h.total.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// histogramVec is a histogram family labeled by job kind.
+type histogramVec struct {
+	mu     sync.Mutex
+	byKind map[string]*histogram
+}
+
+func (v *histogramVec) observe(kind string, d time.Duration) {
+	v.mu.Lock()
+	h := v.byKind[kind]
+	if h == nil {
+		if v.byKind == nil {
+			v.byKind = map[string]*histogram{}
+		}
+		h = &histogram{}
+		v.byKind[kind] = h
+	}
+	v.mu.Unlock()
+	h.observe(d)
+}
+
+// snapshot returns the family's kinds in sorted order for deterministic
+// rendering.
+func (v *histogramVec) snapshot() (kinds []string, hists []*histogram) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for k := range v.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		hists = append(hists, v.byKind[k])
+	}
+	return kinds, hists
+}
+
+// counterVec is a counter family labeled by job kind and final state.
+type counterVec struct {
+	mu     sync.Mutex
+	counts map[[2]string]int64
+}
+
+func (v *counterVec) inc(kind, state string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.counts == nil {
+		v.counts = map[[2]string]int64{}
+	}
+	v.counts[[2]string{kind, state}]++
+}
+
+func (v *counterVec) snapshot() (keys [][2]string, vals []int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for k := range v.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		vals = append(vals, v.counts[k])
+	}
+	return keys, vals
+}
 
 // metrics holds the daemon's monotonic counters. Gauges that are
 // derived from scheduler state (queue depth, cache size) are sampled
@@ -21,6 +122,12 @@ type metrics struct {
 	coalesced     atomic.Int64
 	rejected      atomic.Int64
 	running       atomic.Int64
+
+	// Labeled families: per-kind scheduling latency and run duration,
+	// and per-kind/state completion counts.
+	queueWait histogramVec
+	runDur    histogramVec
+	finished  counterVec
 
 	startOps uint64 // sim.RetiredOps() at server start
 	start    time.Time
@@ -58,6 +165,19 @@ func (m *metrics) render(w io.Writer, g metricsGauges) {
 	counter("prestored_cache_misses_total", "Submits that enqueued new work.", m.cacheMisses.Load())
 	counter("prestored_coalesced_total", "Submits attached to an identical in-flight job.", m.coalesced.Load())
 
+	if keys, vals := m.finished.snapshot(); len(keys) > 0 {
+		fmt.Fprintf(w, "# HELP prestored_jobs_finished_total Jobs reaching a final state, by kind and state.\n")
+		fmt.Fprintf(w, "# TYPE prestored_jobs_finished_total counter\n")
+		for i, k := range keys {
+			fmt.Fprintf(w, "prestored_jobs_finished_total{kind=%q,state=%q} %d\n", k[0], k[1], vals[i])
+		}
+	}
+
+	m.renderHistogram(w, "prestored_job_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up, by kind.", &m.queueWait)
+	m.renderHistogram(w, "prestored_job_run_seconds",
+		"Wall-clock run duration of jobs, by kind.", &m.runDur)
+
 	gauge("prestored_jobs_running", "Jobs currently executing on a worker.", float64(m.running.Load()))
 	gauge("prestored_queue_depth", "Jobs waiting in the queue.", float64(g.queueDepth))
 	gauge("prestored_queue_capacity", "Bound on queued jobs; full queue rejects with 429.", float64(g.queueCapacity))
@@ -73,11 +193,38 @@ func (m *metrics) render(w io.Writer, g metricsGauges) {
 	}
 	gauge("prestored_cache_hit_ratio", "cache_hits / (cache_hits + cache_misses) since start.", ratio)
 
+	// The op count is unsigned: a uint64 past 1<<63 must not render as a
+	// negative counter.
 	ops := sim.RetiredOps() - m.startOps
-	counter("prestored_sim_ops_total", "Simulated operations retired since the daemon started.", int64(ops))
+	fmt.Fprintf(w, "# HELP prestored_sim_ops_total Simulated operations retired since the daemon started.\n")
+	fmt.Fprintf(w, "# TYPE prestored_sim_ops_total counter\nprestored_sim_ops_total %d\n", ops)
 	opsPerSec := 0.0
 	if sec := time.Since(m.start).Seconds(); sec > 0 {
 		opsPerSec = float64(ops) / sec
 	}
 	gauge("prestored_sim_ops_per_second", "Average simulated-operation throughput since start.", opsPerSec)
+}
+
+// renderHistogram writes one labeled histogram family. Buckets are
+// cumulative per Prometheus semantics; the sum is in seconds.
+func (m *metrics) renderHistogram(w io.Writer, name, help string, v *histogramVec) {
+	kinds, hists := v.snapshot()
+	if len(kinds) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, kind := range kinds {
+		h := hists[i]
+		var cum int64
+		for bi, bound := range durBuckets {
+			cum += h.counts[bi].Load()
+			fmt.Fprintf(w, "%s_bucket{kind=%q,le=%q} %d\n", name, kind,
+				strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(durBuckets)].Load()
+		fmt.Fprintf(w, "%s_bucket{kind=%q,le=\"+Inf\"} %d\n", name, kind, cum)
+		fmt.Fprintf(w, "%s_sum{kind=%q} %g\n", name, kind,
+			time.Duration(h.sumNanos.Load()).Seconds())
+		fmt.Fprintf(w, "%s_count{kind=%q} %d\n", name, kind, h.total.Load())
+	}
 }

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 
 	"prestores/internal/bench"
 	"prestores/internal/memdev"
 	"prestores/internal/scenario"
 	"prestores/internal/sim"
+	"prestores/internal/telemetry"
 	"prestores/internal/workloads/kv"
 )
 
@@ -54,8 +56,12 @@ func (s *Server) handleSubmitScenario(w http.ResponseWriter, r *http.Request) {
 }
 
 // scenarioRun builds the run function for a scenario job: the guarded
-// analysis harness around the declarative grid runner.
-func (s *Server) scenarioRun(sp scenario.Spec, quick bool) func(context.Context, *progressLog) bench.Result {
+// analysis harness around the declarative grid runner. A spec with a
+// telemetry block gets a per-job recorder attached (via the context
+// observer, so concurrent jobs never see each other's machines); the
+// recorded timeline and line report become job artifacts served from
+// GET /v1/jobs/{id}/timeline and .../linereport.
+func (s *Server) scenarioRun(sp scenario.Spec, quick bool) func(context.Context, *job) bench.Result {
 	name := sp.Name
 	if name == "" {
 		name = "custom"
@@ -65,8 +71,34 @@ func (s *Server) scenarioRun(sp scenario.Spec, quick bool) func(context.Context,
 		title = "custom scenario"
 	}
 	return analysisRun("scenario/"+name, title, s.cfg.JobTimeout,
-		func(ctx context.Context, out *bytes.Buffer) error {
-			return bench.RunSpec(ctx, out, sp, quick)
+		func(ctx context.Context, j *job, out *bytes.Buffer) error {
+			t := sp.Telemetry
+			if t == nil {
+				return bench.RunSpec(ctx, out, sp, quick)
+			}
+			rec := telemetry.New(telemetry.Config{
+				Timeline:    t.Timeline,
+				LineReport:  t.LineReport,
+				MaxEvents:   t.MaxEvents,
+				BucketBytes: t.BucketBytes,
+			})
+			err := bench.RunSpec(scenario.WithObserver(ctx, rec.Attach), out, sp, quick)
+			if t.Timeline {
+				var b bytes.Buffer
+				if werr := rec.WriteTimeline(&b); werr == nil {
+					j.setArtifact("timeline", b.Bytes())
+				}
+			}
+			if t.LineReport {
+				rep := rec.LineReport(256)
+				var b bytes.Buffer
+				if werr := rep.WriteJSON(&b); werr == nil {
+					j.setArtifact("linereport", b.Bytes())
+				}
+				fmt.Fprintln(out)
+				rep.WriteText(out)
+			}
+			return err
 		})
 }
 

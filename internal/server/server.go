@@ -35,7 +35,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	netpprof "net/http/pprof"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -67,6 +69,13 @@ type Config struct {
 	// Workloads lists the DirtBuster-analyzable workloads; nil means
 	// bench.Table2Workloads.
 	Workloads func(quick bool) []dirtbuster.Workload
+	// Logger receives structured logs (job lifecycle with job IDs);
+	// nil discards them.
+	Logger *slog.Logger
+	// EnablePprof registers net/http/pprof handlers under /debug/pprof/
+	// on the daemon mux. Off by default: the profiling surface should
+	// not be reachable unless asked for.
+	EnablePprof bool
 }
 
 var (
@@ -91,6 +100,7 @@ type Server struct {
 	cache    map[string]*bench.Result // cache key → successful result
 	cacheIDs map[string]string        // cache key → job ID that produced it
 
+	log   *slog.Logger
 	m     metrics
 	start time.Time
 }
@@ -115,7 +125,11 @@ func New(cfg Config) *Server {
 	if cfg.Workloads == nil {
 		cfg.Workloads = bench.Table2Workloads
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
+		log: cfg.Logger,
 		cfg:      cfg,
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     make(map[string]*job),
@@ -192,9 +206,15 @@ func (s *Server) worker() {
 		if !j.trySetRunning() {
 			continue
 		}
+		wait := time.Since(j.submitted)
+		s.m.queueWait.observe(j.kind, wait)
+		s.log.Info("job start", "job", j.id, "kind", j.kind, "queue_wait", wait)
 		s.m.running.Add(1)
-		res := j.run(j.ctx, j.out)
+		start := time.Now()
+		res := j.run(j.ctx, j)
+		dur := time.Since(start)
 		s.m.running.Add(-1)
+		s.m.runDur.observe(j.kind, dur)
 		s.finalize(j, res)
 	}
 }
@@ -204,7 +224,7 @@ func (s *Server) worker() {
 // a new one (429 when the queue is full). detached jobs run to
 // completion even if every watcher disconnects.
 func (s *Server) submit(kind string, spec any, detached bool,
-	run func(context.Context, *progressLog) bench.Result) (JobStatus, *job, error) {
+	run func(context.Context, *job) bench.Result) (JobStatus, *job, error) {
 	key := cacheKey(kind, spec, s.cfg.Version)
 
 	s.mu.Lock()
@@ -237,7 +257,7 @@ func (s *Server) submit(kind string, spec any, detached bool,
 		id: fmt.Sprintf("job-%d", s.seq), kind: kind, key: key,
 		run: run, ctx: ctx, cancel: cancel,
 		out: newProgressLog(), done: make(chan struct{}),
-		detached: detached,
+		detached: detached, submitted: time.Now(),
 	}
 	select {
 	case s.queue <- j:
@@ -249,6 +269,7 @@ func (s *Server) submit(kind string, spec any, detached bool,
 	s.jobs[j.id] = j
 	s.inflight[key] = j
 	s.m.cacheMisses.Add(1)
+	s.log.Info("job submitted", "job", j.id, "kind", kind, "key", key)
 	return j.status(), j, nil
 }
 
@@ -293,11 +314,15 @@ func (s *Server) finalize(j *job, res bench.Result) {
 	switch final {
 	case stateDone:
 		s.m.jobsDone.Add(1)
+		s.log.Info("job done", "job", j.id, "kind", j.kind)
 	case stateFailed:
 		s.m.jobsFailed.Add(1)
+		s.log.Warn("job failed", "job", j.id, "kind", j.kind, "error", res.Err)
 	case stateCancelled:
 		s.m.jobsCancelled.Add(1)
+		s.log.Info("job cancelled", "job", j.id, "kind", j.kind)
 	}
+	s.m.finished.inc(j.kind, final.String())
 	j.cancel() // release the context's resources
 	j.out.close()
 	close(j.done)
@@ -366,6 +391,8 @@ func (s *Server) finalizeAbandoned(j *job) {
 	s.finished = append(s.finished, j.id)
 	s.mu.Unlock()
 	s.m.jobsCancelled.Add(1)
+	s.m.finished.inc(j.kind, stateCancelled.String())
+	s.log.Info("job cancelled", "job", j.id, "kind", j.kind, "queued", true)
 	j.out.close()
 	close(j.done)
 }
@@ -401,9 +428,43 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleListWorkloads)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStreamJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.artifactHandler("timeline"))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/linereport", s.artifactHandler("linereport"))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
+}
+
+// artifactHandler serves a job's named artifact (recorded telemetry).
+// 409 while the job is still producing it, 404 when the job never
+// recorded one (the submit lacked a telemetry block).
+func (s *Server) artifactHandler(name string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j := s.job(r.PathValue("id"))
+		if j == nil {
+			writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		if !j.finished() {
+			writeError(w, http.StatusConflict, "job %s is not finished; poll GET /v1/jobs/%s", j.id, j.id)
+			return
+		}
+		data, ok := j.artifact(name)
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				"job %s recorded no %s; submit a scenario with a telemetry block to record one", j.id, name)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

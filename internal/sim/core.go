@@ -216,6 +216,31 @@ func (c *Core) emitHooked(kind OpKind, addr, size uint64, cost units.Cycles) {
 		Instr: c.instr, Cost: uint64(cost)}, c)
 }
 
+// emitMem delivers a memory-system event to the machine's mem hook,
+// mirroring emit's split: the un-hooked fast path is one nil check and
+// builds nothing.
+func (c *Core) emitMem(kind MemEventKind, addr, size uint64, start, end units.Cycles) {
+	if c.m.memHook != nil {
+		c.emitMemHooked(kind, addr, size, start, end)
+	}
+}
+
+func (c *Core) emitMemHooked(kind MemEventKind, addr, size uint64, start, end units.Cycles) {
+	c.m.memHook(MemEvent{Core: c.id, Kind: kind, Addr: addr, Size: size,
+		Start: start, End: end})
+}
+
+// enqueueWB submits a line write-back through the machine queue
+// (advancing the core clock on back-pressure), announces it to the mem
+// hook, and returns the device-accept completion cycle.
+func (c *Core) enqueueWB(line uint64) units.Cycles {
+	start := c.now
+	var accept units.Cycles
+	c.now, accept = c.m.wbq.enqueue(c.now, c.now, line, c.m.cfg.LineSize, c.m.deviceFor)
+	c.emitMem(MemWriteBack, line, c.m.cfg.LineSize, start, accept)
+	return accept
+}
+
 // PushFunc annotates subsequent operations as executing inside fn —
 // the simulator's stand-in for the symbol information PIN and perf
 // recover from binaries.
@@ -371,7 +396,9 @@ func (c *Core) loadLineAt(line uint64, at units.Cycles) units.Cycles {
 		c.fillLLCAbsent(line, false)
 	default:
 		c.stats.LoadMemFills++
-		done = c.m.deviceFor(line).ReadLine(done+c.m.llc.HitLatency(), line, c.m.cfg.LineSize)
+		fillStart := done + c.m.llc.HitLatency()
+		done = c.m.deviceFor(line).ReadLine(fillStart, line, c.m.cfg.LineSize)
+		c.emitMem(MemFill, line, c.m.cfg.LineSize, fillStart, done)
 		c.fillLLCAbsent(line, false)
 		c.prefetchAfter(line)
 	}
@@ -391,7 +418,8 @@ func (c *Core) prefetchAfter(line uint64) {
 			continue
 		}
 		c.stats.Prefetches++
-		c.m.deviceFor(next).ReadLine(c.now, next, c.m.cfg.LineSize)
+		done := c.m.deviceFor(next).ReadLine(c.now, next, c.m.cfg.LineSize)
+		c.emitMem(MemPrefetch, next, c.m.cfg.LineSize, c.now, done)
 		c.fillLLCAbsent(next, false)
 	}
 }
@@ -496,6 +524,7 @@ func (c *Core) drainOldest() {
 	}
 	if e.readyAt > c.now {
 		c.stats.SBStall += e.readyAt - c.now
+		c.emitMem(MemSBDrain, e.line, c.m.cfg.LineSize, c.now, e.readyAt)
 		c.now = e.readyAt
 	}
 	c.sbHead++
@@ -558,7 +587,9 @@ func (c *Core) acquireLine(at units.Cycles, line uint64) units.Cycles {
 		// Write-allocate: the line must be read from memory before it
 		// can be partially updated (paper §4.2: "it needs to read the
 		// full cache line prior to updating it").
-		done = c.m.deviceFor(line).ReadLine(done+c.m.llc.HitLatency(), line, c.m.cfg.LineSize)
+		fillStart := done + c.m.llc.HitLatency()
+		done = c.m.deviceFor(line).ReadLine(fillStart, line, c.m.cfg.LineSize)
+		c.emitMem(MemFill, line, c.m.cfg.LineSize, fillStart, done)
 		c.fillLLCAbsent(line, false)
 		c.prefetchAfter(line) // L2 prefetchers also train on RFO misses
 		c.fillPrivateAbsent(line, true)
@@ -634,15 +665,23 @@ func (c *Core) handlePrivateEvict(ev cache.Eviction) {
 // victim. This is where the replacement policy's "random" victim order
 // becomes the device's write-back order — the root of Problem #1.
 func (c *Core) insertLLC(line uint64, dirty bool) {
-	if ev, evicted := c.m.llc.Insert(line, dirty); evicted && ev.Dirty {
-		c.now, _ = c.m.wbq.enqueue(c.now, c.now, ev.Addr, c.m.cfg.LineSize, c.m.deviceFor)
+	if ev, evicted := c.m.llc.Insert(line, dirty); evicted {
+		if ev.Dirty {
+			c.enqueueWB(ev.Addr)
+		} else {
+			c.emitMem(MemEvict, ev.Addr, c.m.cfg.LineSize, c.now, c.now)
+		}
 	}
 }
 
 // fillLLCAbsent is insertLLC for a line known absent from the LLC.
 func (c *Core) fillLLCAbsent(line uint64, dirty bool) {
-	if ev, evicted := c.m.llc.Fill(line, dirty); evicted && ev.Dirty {
-		c.now, _ = c.m.wbq.enqueue(c.now, c.now, ev.Addr, c.m.cfg.LineSize, c.m.deviceFor)
+	if ev, evicted := c.m.llc.Fill(line, dirty); evicted {
+		if ev.Dirty {
+			c.enqueueWB(ev.Addr)
+		} else {
+			c.emitMem(MemEvict, ev.Addr, c.m.cfg.LineSize, c.now, c.now)
+		}
 	}
 }
 
@@ -831,8 +870,7 @@ func (c *Core) cleanLine(line uint64) {
 	if !dirty {
 		return
 	}
-	var accept units.Cycles
-	c.now, accept = c.m.wbq.enqueue(c.now, c.now, line, c.m.cfg.LineSize, c.m.deviceFor)
+	accept := c.enqueueWB(line)
 	if at > accept {
 		accept = at // data not committed before the acquisition finishes
 	}
@@ -933,7 +971,7 @@ func (c *Core) evictEverywhere(line uint64) {
 		wasDirty = true
 	}
 	if wasDirty {
-		c.now, _ = c.m.wbq.enqueue(c.now, c.now, line, c.m.cfg.LineSize, c.m.deviceFor)
+		c.enqueueWB(line)
 	}
 	c.m.dir.Evicted(c.id, line)
 }
@@ -943,8 +981,7 @@ func (c *Core) evictEverywhere(line uint64) {
 func (c *Core) flushWCEntry(i int) units.Cycles {
 	e := c.wc[i]
 	c.wc = append(c.wc[:i], c.wc[i+1:]...)
-	var accept units.Cycles
-	c.now, accept = c.m.wbq.enqueue(c.now, c.now, e.line, c.m.cfg.LineSize, c.m.deviceFor)
+	accept := c.enqueueWB(e.line)
 	c.addCleanPending(accept)
 	return accept
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"prestores/internal/units"
+)
 
 // OpKind identifies a simulated operation for instrumentation hooks.
 type OpKind int
@@ -73,3 +77,65 @@ type Event struct {
 // pointer gives access to the function-annotation stack for callchain
 // sampling. Hooks must not mutate machine state.
 type Hook func(ev Event, core *Core)
+
+// MemEventKind identifies a memory-system event: activity below the
+// instruction stream — write-backs, fills, evictions, drain stalls —
+// that no OpKind carries but that the paper's figures are made of
+// (write-amplification curves are write-back streams, fence-stall
+// breakdowns are drain timings).
+type MemEventKind uint8
+
+// Memory-system event kinds delivered to the mem hook.
+const (
+	// MemWriteBack is a dirty line entering the write-back queue toward
+	// its device: a clwb clean, a dirty LLC eviction, or a non-temporal
+	// stream. End is the device-accept completion cycle.
+	MemWriteBack MemEventKind = iota
+	// MemFill is a line read from its device into the LLC on a demand
+	// load miss or a store's write-allocate RFO.
+	MemFill
+	// MemEvict is a clean LLC eviction: the line is dropped without any
+	// device traffic.
+	MemEvict
+	// MemPrefetch is a next-line prefetcher fill: a background device
+	// read that does not stall the issuing core.
+	MemPrefetch
+	// MemSBDrain is a core stalled retiring its oldest store-buffer
+	// entry because the buffer hit capacity.
+	MemSBDrain
+)
+
+// String returns the mem-event-kind name.
+func (k MemEventKind) String() string {
+	switch k {
+	case MemWriteBack:
+		return "write-back"
+	case MemFill:
+		return "fill"
+	case MemEvict:
+		return "evict"
+	case MemPrefetch:
+		return "prefetch"
+	case MemSBDrain:
+		return "sb-drain"
+	default:
+		return fmt.Sprintf("MemEventKind(%d)", int(k))
+	}
+}
+
+// MemEvent describes one memory-system event. Start and End are the
+// event's simulated-cycle interval on the issuing core's clock (equal
+// for instantaneous events such as clean evictions).
+type MemEvent struct {
+	Core  int
+	Kind  MemEventKind
+	Addr  uint64
+	Size  uint64
+	Start units.Cycles
+	End   units.Cycles
+}
+
+// MemHook receives every memory-system event when installed. Like Hook
+// it is purely observational: implementations must not mutate machine
+// state, and an installed hook never changes simulated timing.
+type MemHook func(ev MemEvent)

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"prestores/internal/cache"
@@ -42,6 +43,7 @@ type Machine struct {
 	windows []WindowSpec // sorted by base
 	lastWin int          // index into windows of the last deviceFor hit
 	hook    Hook
+	memHook MemHook
 
 	opsFlushed uint64 // portion of core instr counters already in retiredOps
 }
@@ -82,7 +84,52 @@ func NewMachine(cfg Config) *Machine {
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, newCore(m, i))
 	}
+	notifyMachineObservers(m)
 	return m
+}
+
+// machineObservers holds callbacks notified of every machine built in
+// the process. Experiments construct their machines internally, so
+// external tooling (the telemetry recorder behind the CLI's -timeline
+// flag) has no handle to call SetHook on; observers close that gap
+// without threading a parameter through every experiment signature.
+var (
+	machineObsMu sync.Mutex
+	machineObs   []*machineObserver
+)
+
+type machineObserver struct{ f func(*Machine) }
+
+// ObserveMachines registers f to be called (synchronously, under the
+// registry lock) with every Machine subsequently built by NewMachine,
+// and returns a cancel function. Observers typically install hooks on
+// the new machine. With concurrent experiments an observer sees
+// machines from all of them; callers needing per-run isolation must
+// serialize runs (or use a scoped mechanism such as the scenario
+// layer's context observer).
+func ObserveMachines(f func(*Machine)) (cancel func()) {
+	o := &machineObserver{f: f}
+	machineObsMu.Lock()
+	machineObs = append(machineObs, o)
+	machineObsMu.Unlock()
+	return func() {
+		machineObsMu.Lock()
+		defer machineObsMu.Unlock()
+		for i, x := range machineObs {
+			if x == o {
+				machineObs = append(machineObs[:i], machineObs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func notifyMachineObservers(m *Machine) {
+	machineObsMu.Lock()
+	defer machineObsMu.Unlock()
+	for _, o := range machineObs {
+		o.f(m)
+	}
 }
 
 // Config returns the machine configuration.
@@ -115,6 +162,11 @@ func (m *Machine) Arena() *memspace.Arena { return m.arena }
 
 // SetHook installs the instrumentation hook (nil removes it).
 func (m *Machine) SetHook(h Hook) { m.hook = h }
+
+// SetMemHook installs the memory-system event hook (nil removes it).
+// Mem events are purely observational: installing a hook never changes
+// simulated timing.
+func (m *Machine) SetMemHook(h MemHook) { m.memHook = h }
 
 // deviceFor returns the device serving addr. It panics on an address
 // outside every window — that is a workload bug worth failing loudly.
@@ -217,7 +269,14 @@ func (m *Machine) FlushCaches() {
 		cc.DirtyLines(func(addr uint64) { lines = append(lines, addr) })
 		for _, addr := range lines {
 			cc.CleanLine(addr)
-			now, _ = m.wbq.enqueue(now, now, addr, m.cfg.LineSize, m.deviceFor)
+			start := now
+			var accept units.Cycles
+			now, accept = m.wbq.enqueue(now, now, addr, m.cfg.LineSize, m.deviceFor)
+			if m.memHook != nil {
+				// Core -1: a machine-wide flush, not attributable to a core.
+				m.memHook(MemEvent{Core: -1, Kind: MemWriteBack, Addr: addr,
+					Size: m.cfg.LineSize, Start: start, End: accept})
+			}
 		}
 	}
 	for _, c := range m.cores {

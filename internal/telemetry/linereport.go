@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// LineStat is one cache line's attribution record.
+type LineStat struct {
+	Machine int    `json:"machine"`
+	Addr    uint64 `json:"addr"`
+	Writes  uint64 `json:"writes"`
+	// Rewrites counts writes to an already-written line; the distance
+	// sums are in instructions, DirtBuster's distance unit.
+	Rewrites       uint64 `json:"rewrites"`
+	RewriteDistSum uint64 `json:"rewrite_dist_sum"`
+	NearRewrites   uint64 `json:"near_rewrites"`
+	Rereads        uint64 `json:"rereads"`
+	RereadDistSum  uint64 `json:"reread_dist_sum"`
+	NearRereads    uint64 `json:"near_rereads"`
+}
+
+// AvgRewriteDist returns the mean re-write distance in instructions.
+func (s LineStat) AvgRewriteDist() float64 {
+	if s.Rewrites == 0 {
+		return 0
+	}
+	return float64(s.RewriteDistSum) / float64(s.Rewrites)
+}
+
+// AvgRereadDist returns the mean re-read distance in instructions.
+func (s LineStat) AvgRereadDist() float64 {
+	if s.Rereads == 0 {
+		return 0
+	}
+	return float64(s.RereadDistSum) / float64(s.Rereads)
+}
+
+// BucketStat aggregates device-level traffic for one address bucket.
+// WriteAmp is device write bytes over application write bytes — the
+// device-level write amplification the paper's Figure 3 sweeps.
+type BucketStat struct {
+	Machine          int     `json:"machine"`
+	Base             uint64  `json:"base"`
+	AppWriteBytes    uint64  `json:"app_write_bytes"`
+	DeviceWriteBytes uint64  `json:"device_write_bytes"`
+	DeviceReadBytes  uint64  `json:"device_read_bytes"`
+	WriteAmp         float64 `json:"write_amp"`
+}
+
+// LineReport is the full attribution report.
+type LineReport struct {
+	LineSize    uint64   `json:"line_size"`
+	BucketBytes uint64   `json:"bucket_bytes"`
+	Machines    []string `json:"machines"`
+
+	LinesTracked uint64 `json:"lines_tracked"`
+	DroppedLines uint64 `json:"dropped_lines"`
+
+	TotalAppWriteBytes    uint64  `json:"total_app_write_bytes"`
+	TotalDeviceWriteBytes uint64  `json:"total_device_write_bytes"`
+	TotalDeviceReadBytes  uint64  `json:"total_device_read_bytes"`
+	WriteAmp              float64 `json:"write_amp"`
+
+	// Lines is sorted by writes (descending), then machine and address.
+	Lines []LineStat `json:"lines"`
+	// Buckets is sorted by machine then base address.
+	Buckets []BucketStat `json:"buckets"`
+}
+
+// LineReport builds the attribution report. maxLines caps the per-line
+// list to the most-written lines (<= 0 keeps every tracked line).
+func (r *Recorder) LineReport(maxLines int) *LineReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &LineReport{
+		BucketBytes:  r.cfg.BucketBytes,
+		LinesTracked: uint64(len(r.lines)),
+		DroppedLines: r.droppedLines,
+	}
+	for _, ms := range r.machines {
+		rep.Machines = append(rep.Machines, ms.name)
+		if ms.lineSize > rep.LineSize {
+			rep.LineSize = ms.lineSize
+		}
+	}
+	for k, li := range r.lines {
+		rep.Lines = append(rep.Lines, LineStat{
+			Machine:        int(k.mach),
+			Addr:           k.line,
+			Writes:         li.writes,
+			Rewrites:       li.rewrites,
+			RewriteDistSum: li.rewriteSum,
+			NearRewrites:   li.nearRewrites,
+			Rereads:        li.rereads,
+			RereadDistSum:  li.rereadSum,
+			NearRereads:    li.nearRereads,
+		})
+	}
+	sort.Slice(rep.Lines, func(i, j int) bool {
+		a, b := rep.Lines[i], rep.Lines[j]
+		if a.Writes != b.Writes {
+			return a.Writes > b.Writes
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.Addr < b.Addr
+	})
+	if maxLines > 0 && len(rep.Lines) > maxLines {
+		rep.Lines = rep.Lines[:maxLines]
+	}
+	for k, b := range r.buckets {
+		bs := BucketStat{
+			Machine:          int(k.mach),
+			Base:             k.base,
+			AppWriteBytes:    b.appWriteBytes,
+			DeviceWriteBytes: b.deviceWriteBytes,
+			DeviceReadBytes:  b.deviceReadBytes,
+		}
+		if bs.AppWriteBytes > 0 {
+			bs.WriteAmp = float64(bs.DeviceWriteBytes) / float64(bs.AppWriteBytes)
+		}
+		rep.TotalAppWriteBytes += bs.AppWriteBytes
+		rep.TotalDeviceWriteBytes += bs.DeviceWriteBytes
+		rep.TotalDeviceReadBytes += bs.DeviceReadBytes
+		rep.Buckets = append(rep.Buckets, bs)
+	}
+	sort.Slice(rep.Buckets, func(i, j int) bool {
+		a, b := rep.Buckets[i], rep.Buckets[j]
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.Base < b.Base
+	})
+	if rep.TotalAppWriteBytes > 0 {
+		rep.WriteAmp = float64(rep.TotalDeviceWriteBytes) / float64(rep.TotalAppWriteBytes)
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rep *LineReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteText renders the report for humans: a traffic summary, the
+// hottest lines, and the per-bucket write-amplification table.
+func (rep *LineReport) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "cache-line attribution report\n")
+	fmt.Fprintf(w, "  line size          %d B, bucket size %d B\n", rep.LineSize, rep.BucketBytes)
+	fmt.Fprintf(w, "  lines tracked      %d (dropped %d)\n", rep.LinesTracked, rep.DroppedLines)
+	fmt.Fprintf(w, "  app writes         %d B\n", rep.TotalAppWriteBytes)
+	fmt.Fprintf(w, "  device writes      %d B\n", rep.TotalDeviceWriteBytes)
+	fmt.Fprintf(w, "  device reads       %d B\n", rep.TotalDeviceReadBytes)
+	fmt.Fprintf(w, "  write amplification %.2fx\n", rep.WriteAmp)
+
+	const topLines = 20
+	n := len(rep.Lines)
+	if n > topLines {
+		n = topLines
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "\nhottest %d of %d lines (by writes):\n", n, len(rep.Lines))
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  machine\taddr\twrites\trewrites\tavg rw dist\tnear rw\trereads\tavg rr dist\tnear rr")
+		for _, s := range rep.Lines[:n] {
+			fmt.Fprintf(tw, "  m%d\t0x%x\t%d\t%d\t%.0f\t%d\t%d\t%.0f\t%d\n",
+				s.Machine, s.Addr, s.Writes, s.Rewrites, s.AvgRewriteDist(),
+				s.NearRewrites, s.Rereads, s.AvgRereadDist(), s.NearRereads)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(rep.Buckets) > 0 {
+		fmt.Fprintf(w, "\nwrite amplification by %d B address bucket:\n", rep.BucketBytes)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  machine\tbucket\tapp B\tdevice wr B\tdevice rd B\twrite amp")
+		for _, b := range rep.Buckets {
+			amp := "-"
+			if b.AppWriteBytes > 0 {
+				amp = fmt.Sprintf("%.2fx", b.WriteAmp)
+			}
+			fmt.Fprintf(tw, "  m%d\t0x%x\t%d\t%d\t%d\t%s\n",
+				b.Machine, b.Base, b.AppWriteBytes, b.DeviceWriteBytes, b.DeviceReadBytes, amp)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+// Package telemetry is the simulator's opt-in observability layer. A
+// Recorder subscribes to a machine's instruction stream (sim.Hook) and
+// memory-system stream (sim.MemHook) and turns a run into two
+// artifacts:
+//
+//   - a simulated-cycle timeline — per-core op tracks plus derived
+//     tracks for cache fills, evictions, write-backs, store-buffer
+//     drains, fence stalls and pre-store ops — exported as Chrome
+//     trace-event JSON loadable in Perfetto (timeline.go), and
+//   - a per-cache-line attribution report — write counts, re-write and
+//     re-read distances, and device-level write amplification per
+//     address bucket — reproducing DirtBuster step 3's decision inputs
+//     online instead of from an offline trace (linereport.go).
+//
+// The recorder is pay-as-you-go: nothing here runs unless hooks are
+// installed, the timeline is a fixed-capacity ring (oldest events are
+// overwritten, with a drop counter), function names are interned to
+// integer IDs, and the line table is bounded. With no recorder attached
+// the simulator's fast path is a nil check.
+package telemetry
+
+import (
+	"sync"
+
+	"prestores/internal/sim"
+)
+
+// Config sizes a Recorder. Zero values select defaults.
+type Config struct {
+	// Timeline enables ring-buffered event capture for WriteTimeline.
+	Timeline bool
+	// LineReport enables per-line and per-bucket aggregation.
+	LineReport bool
+	// MaxEvents caps the timeline ring (default 131072 events, ~7 MiB).
+	// When full, the oldest events are overwritten and counted dropped:
+	// the timeline shows the run's tail.
+	MaxEvents int
+	// BucketBytes is the write-amplification bucket size (default 64 KiB).
+	BucketBytes uint64
+	// MaxLines caps the line table (default 1<<20). Further lines are
+	// dropped and counted.
+	MaxLines int
+	// NearRewrite / NearReread are the distance thresholds (in
+	// instructions) under which a re-write / re-read counts as "near" —
+	// DirtBuster's pre-store decision inputs. Defaults match its
+	// thresholds (4000 / 100000).
+	NearRewrite uint64
+	NearReread  uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 131072
+	}
+	if c.BucketBytes == 0 {
+		c.BucketBytes = 64 << 10
+	}
+	if c.MaxLines == 0 {
+		c.MaxLines = 1 << 20
+	}
+	if c.NearRewrite == 0 {
+		c.NearRewrite = 4000
+	}
+	if c.NearReread == 0 {
+		c.NearReread = 100_000
+	}
+}
+
+// entry is one ring slot. kind encodes sim.OpKind directly (0..) and
+// sim.MemEventKind offset by memKindBase.
+type entry struct {
+	start uint64
+	dur   uint64
+	addr  uint64
+	size  uint64
+	fn    uint32
+	mach  uint16
+	core  int16
+	kind  uint8
+}
+
+const memKindBase = 100
+
+// machineState is the recorder's view of one attached machine.
+type machineState struct {
+	idx      uint16
+	name     string
+	lineSize uint64
+	cores    int
+}
+
+type lineKey struct {
+	mach uint16
+	line uint64
+}
+
+// lineRec mirrors DirtBuster's per-line record (its lineInfo), minus
+// the sequentiality-context exclusion: telemetry has no notion of a
+// write continuing a sequential streak, so streak-internal re-writes
+// are counted here and excluded there.
+type lineRec struct {
+	writes       uint64
+	rewrites     uint64
+	rewriteSum   uint64
+	nearRewrites uint64
+	rereads      uint64
+	rereadSum    uint64
+	nearRereads  uint64
+	lastWrite    uint64
+	written      bool
+}
+
+type bucketKey struct {
+	mach uint16
+	base uint64
+}
+
+type bucketRec struct {
+	appWriteBytes    uint64
+	deviceWriteBytes uint64
+	deviceReadBytes  uint64
+}
+
+// Recorder captures telemetry from one or more machines. Attach it to
+// each machine whose run should be observed; all captured data lands in
+// this one recorder, keyed by attach order. The hook path takes the
+// recorder lock, so attaching one recorder to machines driven from
+// multiple goroutines is safe (but serializes them — run observed
+// experiments with a single worker).
+type Recorder struct {
+	cfg Config
+
+	mu       sync.Mutex
+	machines []*machineState
+
+	ring    []entry
+	head    int // oldest entry once the ring is full
+	dropped uint64
+
+	fnIDs map[string]uint32
+	fns   []string
+
+	lines        map[lineKey]*lineRec
+	droppedLines uint64
+	buckets      map[bucketKey]*bucketRec
+}
+
+// New builds a recorder. At least one of cfg.Timeline / cfg.LineReport
+// should be set, or Attach records nothing.
+func New(cfg Config) *Recorder {
+	cfg.fillDefaults()
+	r := &Recorder{cfg: cfg, fnIDs: map[string]uint32{"": 0}, fns: []string{""}}
+	if cfg.Timeline {
+		r.ring = make([]entry, 0, cfg.MaxEvents)
+	}
+	if cfg.LineReport {
+		r.lines = make(map[lineKey]*lineRec)
+		r.buckets = make(map[bucketKey]*bucketRec)
+	}
+	return r
+}
+
+// Attach subscribes the recorder to m's op and memory-system streams,
+// replacing any previously installed hooks. Call before running the
+// workload.
+func (r *Recorder) Attach(m *sim.Machine) {
+	r.mu.Lock()
+	ms := &machineState{
+		idx:      uint16(len(r.machines)),
+		name:     m.Name(),
+		lineSize: m.LineSize(),
+		cores:    m.Cores(),
+	}
+	r.machines = append(r.machines, ms)
+	r.mu.Unlock()
+	if !r.cfg.Timeline && !r.cfg.LineReport {
+		return
+	}
+	m.SetHook(func(ev sim.Event, c *sim.Core) { r.onOp(ms, ev, c) })
+	m.SetMemHook(func(ev sim.MemEvent) { r.onMem(ms, ev) })
+}
+
+// Dropped returns how many timeline events were overwritten because the
+// ring filled.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the number of timeline events currently held.
+func (r *Recorder) Events() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+func (r *Recorder) onOp(ms *machineState, ev sim.Event, c *sim.Core) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.Timeline {
+		// The event's cost is the cycles it advanced the core clock, and
+		// the clock has already advanced: the op spans [now-cost, now].
+		now := uint64(c.Now())
+		r.push(entry{
+			start: now - ev.Cost,
+			dur:   ev.Cost,
+			addr:  ev.Addr,
+			size:  ev.Size,
+			fn:    r.intern(ev.Fn),
+			mach:  ms.idx,
+			core:  int16(ev.Core),
+			kind:  uint8(ev.Kind),
+		})
+	}
+	if r.cfg.LineReport {
+		switch ev.Kind {
+		case sim.OpStore, sim.OpStoreNT:
+			r.noteWrite(ms, ev)
+		case sim.OpLoad:
+			r.noteRead(ms, ev)
+		}
+	}
+}
+
+func (r *Recorder) onMem(ms *machineState, ev sim.MemEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.Timeline {
+		r.push(entry{
+			start: uint64(ev.Start),
+			dur:   uint64(ev.End - ev.Start),
+			addr:  ev.Addr,
+			size:  ev.Size,
+			mach:  ms.idx,
+			core:  int16(ev.Core),
+			kind:  memKindBase + uint8(ev.Kind),
+		})
+	}
+	if r.cfg.LineReport {
+		switch ev.Kind {
+		case sim.MemWriteBack:
+			r.bucketFor(ms, ev.Addr).deviceWriteBytes += ev.Size
+		case sim.MemFill, sim.MemPrefetch:
+			r.bucketFor(ms, ev.Addr).deviceReadBytes += ev.Size
+		}
+	}
+}
+
+func (r *Recorder) push(e entry) {
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, e)
+		return
+	}
+	r.ring[r.head] = e
+	r.head++
+	if r.head == len(r.ring) {
+		r.head = 0
+	}
+	r.dropped++
+}
+
+// replay visits held timeline events oldest-first.
+func (r *Recorder) replay(fn func(e entry)) {
+	for i := r.head; i < len(r.ring); i++ {
+		fn(r.ring[i])
+	}
+	for i := 0; i < r.head; i++ {
+		fn(r.ring[i])
+	}
+}
+
+func (r *Recorder) intern(fn string) uint32 {
+	if id, ok := r.fnIDs[fn]; ok {
+		return id
+	}
+	id := uint32(len(r.fns))
+	r.fnIDs[fn] = id
+	r.fns = append(r.fns, fn)
+	return id
+}
+
+// noteWrite updates per-line write records, mirroring DirtBuster's
+// onWrite: distances are instruction counts, a touch with a smaller
+// counter (another core) carries no distance, and the event's Instr is
+// applied to every line a multi-line write spans.
+func (r *Recorder) noteWrite(ms *machineState, ev sim.Event) {
+	end := ev.Addr + ev.Size
+	for line := ev.Addr &^ (ms.lineSize - 1); line < end; line += ms.lineSize {
+		li := r.lineFor(ms, line)
+		if li == nil {
+			continue
+		}
+		if li.written && ev.Instr >= li.lastWrite {
+			d := ev.Instr - li.lastWrite
+			li.rewrites++
+			li.rewriteSum += d
+			if d <= r.cfg.NearRewrite {
+				li.nearRewrites++
+			}
+		}
+		li.writes++
+		li.written = true
+		li.lastWrite = ev.Instr
+
+		// Write-amplification numerator: bytes the program wrote into
+		// this line (vs. whole lines the device will receive).
+		lo, hi := ev.Addr, end
+		if lo < line {
+			lo = line
+		}
+		if hi > line+ms.lineSize {
+			hi = line + ms.lineSize
+		}
+		r.bucketFor(ms, line).appWriteBytes += hi - lo
+	}
+}
+
+// noteRead updates re-read distances for previously written lines,
+// mirroring DirtBuster's onRead (lines never written are not tracked).
+func (r *Recorder) noteRead(ms *machineState, ev sim.Event) {
+	end := ev.Addr + ev.Size
+	for line := ev.Addr &^ (ms.lineSize - 1); line < end; line += ms.lineSize {
+		li, ok := r.lines[lineKey{ms.idx, line}]
+		if !ok {
+			continue
+		}
+		if li.written && ev.Instr >= li.lastWrite {
+			d := ev.Instr - li.lastWrite
+			li.rereads++
+			li.rereadSum += d
+			if d <= r.cfg.NearReread {
+				li.nearRereads++
+			}
+		}
+	}
+}
+
+func (r *Recorder) lineFor(ms *machineState, line uint64) *lineRec {
+	k := lineKey{ms.idx, line}
+	if li, ok := r.lines[k]; ok {
+		return li
+	}
+	if len(r.lines) >= r.cfg.MaxLines {
+		r.droppedLines++
+		return nil
+	}
+	li := &lineRec{}
+	r.lines[k] = li
+	return li
+}
+
+func (r *Recorder) bucketFor(ms *machineState, addr uint64) *bucketRec {
+	k := bucketKey{ms.idx, addr - addr%r.cfg.BucketBytes}
+	if b, ok := r.buckets[k]; ok {
+		return b
+	}
+	b := &bucketRec{}
+	r.buckets[k] = b
+	return b
+}

@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"prestores/internal/sim"
+)
+
+const base = uint64(1) << 40 // PMEM window of Machine A
+
+// traceDoc is the subset of the Chrome trace-event format the tests
+// inspect.
+type traceDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	OtherData       struct {
+		Clock         string `json:"clock"`
+		DroppedEvents uint64 `json:"droppedEvents"`
+	} `json:"otherData"`
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Name string         `json:"name"`
+	Args map[string]any `json:"args"`
+}
+
+// runSmallWorkload drives enough traffic through core 0 to produce
+// stores, loads, a fence stall and (after the flush) write-backs.
+func runSmallWorkload(m *sim.Machine) {
+	c := m.Core(0)
+	c.PushFunc("test.writer")
+	buf := make([]byte, 256)
+	for i := uint64(0); i < 200; i++ {
+		c.Write(base+i*256, buf)
+	}
+	c.Fence()
+	for i := uint64(0); i < 50; i++ {
+		c.ReadU64(base + i*256)
+	}
+	c.PopFunc()
+	m.FlushCaches()
+}
+
+func recordSmallWorkload(t *testing.T, cfg Config) *Recorder {
+	t.Helper()
+	rec := New(cfg)
+	m := sim.MachineA()
+	rec.Attach(m)
+	runSmallWorkload(m)
+	return rec
+}
+
+func TestTimelineIsValidTraceEventJSON(t *testing.T) {
+	rec := recordSmallWorkload(t, Config{Timeline: true})
+
+	var buf bytes.Buffer
+	if err := rec.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("timeline has no events")
+	}
+
+	var coreTrack, wbTrack, fenceStall, storeOps, meta bool
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			meta = true
+			if e.Name == "thread_name" {
+				if n, _ := e.Args["name"].(string); strings.HasPrefix(n, "core ") {
+					coreTrack = true
+				}
+			}
+		case e.Name == "write-back":
+			wbTrack = true
+		case strings.HasSuffix(e.Name, " stall"):
+			fenceStall = true
+		case e.Name == "store":
+			storeOps = true
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Fatalf("store event with negative time: %+v", e)
+			}
+			if fn, _ := e.Args["fn"].(string); fn != "test.writer" {
+				t.Fatalf("store attributed to %q, want test.writer", fn)
+			}
+		}
+	}
+	for name, ok := range map[string]bool{
+		"per-core track metadata": coreTrack,
+		"write-back events":       wbTrack,
+		"fence-stall events":      fenceStall,
+		"store ops":               storeOps,
+		"metadata events":         meta,
+	} {
+		if !ok {
+			t.Errorf("timeline missing %s", name)
+		}
+	}
+}
+
+func TestTimelineRingOverwritesOldest(t *testing.T) {
+	rec := recordSmallWorkload(t, Config{Timeline: true, MaxEvents: 64})
+
+	if got := rec.Events(); got != 64 {
+		t.Fatalf("ring holds %d events, want 64", got)
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("expected dropped events on a full ring")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData.DroppedEvents != rec.Dropped() {
+		t.Fatalf("droppedEvents = %d, want %d", doc.OtherData.DroppedEvents, rec.Dropped())
+	}
+}
+
+func TestLineReportCountsRewritesAndRereads(t *testing.T) {
+	rec := New(Config{LineReport: true})
+	m := sim.MachineA()
+	rec.Attach(m)
+	c := m.Core(0)
+	c.PushFunc("test.rw")
+	c.WriteU64(base, 1)
+	c.WriteU64(base, 2) // rewrite of the same line
+	c.ReadU64(base)     // re-read after the last write
+	c.WriteU64(base+64, 3)
+	c.PopFunc()
+	m.FlushCaches()
+
+	rep := rec.LineReport(0)
+	if rep.LinesTracked != 2 {
+		t.Fatalf("tracked %d lines, want 2", rep.LinesTracked)
+	}
+	byAddr := map[uint64]LineStat{}
+	for _, s := range rep.Lines {
+		byAddr[s.Addr] = s
+	}
+	hot := byAddr[base]
+	if hot.Writes != 2 || hot.Rewrites != 1 || hot.Rereads != 1 {
+		t.Fatalf("line %#x: writes=%d rewrites=%d rereads=%d, want 2/1/1",
+			base, hot.Writes, hot.Rewrites, hot.Rereads)
+	}
+	if hot.NearRewrites != 1 || hot.NearRereads != 1 {
+		t.Fatalf("line %#x: near rewrites=%d rereads=%d, want 1/1",
+			base, hot.NearRewrites, hot.NearRereads)
+	}
+	cold := byAddr[base+64]
+	if cold.Writes != 1 || cold.Rewrites != 0 || cold.Rereads != 0 {
+		t.Fatalf("line %#x: writes=%d rewrites=%d rereads=%d, want 1/0/0",
+			base+64, cold.Writes, cold.Rewrites, cold.Rereads)
+	}
+	// Both dirty lines are flushed: the device receives two full lines
+	// against 24 application bytes.
+	if rep.TotalDeviceWriteBytes != 2*64 {
+		t.Fatalf("device write bytes = %d, want 128", rep.TotalDeviceWriteBytes)
+	}
+	if rep.TotalAppWriteBytes != 24 {
+		t.Fatalf("app write bytes = %d, want 24", rep.TotalAppWriteBytes)
+	}
+	if rep.WriteAmp == 0 {
+		t.Fatal("write amplification not computed")
+	}
+
+	var txt bytes.Buffer
+	if err := rep.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cache-line attribution report", "write amplification", "hottest"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+}
+
+func TestLineTableBounded(t *testing.T) {
+	rec := New(Config{LineReport: true, MaxLines: 4})
+	m := sim.MachineA()
+	rec.Attach(m)
+	c := m.Core(0)
+	for i := uint64(0); i < 16; i++ {
+		c.WriteU64(base+i*64, i)
+	}
+	rep := rec.LineReport(0)
+	if rep.LinesTracked != 4 {
+		t.Fatalf("tracked %d lines, want 4 (bounded)", rep.LinesTracked)
+	}
+	if rep.DroppedLines != 12 {
+		t.Fatalf("dropped %d lines, want 12", rep.DroppedLines)
+	}
+}
+
+// TestDisabledHotPathAllocatesNothing is the pay-as-you-go guard: with
+// no recorder attached the store/load path must not allocate, keeping
+// the simulator's 0 allocs/op property with telemetry compiled in.
+func TestDisabledHotPathAllocatesNothing(t *testing.T) {
+	m := sim.MachineA()
+	c := m.Core(0)
+	buf := make([]byte, 64)
+	// Warm the caches and any lazily grown simulator state.
+	for i := uint64(0); i < 64; i++ {
+		c.Write(base+i*64, buf)
+		c.ReadU64(base + i*64)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Write(base, buf)
+		c.ReadU64(base)
+		c.Fence()
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates %.1f objects/op with telemetry disabled, want 0", allocs)
+	}
+}
+
+// TestObserveMachinesRegistry checks the global attach path prestore-bench
+// uses: machines built after registration are observed, cancel stops it.
+func TestObserveMachinesRegistry(t *testing.T) {
+	rec := New(Config{Timeline: true})
+	cancel := sim.ObserveMachines(rec.Attach)
+	m := sim.MachineA()
+	m.Core(0).WriteU64(base, 7)
+	if rec.Events() == 0 {
+		t.Fatal("machine built after ObserveMachines was not observed")
+	}
+	cancel()
+	before := len(rec.machines)
+	sim.MachineA()
+	if got := len(rec.machines); got != before {
+		t.Fatalf("machine observed after cancel: %d -> %d attaches", before, got)
+	}
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"prestores/internal/sim"
+)
+
+// Timeline track layout. Each attached machine is one trace "process"
+// (pid = attach index); its cores are threads 1..N and the derived
+// memory-system tracks live on fixed thread IDs above tidDerived so
+// they group below the core tracks in Perfetto.
+const (
+	tidDerived    = 100
+	tidWriteBacks = tidDerived + iota - 1
+	tidFills
+	tidEvictions
+	tidPrefetches
+	tidSBDrain
+	tidFenceStall
+	tidPrestores
+)
+
+// derivedTracks names the fixed derived-track thread IDs.
+var derivedTracks = []struct {
+	tid  int
+	name string
+}{
+	{tidWriteBacks, "write-backs"},
+	{tidFills, "fills"},
+	{tidEvictions, "evictions"},
+	{tidPrefetches, "prefetches"},
+	{tidSBDrain, "sb-drain stalls"},
+	{tidFenceStall, "fence stalls"},
+	{tidPrestores, "prestores"},
+}
+
+// memTID maps a memory-event kind to its derived track.
+func memTID(k sim.MemEventKind) int {
+	switch k {
+	case sim.MemWriteBack:
+		return tidWriteBacks
+	case sim.MemFill:
+		return tidFills
+	case sim.MemEvict:
+		return tidEvictions
+	case sim.MemPrefetch:
+		return tidPrefetches
+	case sim.MemSBDrain:
+		return tidSBDrain
+	default:
+		return tidDerived
+	}
+}
+
+// WriteTimeline exports the held events as Chrome trace-event JSON (the
+// format Perfetto and chrome://tracing load). Timestamps are simulated
+// cycles rendered as microseconds: 1 µs on the timeline is 1 simulated
+// cycle.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, `{"displayTimeUnit":"ms","otherData":{"clock":"simulated cycles as us","droppedEvents":%d},"traceEvents":[`, r.dropped)
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+
+	// Track metadata: process per machine, thread per core plus the
+	// derived memory-system tracks.
+	for _, ms := range r.machines {
+		name := ms.name
+		if name == "" {
+			name = "machine"
+		}
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			ms.idx, strconv.Quote(fmt.Sprintf("m%d %s", ms.idx, name)))
+		for c := 0; c < ms.cores; c++ {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"core %d"}}`,
+				ms.idx, c+1, c)
+		}
+		for _, t := range derivedTracks {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				ms.idx, t.tid, strconv.Quote(t.name))
+		}
+	}
+
+	emitX := func(pid uint16, tid int, name string, e entry, withFn bool) {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%s,"args":{"addr":"0x%x","size":%d`,
+			pid, tid, e.start, e.dur, strconv.Quote(name), e.addr, e.size)
+		if withFn && e.fn != 0 {
+			fmt.Fprintf(bw, `,"fn":%s`, strconv.Quote(r.fns[e.fn]))
+		}
+		bw.WriteString(`}}`)
+	}
+
+	r.replay(func(e entry) {
+		if e.kind >= memKindBase {
+			k := sim.MemEventKind(e.kind - memKindBase)
+			emitX(e.mach, memTID(k), k.String(), e, false)
+			return
+		}
+		k := sim.OpKind(e.kind)
+		tid := int(e.core) + 1
+		switch k {
+		case sim.OpFuncEnter, sim.OpFuncExit:
+			// Function boundaries become instants, not B/E slices: the
+			// ring may have overwritten one half of a pair, and trace
+			// viewers reject unbalanced nesting.
+			sep()
+			fmt.Fprintf(bw, `{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"name":%s}`,
+				e.mach, tid, e.start, strconv.Quote(k.String()+" "+r.fns[e.fn]))
+			return
+		}
+		emitX(e.mach, tid, k.String(), e, true)
+		// Fan-outs: ordering ops that stalled also appear on the
+		// fence-stall track, pre-stores on the prestore track — the
+		// derived views the paper's figures aggregate over.
+		if k.IsFenceSemantics() && e.dur > 0 {
+			emitX(e.mach, tidFenceStall, k.String()+" stall", e, true)
+		}
+		if k == sim.OpPrestoreClean || k == sim.OpPrestoreDemote {
+			emitX(e.mach, tidPrestores, k.String(), e, true)
+		}
+	})
+
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
