@@ -8,14 +8,19 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"prestores/internal/bench"
+	"prestores/internal/server/cluster"
 )
 
 // jobStatus and streamEvent mirror the prestored daemon's wire types
-// (internal/server.JobStatus and its NDJSON stream events).
+// (internal/server.JobStatus and its NDJSON stream events). A cluster
+// coordinator speaks the identical surface, so the client is unaware
+// whether it is talking to one daemon or a fleet.
 type jobStatus struct {
 	ID     string        `json:"id"`
 	State  string        `json:"state"`
@@ -30,6 +35,29 @@ type streamEvent struct {
 	Job   *jobStatus `json:"job"`
 }
 
+// remoteClient bundles the two HTTP clients a sweep needs: a timed one
+// for unary calls — a hung daemon must fail a submit or cancel, not
+// hang the sweep forever — and an untimed one for the long-lived NDJSON
+// streams, whose legitimate lifetime is the experiment's runtime.
+// Backoff paces 429 retries and stream reconnects; a fleet of clients
+// facing one full queue spreads out instead of thundering in lockstep.
+type remoteClient struct {
+	api    *http.Client
+	stream *http.Client
+	bo     cluster.Backoff
+}
+
+// requestTimeout bounds one unary call (submit, cancel) end to end.
+const requestTimeout = 30 * time.Second
+
+func newRemoteClient() *remoteClient {
+	return &remoteClient{
+		api:    &http.Client{Timeout: requestTimeout},
+		stream: &http.Client{},
+		bo:     cluster.Backoff{Base: 100 * time.Millisecond, Cap: 10 * time.Second},
+	}
+}
+
 // handle tracks one submitted experiment: the job ID to follow, or the
 // already-final result when the submit was answered from the cache.
 type handle struct {
@@ -37,21 +65,22 @@ type handle struct {
 	res *bench.Result
 }
 
-// runRemote executes the sweep on a prestored daemon. All experiments
-// are submitted up front — the daemon runs them on its worker pool and
-// answers repeats from its result cache — then outputs are printed in
-// input order, streaming the job whose turn it is. The bytes written to
-// w are identical to a local bench.Run over the same experiments.
+// runRemote executes the sweep on a prestored daemon (or a cluster
+// coordinator fronting a fleet of them). All experiments are submitted
+// up front — the daemon runs them on its worker pool and answers
+// repeats from its result cache — then outputs are printed in input
+// order, streaming the job whose turn it is. The bytes written to w
+// are identical to a local bench.Run over the same experiments.
 func runRemote(ctx context.Context, w io.Writer, base string, exps []bench.Experiment, quick bool) ([]bench.Result, error) {
 	base = strings.TrimRight(base, "/")
-	client := &http.Client{}
+	rc := newRemoteClient()
 	results := make([]bench.Result, 0, len(exps))
 
 	handles := make([]handle, len(exps))
 	for i, e := range exps {
-		st, err := submitRemote(ctx, client, base, e.ID, quick)
+		st, err := submitRemote(ctx, rc, base, e.ID, quick)
 		if err != nil {
-			cancelRemote(client, base, handles)
+			cancelRemote(rc, base, handles)
 			return results, fmt.Errorf("submitting %s: %w", e.ID, err)
 		}
 		if st.Cached {
@@ -64,16 +93,16 @@ func runRemote(ctx context.Context, w io.Writer, base string, exps []bench.Exper
 	for i, h := range handles {
 		res := h.res
 		if res == nil {
-			r, err := streamRemote(ctx, client, w, base, h.id)
+			r, err := streamRemote(ctx, rc, w, base, h.id)
 			if err != nil {
-				cancelRemote(client, base, handles[i:])
+				cancelRemote(rc, base, handles[i:])
 				return results, fmt.Errorf("streaming %s (%s): %w", exps[i].ID, h.id, err)
 			}
 			res = r
 			// The stream already carried the output bytes; only the
 			// failure trailer is local (it matches bench.Run's).
 		} else if _, err := io.WriteString(w, res.Output); err != nil {
-			cancelRemote(client, base, handles[i:])
+			cancelRemote(rc, base, handles[i:])
 			return results, err
 		}
 		if res.Failed() {
@@ -86,21 +115,23 @@ func runRemote(ctx context.Context, w io.Writer, base string, exps []bench.Exper
 
 // submitRemote posts one experiment, retrying while the daemon's queue
 // is full (429): queued jobs drain as the sweep progresses.
-func submitRemote(ctx context.Context, client *http.Client, base, id string, quick bool) (*jobStatus, error) {
+func submitRemote(ctx context.Context, rc *remoteClient, base, id string, quick bool) (*jobStatus, error) {
 	body, _ := json.Marshal(map[string]any{"id": id, "quick": quick})
-	return submitJob(ctx, client, base, "/v1/experiments", body)
+	return submitJob(ctx, rc, base, "/v1/experiments", body)
 }
 
-// submitJob posts a job body to one of the daemon's submit endpoints,
-// retrying while the queue is full (429).
-func submitJob(ctx context.Context, client *http.Client, base, path string, body []byte) (*jobStatus, error) {
-	for {
+// submitJob posts a job body to one of the daemon's submit endpoints.
+// 429s (queue full) are retried with capped exponential backoff and
+// jitter; ctx is the total retry budget — its deadline or cancellation
+// ends the loop mid-pause.
+func submitJob(ctx context.Context, rc *remoteClient, base, path string, body []byte) (*jobStatus, error) {
+	for attempt := 0; ; {
 		req, err := http.NewRequestWithContext(ctx, "POST", base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(req)
+		resp, err := rc.api.Do(req)
 		if err != nil {
 			return nil, err
 		}
@@ -117,73 +148,130 @@ func submitJob(ctx context.Context, client *http.Client, base, path string, body
 			}
 			return &st, nil
 		case http.StatusTooManyRequests:
-			select {
-			case <-time.After(100 * time.Millisecond):
-			case <-ctx.Done():
-				return nil, ctx.Err()
+			if err := rc.bo.Sleep(ctx, attempt); err != nil {
+				return nil, err
 			}
+			attempt++
 		default:
 			return nil, fmt.Errorf("daemon returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
 		}
 	}
 }
 
+// maxStreamReconnects bounds consecutive fruitless reconnect attempts;
+// an attempt that delivers new output bytes resets the budget.
+const maxStreamReconnects = 5
+
 // streamRemote follows one job's NDJSON stream, copying output chunks
-// to w as they arrive, and returns the final result.
-func streamRemote(ctx context.Context, client *http.Client, w io.Writer, base, id string) (*bench.Result, error) {
-	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+id+"/stream", nil)
-	if err != nil {
-		return nil, err
+// to w as they arrive, and returns the final result. A mid-job
+// disconnect is not fatal: the client tracks the bytes it has
+// consumed and reconnects with ?offset=N, so the daemon replays only
+// what is missing and no output byte is ever written twice.
+func streamRemote(ctx context.Context, rc *remoteClient, w io.Writer, base, id string) (*bench.Result, error) {
+	consumed := 0
+	attempts := 0
+	var lastErr error
+	for {
+		before := consumed
+		res, retry, err := streamOnce(ctx, rc, w, base, id, &consumed)
+		if err == nil {
+			return res, nil
+		}
+		if !retry {
+			return nil, err
+		}
+		lastErr = err
+		if consumed > before {
+			attempts = 0 // the connection was productive; fresh budget
+		}
+		if attempts >= maxStreamReconnects {
+			return nil, fmt.Errorf("stream broken after %d reconnect attempts: %w", attempts, lastErr)
+		}
+		if serr := rc.bo.Sleep(ctx, attempts); serr != nil {
+			return nil, serr
+		}
+		attempts++
 	}
-	resp, err := client.Do(req)
+}
+
+// streamOnce attaches to the job's stream at the current offset and
+// copies until the done event. retry reports whether the failure was a
+// transport loss worth reconnecting through (connection drop, truncated
+// stream) as opposed to a definitive answer (HTTP error status, a local
+// write failure, cancellation).
+func streamOnce(ctx context.Context, rc *remoteClient, w io.Writer, base, id string, consumed *int) (res *bench.Result, retry bool, err error) {
+	url := base + "/v1/jobs/" + id + "/stream"
+	if *consumed > 0 {
+		url += "?offset=" + strconv.Itoa(*consumed)
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	resp, err := rc.stream.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		return nil, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("daemon returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		return nil, false, fmt.Errorf("daemon returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	for sc.Scan() {
 		var ev streamEvent
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return nil, fmt.Errorf("bad stream line: %v", err)
+			return nil, false, fmt.Errorf("bad stream line: %v", err)
 		}
 		switch ev.Event {
 		case "output":
 			if _, err := io.WriteString(w, ev.Data); err != nil {
-				return nil, err
+				return nil, false, err
 			}
+			*consumed += len(ev.Data)
 		case "done":
 			if ev.Job == nil || ev.Job.Result == nil {
-				return nil, fmt.Errorf("done event without result")
+				return nil, false, fmt.Errorf("done event without result")
 			}
-			return ev.Job.Result, nil
+			return ev.Job.Result, false, nil
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if ctx.Err() != nil {
+		return nil, false, ctx.Err()
 	}
-	return nil, fmt.Errorf("stream ended without a done event")
+	if err := sc.Err(); err != nil {
+		return nil, true, err
+	}
+	return nil, true, fmt.Errorf("stream ended without a done event")
 }
 
 // cancelRemote best-effort cancels jobs the client will no longer
 // collect, so an aborted sweep does not leave the daemon simulating
-// for nobody. Detached jobs need the explicit DELETE.
-func cancelRemote(client *http.Client, base string, handles []handle) {
+// for nobody. Detached jobs need the explicit DELETE. The DELETEs run
+// concurrently, each under its own short deadline: aborting a wide
+// sweep must take one round-trip, not one per outstanding job.
+func cancelRemote(rc *remoteClient, base string, handles []handle) {
+	var wg sync.WaitGroup
 	for _, h := range handles {
 		if h.id == "" {
 			continue
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		req, err := http.NewRequestWithContext(ctx, "DELETE", base+"/v1/jobs/"+h.id, nil)
-		if err == nil {
-			if resp, err := client.Do(req); err == nil {
-				resp.Body.Close()
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, "DELETE", base+"/v1/jobs/"+id, nil)
+			if err == nil {
+				if resp, err := rc.api.Do(req); err == nil {
+					resp.Body.Close()
+				}
 			}
-		}
-		cancel()
+		}(h.id)
 	}
+	wg.Wait()
 }

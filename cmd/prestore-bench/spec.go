@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"strings"
 
@@ -69,16 +68,16 @@ func runSpecRemote(ctx context.Context, w io.Writer, base string, sp scenario.Sp
 		return err
 	}
 	base = strings.TrimRight(base, "/")
-	client := &http.Client{}
-	st, err := submitJob(ctx, client, base, "/v1/scenarios", body)
+	rc := newRemoteClient()
+	st, err := submitJob(ctx, rc, base, "/v1/scenarios", body)
 	if err != nil {
 		return err
 	}
 	res := st.Result
 	if res == nil {
-		r, err := streamRemote(ctx, client, w, base, st.ID)
+		r, err := streamRemote(ctx, rc, w, base, st.ID)
 		if err != nil {
-			cancelRemote(client, base, []handle{{id: st.ID}})
+			cancelRemote(rc, base, []handle{{id: st.ID}})
 			return err
 		}
 		res = r

@@ -11,6 +11,19 @@
 //	prestored -log-level debug         # structured logs (slog) to stderr
 //	prestored -pprof                   # expose /debug/pprof on the same mux
 //
+// Cluster mode: a coordinator exposes the identical HTTP surface but
+// runs no simulations itself — it routes each submit to a worker shard
+// by consistent hashing of the request's content address (so the
+// shards' result caches form a distributed cache), proxies status,
+// stream, artifact and cancel calls to the owning shard, and requeues
+// jobs to the next ring position when a shard dies. Clients, including
+// prestore-bench -server, work against either unchanged:
+//
+//	prestored -addr :8345 &            # worker shard 1
+//	prestored -addr :8346 &            # worker shard 2
+//	prestored -addr :8344 -coordinator \
+//	          -shards http://127.0.0.1:8345,http://127.0.0.1:8346
+//
 // Quick start against a running daemon:
 //
 //	curl -s localhost:8344/v1/experiments                      # registry
@@ -40,6 +53,7 @@ import (
 	"time"
 
 	"prestores/internal/server"
+	"prestores/internal/server/cluster"
 )
 
 func main() {
@@ -51,6 +65,12 @@ func main() {
 		"graceful-shutdown bound; jobs still running at the deadline are cancelled")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the listen address")
+	coordinator := flag.Bool("coordinator", false,
+		"run as a cluster coordinator routing jobs to -shards instead of simulating locally")
+	shards := flag.String("shards", "",
+		"comma-separated worker base URLs for -coordinator mode (e.g. http://w1:8344,http://w2:8344)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second,
+		"coordinator health-probe period for worker shards")
 	flag.Parse()
 
 	var level slog.Level
@@ -70,14 +90,45 @@ func main() {
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	srv := server.New(server.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		JobTimeout:  *jobTimeout,
-		Logger:      log,
-		EnablePprof: *pprofFlag,
-	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Both modes expose the same HTTP surface and the same
+	// listen/drain lifecycle; only what sits behind the mux differs.
+	var handler http.Handler
+	var shutdown func(context.Context) error
+	if *coordinator {
+		if *shards == "" {
+			log.Error("-coordinator requires -shards (comma-separated worker base URLs)")
+			os.Exit(2)
+		}
+		var list []string
+		for _, s := range strings.Split(*shards, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				list = append(list, s)
+			}
+		}
+		coord, err := cluster.New(cluster.Config{
+			Shards:        list,
+			ProbeInterval: *probeInterval,
+			Logger:        log,
+		})
+		if err != nil {
+			log.Error("coordinator startup failed", "err", err)
+			os.Exit(2)
+		}
+		log.Info("coordinator mode", "shards", list)
+		handler = coord.Handler()
+		shutdown = coord.Shutdown
+	} else {
+		srv := server.New(server.Config{
+			Workers:     *workers,
+			QueueDepth:  *queue,
+			JobTimeout:  *jobTimeout,
+			Logger:      log,
+			EnablePprof: *pprofFlag,
+		})
+		handler = srv.Handler()
+		shutdown = srv.Shutdown
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -111,7 +162,7 @@ func main() {
 	if err := hs.Shutdown(lctx); err != nil {
 		hs.Close()
 	}
-	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+	if err := shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Error("drain incomplete", "err", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,115 @@
+// Package cluster scales prestored horizontally: a coordinator fronts
+// a fleet of worker daemons, routing each submitted job to a shard by
+// consistent hashing of its content-address routing key (so the
+// workers' content-addressed result caches compose into a distributed
+// cache with stable key→shard placement), proxying status, stream and
+// artifact requests to the owning shard, and requeuing jobs to the
+// next ring position when a shard dies. Because every job's output is
+// deterministic (the golden byte-identity guard), a requeued job
+// re-produces the exact bytes the dead shard would have produced, and
+// the coordinator resumes the client's stream at the byte offset it
+// had already forwarded — the cluster boundary is invisible to
+// clients, exactly as the single-daemon boundary is.
+//
+// Everything here is stdlib-only, like the rest of the daemon.
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped exponential backoff schedule with jitter. The
+// zero value is usable: 50 ms base, 5 s cap, factor 2, equal jitter.
+// It is shared by the coordinator's shard client and by
+// prestore-bench's remote client (429 retries, stream reconnects), so
+// a fleet of clients facing a full queue spreads out instead of
+// thundering in lockstep.
+type Backoff struct {
+	// Base is the delay before the first retry; <= 0 means 50 ms.
+	Base time.Duration
+	// Cap bounds the grown delay; <= 0 means 5 s.
+	Cap time.Duration
+	// Factor is the per-attempt growth; < 1 means 2.
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized in
+	// [0, Jitter); 0 means 0.5 ("equal jitter": half fixed, half
+	// random). Set negative for a deterministic schedule.
+	Jitter float64
+	// Rand returns a float64 in [0, 1); nil means math/rand. Tests
+	// inject a fixed source so schedules are asserted without sleeping.
+	Rand func() float64
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return 50 * time.Millisecond
+	}
+	return b.Base
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap <= 0 {
+		return 5 * time.Second
+	}
+	return b.Cap
+}
+
+func (b Backoff) factor() float64 {
+	if b.Factor < 1 {
+		return 2
+	}
+	return b.Factor
+}
+
+// Delay returns the pause before retry attempt (0-based): base·factor^attempt,
+// capped, with the configured fraction of it re-drawn uniformly at
+// random. The jittered delay never exceeds the cap and never falls
+// below (1−jitter)·capped.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(b.base())
+	capped := float64(b.cap())
+	for i := 0; i < attempt; i++ {
+		d *= b.factor()
+		if d >= capped {
+			d = capped
+			break
+		}
+	}
+	jitter := b.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		r := b.Rand
+		if r == nil {
+			r = rand.Float64
+		}
+		if jitter > 1 {
+			jitter = 1
+		}
+		d = d*(1-jitter) + d*jitter*r()
+	}
+	return time.Duration(d)
+}
+
+// Sleep pauses for Delay(attempt), or returns ctx's error first: the
+// context is the total retry budget, so a deadline or cancellation
+// ends a retry loop mid-pause instead of after it.
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"prestores/internal/server"
+)
+
+// shardClient is the coordinator's HTTP client for worker daemons: a
+// timed client for unary calls (submit, status, cancel, listings — a
+// hung shard must not hang the coordinator), an untimed one for
+// long-lived NDJSON streams, and the shared backoff schedule for
+// absorbing a shard's 429s during a requeue.
+type shardClient struct {
+	api    *http.Client
+	stream *http.Client
+	bo     Backoff
+}
+
+func newShardClient(requestTimeout time.Duration, bo Backoff, transport http.RoundTripper) *shardClient {
+	if requestTimeout <= 0 {
+		requestTimeout = 30 * time.Second
+	}
+	return &shardClient{
+		api:    &http.Client{Timeout: requestTimeout, Transport: transport},
+		stream: &http.Client{Transport: transport},
+		bo:     bo,
+	}
+}
+
+// shardResponse is a worker's answer to a proxied unary call: the
+// status code and raw body (passed through to the client verbatim on
+// application-level errors), plus the decoded job status when the
+// call produced one (200/202).
+type shardResponse struct {
+	code   int
+	body   []byte
+	status *server.JobStatus
+}
+
+// do performs one unary call against a shard. A returned error means
+// the shard did not answer at all (connect failure, timeout) — the
+// signal the coordinator treats as "shard down". Any HTTP response,
+// including 4xx/5xx, is returned as a shardResponse.
+func (sc *shardClient) do(ctx context.Context, method, url string, body []byte) (*shardResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := sc.api.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return nil, err
+	}
+	sr := &shardResponse{code: resp.StatusCode, body: data}
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		var st server.JobStatus
+		if jerr := json.Unmarshal(data, &st); jerr == nil {
+			sr.status = &st
+		}
+	}
+	return sr, nil
+}
+
+// submit posts a job body to a shard's submit endpoint.
+func (sc *shardClient) submit(ctx context.Context, shardURL, path string, body []byte) (*shardResponse, error) {
+	return sc.do(ctx, "POST", shardURL+path, body)
+}
+
+// jobStatus fetches a job's status from its owning shard.
+func (sc *shardClient) jobStatus(ctx context.Context, shardURL, remoteID string) (*shardResponse, error) {
+	return sc.do(ctx, "GET", shardURL+"/v1/jobs/"+remoteID, nil)
+}
+
+// cancel DELETEs a job on its owning shard.
+func (sc *shardClient) cancel(ctx context.Context, shardURL, remoteID string) (*shardResponse, error) {
+	return sc.do(ctx, "DELETE", shardURL+"/v1/jobs/"+remoteID, nil)
+}
+
+// openStream attaches to a job's NDJSON stream on its shard, replaying
+// from the given byte offset. The response body is the live stream;
+// the caller owns closing it. A non-200 answer is returned as an
+// error carrying the status code so the caller can distinguish "job
+// unknown on this shard" (a restarted worker lost its jobs — requeue)
+// from transport loss.
+func (sc *shardClient) openStream(ctx context.Context, shardURL, remoteID string, offset int) (io.ReadCloser, error) {
+	url := shardURL + "/v1/jobs/" + remoteID + "/stream"
+	if offset > 0 {
+		url += "?offset=" + strconv.Itoa(offset)
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := sc.stream.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, &streamStatusError{code: resp.StatusCode, body: string(data)}
+	}
+	return resp.Body, nil
+}
+
+// streamStatusError is a non-200 answer to a stream attach.
+type streamStatusError struct {
+	code int
+	body string
+}
+
+func (e *streamStatusError) Error() string {
+	return fmt.Sprintf("shard returned %d to stream attach: %s", e.code, e.body)
+}
+
+// healthy probes a shard's /healthz with its own short deadline.
+func (sc *shardClient) healthy(ctx context.Context, shardURL string, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", shardURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := sc.api.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,793 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"prestores/internal/bench"
+	"prestores/internal/server"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Shards are the worker daemons' base URLs (e.g. http://w1:8344).
+	// At least one is required.
+	Shards []string
+	// Replicas is the virtual-node count per shard on the hash ring;
+	// <= 0 means the package default (128).
+	Replicas int
+	// RequestTimeout bounds each unary proxied call (submit, status,
+	// cancel, listings); <= 0 means 30 s. Streams are never timed.
+	RequestTimeout time.Duration
+	// ProbeInterval is the health-probe period; <= 0 means 2 s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe; <= 0 means 2 s.
+	ProbeTimeout time.Duration
+	// MaxRequeues bounds how many times one job may be rerouted after
+	// shard loss; <= 0 means 2 × len(Shards).
+	MaxRequeues int
+	// MaxJobs bounds tracked job mappings, oldest evicted first;
+	// <= 0 means 4096.
+	MaxJobs int
+	// Backoff paces retries against a shard answering 429 during a
+	// requeue. The zero value is the shared default schedule.
+	Backoff Backoff
+	// Logger receives structured logs; nil discards them.
+	Logger *slog.Logger
+	// Transport overrides the HTTP transport (tests); nil means default.
+	Transport http.RoundTripper
+}
+
+// Coordinator fronts a fleet of prestored worker shards with the same
+// HTTP surface a single daemon exposes. Submits are routed by
+// consistent hashing of the request's content-address routing key, so
+// identical work always lands on the same shard and the shards' result
+// caches compose into a distributed cache. Status, stream, artifact
+// and cancel requests are proxied to the owning shard. When a shard
+// dies, its jobs are requeued to the next ring position and client
+// streams resume at the exact byte offset already forwarded — output
+// determinism (the golden byte-identity guard) makes the re-run's
+// bytes identical, so clients cannot observe the failover.
+type Coordinator struct {
+	cfg    Config
+	ring   *Ring
+	sc     *shardClient
+	prober *prober
+	mux    *http.ServeMux
+	log    *slog.Logger
+
+	mu     sync.Mutex
+	closed bool
+	seq    uint64
+	jobs   map[string]*cjob
+	order  []string // job IDs, eviction order
+
+	m     cmetrics
+	start time.Time
+}
+
+// cjob is the coordinator's view of one routed job: where it lives
+// now, the original submit body (the requeue payload), and the
+// terminal status once known.
+type cjob struct {
+	id   string
+	kind string
+	path string // submit path, e.g. /v1/experiments
+	key  string // routing key
+	body []byte // original submit body, forwarded verbatim
+
+	// routeMu serializes requeues; mu guards the fields below.
+	routeMu  sync.Mutex
+	mu       sync.Mutex
+	shard    int
+	remoteID string
+	requeues int
+	result   *server.JobStatus // terminal status, ID already rewritten
+}
+
+func (j *cjob) placement() (shard int, remoteID string, result *server.JobStatus) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.shard, j.remoteID, j.result
+}
+
+var errNoHealthyShard = errors.New("no healthy worker shard")
+
+// New builds a Coordinator over the given shards and starts its
+// health prober. Serve Handler(), stop with Shutdown.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: at least one worker shard is required")
+	}
+	for i, s := range cfg.Shards {
+		cfg.Shards[i] = trimSlash(s)
+	}
+	if cfg.MaxRequeues <= 0 {
+		cfg.MaxRequeues = 2 * len(cfg.Shards)
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4096
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	c := &Coordinator{
+		cfg:   cfg,
+		ring:  NewRing(cfg.Shards, cfg.Replicas),
+		sc:    newShardClient(cfg.RequestTimeout, cfg.Backoff, cfg.Transport),
+		log:   cfg.Logger,
+		jobs:  map[string]*cjob{},
+		start: time.Now(),
+	}
+	c.prober = newProber(cfg.Shards, c.sc, cfg.ProbeInterval, cfg.ProbeTimeout, c.log,
+		func(shard int, healthy bool) {
+			if !healthy {
+				c.m.probeDowns.inc(cfg.Shards[shard])
+			}
+		})
+	c.routes()
+	go c.prober.run()
+	return c, nil
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Handler returns the coordinator's HTTP surface.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Shutdown stops the prober and refuses new submits. The coordinator
+// runs no jobs of its own, so there is nothing to drain — in-flight
+// proxied streams end when their client or shard side does.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.prober.close()
+	return nil
+}
+
+// routeKey content-addresses a submit for placement: the job kind and
+// the body's canonical JSON (sorted keys, insignificant whitespace
+// dropped, numbers kept verbatim), hashed. Placement does not need to
+// equal the workers' cache keys — it only needs to be stable, so that
+// identical submits always reach the shard holding the cached result.
+func routeKey(kind string, body []byte) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return "", err
+	}
+	canon, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ---- HTTP surface ----
+
+func (c *Coordinator) routes() {
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/experiments", c.submitHandler("experiment"))
+	c.mux.HandleFunc("POST /v1/dirtbuster", c.submitHandler("dirtbuster"))
+	c.mux.HandleFunc("POST /v1/trace", c.submitHandler("trace"))
+	c.mux.HandleFunc("POST /v1/scenarios", c.submitHandler("scenario"))
+	c.mux.HandleFunc("GET /v1/experiments", c.passthrough("/v1/experiments"))
+	c.mux.HandleFunc("GET /v1/registry", c.passthrough("/v1/registry"))
+	c.mux.HandleFunc("GET /v1/workloads", c.passthrough("/v1/workloads"))
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleGetJob)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/stream", c.handleStreamJob)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/timeline", c.artifactHandler("timeline"))
+	c.mux.HandleFunc("GET /v1/jobs/{id}/linereport", c.artifactHandler("linereport"))
+	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancelJob)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func streamRequested(r *http.Request) bool {
+	v := r.URL.Query().Get("stream")
+	return v == "1" || v == "true"
+}
+
+// parseOffset reads the ?offset=N replay parameter (0 when absent).
+func parseOffset(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("offset")
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad offset %q (want a non-negative integer)", v)
+	}
+	return n, nil
+}
+
+// submitHandler routes one submit: compute the routing key, walk the
+// ring's preference order over healthy shards, forward the body
+// verbatim, and rewrite the answering shard's job handle into the
+// coordinator's namespace. Application-level answers (429 queue full,
+// 400 bad spec, 404 unknown experiment) pass through untouched — only
+// a shard that fails to answer at all is demoted and skipped.
+func (c *Coordinator) submitHandler(kind string) http.HandlerFunc {
+	path := map[string]string{
+		"experiment": "/v1/experiments",
+		"dirtbuster": "/v1/dirtbuster",
+		"trace":      "/v1/trace",
+		"scenario":   "/v1/scenarios",
+	}[kind]
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			writeError(w, http.StatusServiceUnavailable, "shutting down")
+			return
+		}
+		key, err := routeKey(kind, body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+
+		tried := 0
+		for _, shard := range c.ring.Sequence(key) {
+			if !c.prober.healthy(shard) {
+				continue
+			}
+			tried++
+			sr, err := c.sc.submit(r.Context(), c.cfg.Shards[shard], path, body)
+			if err != nil {
+				if r.Context().Err() != nil {
+					return // client gone; nothing to answer
+				}
+				c.shardFailed(shard, "submit", err)
+				continue
+			}
+			if sr.status == nil {
+				// Application-level answer (429/400/404/...): verbatim.
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(sr.code)
+				w.Write(sr.body)
+				return
+			}
+			j := &cjob{kind: kind, path: path, key: key, body: body,
+				shard: shard, remoteID: sr.status.ID}
+			st := *sr.status
+			if sr.code == http.StatusOK { // shard cache hit: already terminal
+				j.result = &st
+				c.m.cacheHits.inc(c.cfg.Shards[shard])
+			} else {
+				c.m.routed.inc(c.cfg.Shards[shard])
+			}
+			c.addJob(j)
+			st.ID = j.id
+			st.Key = key
+			if j.result != nil {
+				j.result.ID = j.id
+				j.result.Key = key
+			}
+			c.log.Info("job routed", "job", j.id, "kind", kind,
+				"shard", c.cfg.Shards[shard], "remote", j.remoteID, "cached", sr.code == http.StatusOK)
+			if streamRequested(r) {
+				c.streamProxy(w, r, j, 0)
+				return
+			}
+			writeJSON(w, sr.code, st)
+			return
+		}
+		c.m.rejected.Add(1)
+		if tried == 0 {
+			writeError(w, http.StatusServiceUnavailable, "%v (of %d)", errNoHealthyShard, len(c.cfg.Shards))
+			return
+		}
+		writeError(w, http.StatusBadGateway, "every healthy shard failed to accept the job")
+	}
+}
+
+// addJob registers a routed job under a coordinator-namespaced ID
+// ("cjob-N", disjoint from the workers' "job-N") and evicts the
+// oldest mappings beyond the bound.
+func (c *Coordinator) addJob(j *cjob) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	j.id = fmt.Sprintf("cjob-%d", c.seq)
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	for len(c.order) > c.cfg.MaxJobs {
+		delete(c.jobs, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+func (c *Coordinator) job(id string) *cjob {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobs[id]
+}
+
+// shardFailed demotes a shard after a call it failed to answer.
+func (c *Coordinator) shardFailed(shard int, op string, err error) {
+	c.m.shardErrors.inc(c.cfg.Shards[shard])
+	c.log.Warn("shard call failed", "shard", c.cfg.Shards[shard], "op", op, "err", err)
+	c.prober.markDown(shard)
+}
+
+// setResult records a terminal status (ID/key already rewritten).
+func (c *Coordinator) setResult(j *cjob, st server.JobStatus) {
+	j.mu.Lock()
+	first := j.result == nil
+	if first {
+		j.result = &st
+	}
+	j.mu.Unlock()
+	if first && st.State == "done" {
+		c.m.jobsDone.Add(1)
+	}
+}
+
+// rewrite maps a shard's job status into the coordinator's namespace.
+func (j *cjob) rewrite(st server.JobStatus) server.JobStatus {
+	st.ID = j.id
+	st.Key = j.key
+	return st
+}
+
+// requeue reroutes a job off a lost shard to the next healthy ring
+// position, resubmitting the original body verbatim. The failover
+// target's local cache may already hold the result (it ran the key
+// before, or the job finished just before the shard died and another
+// client warmed it) — then the requeue resolves to a terminal status
+// immediately. 429s from the target are absorbed with the shared
+// backoff schedule inside ctx's budget. Safe to call from concurrent
+// proxies: only the caller that still observes the failed placement
+// moves the job.
+func (c *Coordinator) requeue(ctx context.Context, j *cjob, failedShard int, failedRemoteID string) error {
+	j.routeMu.Lock()
+	defer j.routeMu.Unlock()
+	shard, remoteID, res := j.placement()
+	if res != nil {
+		return nil // finished before we got here
+	}
+	if shard != failedShard || remoteID != failedRemoteID {
+		return nil // a concurrent proxy already moved it
+	}
+	j.mu.Lock()
+	over := j.requeues >= c.cfg.MaxRequeues
+	if !over {
+		j.requeues++
+	}
+	j.mu.Unlock()
+	if over {
+		return fmt.Errorf("job %s exceeded %d requeues", j.id, c.cfg.MaxRequeues)
+	}
+
+	for _, target := range c.ring.Sequence(j.key) {
+		if target == failedShard || !c.prober.healthy(target) {
+			continue
+		}
+		for attempt := 0; ; attempt++ {
+			sr, err := c.sc.submit(ctx, c.cfg.Shards[target], j.path, j.body)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				c.shardFailed(target, "requeue", err)
+				break // next shard
+			}
+			switch {
+			case sr.status != nil && sr.code == http.StatusAccepted:
+				j.mu.Lock()
+				j.shard, j.remoteID = target, sr.status.ID
+				j.mu.Unlock()
+				c.m.requeued.inc(c.cfg.Shards[failedShard])
+				c.m.routed.inc(c.cfg.Shards[target])
+				c.log.Warn("job requeued", "job", j.id,
+					"from", c.cfg.Shards[failedShard], "to", c.cfg.Shards[target], "remote", sr.status.ID)
+				return nil
+			case sr.status != nil && sr.code == http.StatusOK:
+				st := j.rewrite(*sr.status)
+				c.setResult(j, st)
+				c.m.requeued.inc(c.cfg.Shards[failedShard])
+				c.m.cacheHits.inc(c.cfg.Shards[target])
+				c.log.Warn("job requeued to cached result", "job", j.id,
+					"from", c.cfg.Shards[failedShard], "to", c.cfg.Shards[target])
+				return nil
+			case sr.code == http.StatusTooManyRequests:
+				if attempt >= 8 {
+					return fmt.Errorf("shard %s queue stayed full through %d retries", c.cfg.Shards[target], attempt)
+				}
+				if err := c.sc.bo.Sleep(ctx, attempt); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("shard %s rejected requeued job: %d %s",
+					c.cfg.Shards[target], sr.code, bytes.TrimSpace(sr.body))
+			}
+		}
+	}
+	return errNoHealthyShard
+}
+
+func (c *Coordinator) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j := c.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	shard, remoteID, res := j.placement()
+	if res != nil {
+		writeJSON(w, http.StatusOK, *res)
+		return
+	}
+	sr, err := c.sc.jobStatus(r.Context(), c.cfg.Shards[shard], remoteID)
+	lost := false
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		c.shardFailed(shard, "status", err)
+		lost = true
+	} else if sr.code == http.StatusNotFound {
+		lost = true // worker restarted and lost its jobs
+	}
+	if lost {
+		if err := c.requeue(r.Context(), j, shard, remoteID); err != nil {
+			writeError(w, http.StatusBadGateway, "shard lost and requeue failed: %v", err)
+			return
+		}
+		if _, _, res := j.placement(); res != nil {
+			writeJSON(w, http.StatusOK, *res)
+			return
+		}
+		writeJSON(w, http.StatusOK, server.JobStatus{ID: j.id, Kind: j.kind, Key: j.key, State: "queued"})
+		return
+	}
+	if sr.status == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(sr.code)
+		w.Write(sr.body)
+		return
+	}
+	st := j.rewrite(*sr.status)
+	switch st.State {
+	case "done", "failed", "cancelled":
+		c.setResult(j, st)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := c.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	shard, remoteID, res := j.placement()
+	if res != nil {
+		writeJSON(w, http.StatusOK, *res)
+		return
+	}
+	sr, err := c.sc.cancel(r.Context(), c.cfg.Shards[shard], remoteID)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		// A dead shard's job is dead with it; report it cancelled
+		// rather than requeuing work nobody wants anymore.
+		c.shardFailed(shard, "cancel", err)
+		st := server.JobStatus{ID: j.id, Kind: j.kind, Key: j.key, State: "cancelled"}
+		c.setResult(j, st)
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	if sr.status == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(sr.code)
+		w.Write(sr.body)
+		return
+	}
+	writeJSON(w, sr.code, j.rewrite(*sr.status))
+}
+
+// artifactHandler proxies a job's telemetry artifact from its shard.
+func (c *Coordinator) artifactHandler(name string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j := c.job(r.PathValue("id"))
+		if j == nil {
+			writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		shard, remoteID, _ := j.placement()
+		sr, err := c.sc.do(r.Context(), "GET", c.cfg.Shards[shard]+"/v1/jobs/"+remoteID+"/"+name, nil)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			c.shardFailed(shard, "artifact", err)
+			writeError(w, http.StatusBadGateway, "shard %s unreachable: %v", c.cfg.Shards[shard], err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(sr.code)
+		w.Write(sr.body)
+	}
+}
+
+// passthrough proxies a read-only listing to the first healthy shard:
+// every worker runs the same binary, so any of them can answer.
+func (c *Coordinator) passthrough(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for shard := range c.cfg.Shards {
+			if !c.prober.healthy(shard) {
+				continue
+			}
+			sr, err := c.sc.do(r.Context(), "GET", c.cfg.Shards[shard]+path, nil)
+			if err != nil {
+				if r.Context().Err() != nil {
+					return
+				}
+				c.shardFailed(shard, "passthrough", err)
+				continue
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(sr.code)
+			w.Write(sr.body)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "%v (of %d)", errNoHealthyShard, len(c.cfg.Shards))
+	}
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	n := c.prober.healthyCount()
+	if n == 0 {
+		http.Error(w, "no healthy shards", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok (%d/%d shards healthy)\n", n, len(c.cfg.Shards))
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.renderMetrics(w)
+}
+
+// ---- stream proxying ----
+
+// streamEvent mirrors the worker daemon's NDJSON stream line.
+type streamEvent struct {
+	Event string            `json:"event"`
+	Data  string            `json:"data,omitempty"`
+	Job   *server.JobStatus `json:"job,omitempty"`
+}
+
+func (c *Coordinator) handleStreamJob(w http.ResponseWriter, r *http.Request) {
+	j := c.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	off, err := parseOffset(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c.streamProxy(w, r, j, off)
+}
+
+// streamProxy follows a job's stream across shard failures. It tracks
+// the byte offset already forwarded to the client; every (re)attach
+// replays from that offset, so the client sees each output byte
+// exactly once no matter how many times the job moves. A broken
+// stream first reattaches to the same shard when it still looks
+// healthy (a transient drop must not forfeit its cache placement);
+// a dead or amnesiac shard triggers a requeue.
+func (c *Coordinator) streamProxy(w http.ResponseWriter, r *http.Request, j *cjob, clientOff int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	c.m.streamsUp.Add(1)
+	defer c.m.streamsUp.Add(-1)
+
+	forwarded := clientOff
+	sentStatus := false
+	reconnects := 0
+	for {
+		if r.Context().Err() != nil {
+			return
+		}
+		shard, remoteID, res := j.placement()
+		if res != nil {
+			c.emitTerminal(enc, flush, *res, forwarded, sentStatus)
+			return
+		}
+
+		body, err := c.sc.openStream(r.Context(), c.cfg.Shards[shard], remoteID, forwarded)
+		progressed := false
+		if err == nil {
+			var done bool
+			done, progressed = c.copyStream(enc, flush, j, body, &forwarded, &sentStatus, r.Context())
+			body.Close()
+			if done {
+				return
+			}
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+		if progressed {
+			reconnects = 0
+		}
+
+		// The stream broke (or never attached). Decide: same-shard
+		// reconnect, or requeue.
+		var sse *streamStatusError
+		lostJob := errors.As(err, &sse) && sse.code == http.StatusNotFound
+		sameShardOK := !lostJob && reconnects < 3 &&
+			c.sc.healthy(r.Context(), c.cfg.Shards[shard], c.proberTimeout())
+		if sameShardOK {
+			reconnects++
+			if c.sc.bo.Sleep(r.Context(), reconnects-1) != nil {
+				return
+			}
+			continue
+		}
+		if !lostJob {
+			c.shardFailed(shard, "stream", err)
+		}
+		if rqErr := c.requeue(r.Context(), j, shard, remoteID); rqErr != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			st := server.JobStatus{ID: j.id, Kind: j.kind, Key: j.key, State: "failed",
+				Error:  rqErr.Error(),
+				Result: &bench.Result{ID: j.kind, Title: "lost to shard failure", Err: rqErr.Error()}}
+			c.setResult(j, st)
+			enc.Encode(streamEvent{Event: "done", Job: &st})
+			flush()
+			return
+		}
+		reconnects = 0
+	}
+}
+
+func (c *Coordinator) proberTimeout() time.Duration {
+	if c.cfg.ProbeTimeout > 0 {
+		return c.cfg.ProbeTimeout
+	}
+	return 2 * time.Second
+}
+
+// copyStream forwards one attached shard stream to the client until it
+// ends. Returns done=true when the terminal event was delivered, and
+// whether any output bytes were forwarded (progress resets the
+// reconnect budget). Duplicate status events from reattaches are
+// suppressed; output offsets are accounted so reattaches never repeat
+// a byte.
+func (c *Coordinator) copyStream(enc *json.Encoder, flush func(), j *cjob,
+	body io.Reader, forwarded *int, sentStatus *bool, ctx context.Context) (done, progressed bool) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return false, progressed // treat like transport loss
+		}
+		switch ev.Event {
+		case "status":
+			if *sentStatus {
+				continue
+			}
+			if ev.Job != nil {
+				st := j.rewrite(*ev.Job)
+				ev.Job = &st
+			}
+			if enc.Encode(ev) != nil {
+				return true, progressed // client gone: ctx will end the proxy
+			}
+			*sentStatus = true
+			flush()
+		case "output":
+			*forwarded += len(ev.Data)
+			progressed = true
+			if enc.Encode(ev) != nil {
+				return true, progressed
+			}
+			flush()
+		case "done":
+			if ev.Job == nil {
+				return false, progressed
+			}
+			st := j.rewrite(*ev.Job)
+			c.setResult(j, st)
+			ev.Job = &st
+			enc.Encode(ev)
+			flush()
+			return true, progressed
+		}
+		if ctx.Err() != nil {
+			return true, progressed
+		}
+	}
+	return false, progressed
+}
+
+// emitTerminal serves a stream request for a job whose terminal status
+// the coordinator already holds (shard cache hit, or a requeue that
+// resolved to a cached result): replay the remaining output bytes and
+// the done event. Deterministic output makes the suffix exact.
+func (c *Coordinator) emitTerminal(enc *json.Encoder, flush func(),
+	st server.JobStatus, forwarded int, sentStatus bool) {
+	if !sentStatus {
+		if enc.Encode(streamEvent{Event: "status", Job: &st}) != nil {
+			return
+		}
+		flush()
+	}
+	if st.Result != nil && forwarded < len(st.Result.Output) {
+		if enc.Encode(streamEvent{Event: "output", Data: st.Result.Output[forwarded:]}) != nil {
+			return
+		}
+		flush()
+	}
+	enc.Encode(streamEvent{Event: "done", Job: &st})
+	flush()
+}

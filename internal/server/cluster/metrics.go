@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardCounterVec is a counter family labeled by shard base URL.
+type shardCounterVec struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+func (v *shardCounterVec) inc(shard string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.counts == nil {
+		v.counts = map[string]int64{}
+	}
+	v.counts[shard]++
+}
+
+func (v *shardCounterVec) snapshot() (shards []string, vals []int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for s := range v.counts {
+		shards = append(shards, s)
+	}
+	sort.Strings(shards)
+	for _, s := range shards {
+		vals = append(vals, v.counts[s])
+	}
+	return shards, vals
+}
+
+// cmetrics holds the coordinator's counters. Health and job gauges
+// are sampled at scrape time.
+type cmetrics struct {
+	routed      shardCounterVec // submits routed to a shard (202 accepted)
+	cacheHits   shardCounterVec // submits a shard answered from its cache (200)
+	requeued    shardCounterVec // jobs moved OFF a shard after it was lost
+	shardErrors shardCounterVec // proxied calls a shard failed to answer
+	probeDowns  shardCounterVec // healthy→unhealthy transitions
+
+	rejected  atomic.Int64 // submits refused: no healthy shard
+	jobsDone  atomic.Int64 // proxied jobs observed reaching state done
+	streamsUp atomic.Int64 // client streams currently proxied
+}
+
+// renderMetrics writes the coordinator's Prometheus text exposition.
+func (c *Coordinator) renderMetrics(w io.Writer) {
+	m := &c.m
+	counterVec := func(name, help string, v *shardCounterVec) {
+		shards, vals := v.snapshot()
+		if len(shards) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i, s := range shards {
+			fmt.Fprintf(w, "%s{shard=%q} %d\n", name, s, vals[i])
+		}
+	}
+	counter := func(name, help string, val int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, val)
+	}
+	gauge := func(name, help string, val float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, val)
+	}
+
+	counterVec("prestored_coordinator_routed_total",
+		"Submits routed to a worker shard and accepted.", &m.routed)
+	counterVec("prestored_coordinator_cache_hits_total",
+		"Submits a worker shard answered from its result cache.", &m.cacheHits)
+	counterVec("prestored_coordinator_requeued_total",
+		"Jobs rerouted off a shard after it was lost mid-flight.", &m.requeued)
+	counterVec("prestored_coordinator_shard_errors_total",
+		"Proxied calls a shard failed to answer (connect failure or timeout).", &m.shardErrors)
+	counterVec("prestored_coordinator_probe_failures_total",
+		"Healthy-to-unhealthy transitions per shard.", &m.probeDowns)
+	counter("prestored_coordinator_rejected_total",
+		"Submits refused because no shard was healthy.", m.rejected.Load())
+	counter("prestored_coordinator_jobs_done_total",
+		"Proxied jobs observed reaching state done.", m.jobsDone.Load())
+
+	fmt.Fprintf(w, "# HELP prestored_coordinator_shard_healthy Shard health from the prober (1 healthy, 0 down).\n")
+	fmt.Fprintf(w, "# TYPE prestored_coordinator_shard_healthy gauge\n")
+	for i, s := range c.ring.Shards() {
+		up := 0
+		if c.prober.healthy(i) {
+			up = 1
+		}
+		fmt.Fprintf(w, "prestored_coordinator_shard_healthy{shard=%q} %d\n", s, up)
+	}
+
+	c.mu.Lock()
+	tracked := len(c.jobs)
+	c.mu.Unlock()
+	gauge("prestored_coordinator_shards", "Configured worker shards.", float64(len(c.ring.Shards())))
+	gauge("prestored_coordinator_jobs_tracked", "Jobs the coordinator is tracking.", float64(tracked))
+	gauge("prestored_coordinator_streams_active", "Client streams currently proxied.", float64(m.streamsUp.Load()))
+	gauge("prestored_coordinator_uptime_seconds", "Seconds since the coordinator started.", time.Since(c.start).Seconds())
+}

@@ -18,7 +18,7 @@
 //	GET    /v1/registry           scenario building blocks (machines, devices, workloads, stores, formats)
 //	GET    /v1/workloads          DirtBuster workload listing
 //	GET    /v1/jobs/{id}          job status (+ result when finished)
-//	GET    /v1/jobs/{id}/stream   NDJSON progress stream (attach/replay)
+//	GET    /v1/jobs/{id}/stream   NDJSON progress stream (attach/replay; ?offset=N resumes at byte N)
 //	DELETE /v1/jobs/{id}          cooperative cancellation
 //	GET    /metrics               Prometheus text format
 //	GET    /healthz               liveness ("ok", or 503 while draining)
@@ -40,6 +40,7 @@ import (
 	netpprof "net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -621,9 +622,23 @@ func (s *Server) handleStreamJob(w http.ResponseWriter, r *http.Request) {
 
 // streamJob follows a job as NDJSON: a status line, output chunks as
 // the simulation produces them, and a final done line carrying the
-// result. The connection is a watcher: if the last watcher of a
+// result. ?offset=N replays from byte N of the job's output instead
+// of from the start, so a client (or the cluster coordinator proxying
+// for one) that lost its connection mid-job can reconnect without
+// receiving — or re-emitting — bytes it already consumed. An offset
+// beyond the bytes produced so far simply waits for the log to catch
+// up. The connection is a watcher: if the last watcher of a
 // non-detached job disconnects, the job is cancelled (see unwatch).
 func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
+	off := 0
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad offset %q (want a non-negative integer)", v)
+			return
+		}
+		off = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
@@ -643,7 +658,6 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
 	}
 	flush()
 
-	off := 0
 	for {
 		chunk, noff, closed, wake := j.out.next(off)
 		if len(chunk) > 0 {

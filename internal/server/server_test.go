@@ -321,6 +321,66 @@ func TestStreamDeliversOutputAndResult(t *testing.T) {
 	}
 }
 
+// TestStreamOffsetReplay proves ?offset=N resumes a stream at byte N
+// of the job's output — the reconnect contract the remote client and
+// the cluster coordinator rely on to never duplicate output bytes.
+func TestStreamOffsetReplay(t *testing.T) {
+	e := synthExperiment("eo", "offset rows")
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	st := submit(t, ts.URL, map[string]any{"id": "eo", "quick": true})
+	st = waitFinal(t, ts.URL, st.ID)
+	full := st.Result.Output
+	if len(full) < 4 {
+		t.Fatalf("output too short to split: %q", full)
+	}
+	cut := len(full) / 2
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream?offset=%d", ts.URL, st.ID, cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var replayed strings.Builder
+	for _, ev := range readEvents(t, resp.Body) {
+		if ev.Event == "output" {
+			replayed.WriteString(ev.Data)
+		}
+	}
+	if replayed.String() != full[cut:] {
+		t.Fatalf("offset %d replayed %q, want %q", cut, replayed.String(), full[cut:])
+	}
+
+	// An offset at (or past) the end replays nothing but still
+	// delivers the done event.
+	resp2, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream?offset=%d", ts.URL, st.ID, len(full)+10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	evs := readEvents(t, resp2.Body)
+	for _, ev := range evs {
+		if ev.Event == "output" {
+			t.Fatalf("past-the-end offset replayed output: %+v", ev)
+		}
+	}
+	if evs[len(evs)-1].Event != "done" {
+		t.Fatalf("stream did not finish with done: %+v", evs)
+	}
+
+	// Bad offsets are rejected before the stream starts.
+	for _, bad := range []string{"-1", "x"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream?offset=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("offset=%s: status %d (want 400)", bad, resp.StatusCode)
+		}
+	}
+}
+
 // TestStreamDisconnectCancelsJob proves a hung-up client stops the
 // simulation: the job's context is cancelled, the run function returns
 // (no leaked worker), and the job lands in state cancelled.
