@@ -10,6 +10,7 @@
 //	prestore-bench -all -parallel 8       # worker pool (output unchanged)
 //	prestore-bench -all -timeout 10m      # per-experiment wall-clock cap
 //	prestore-bench -all -json BENCH.json  # machine-readable results
+//	prestore-bench -all -quick -checkpoints /tmp/ckpt   # warm-start sweeps (same bytes, less time)
 //	prestore-bench -all -server http://host:8344   # run on a prestored daemon
 //	prestore-bench -run fig3 -quick -timeline t.json     # record a Perfetto timeline
 //	prestore-bench -run fig3 -quick -linereport lines.json   # cache-line attribution
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"prestores/internal/bench"
+	"prestores/internal/checkpoint"
 	"prestores/internal/sim"
 	"prestores/internal/telemetry"
 )
@@ -114,6 +116,8 @@ func main() {
 		"record a simulated-cycle timeline and write it as Chrome trace-event JSON to this file (forces -parallel 1)")
 	lineReportPath := flag.String("linereport", "",
 		"record per-cache-line write attribution and write the report as JSON to this file (forces -parallel 1)")
+	checkpointDir := flag.String("checkpoints", "",
+		"warm-state checkpoint directory: sweeps fork sibling grid points from memoized post-warmup snapshots instead of reloading (output is byte-identical; local runs only)")
 	flag.Parse()
 
 	var exps []bench.Experiment
@@ -172,6 +176,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// Warm-state checkpointing: put a view of a disk-backed store on the
+	// context; sweeps that declare a warm phase fork from it. The daemon
+	// manages its own store, so the flag is local-only.
+	var ckptView *checkpoint.View
+	if *checkpointDir != "" {
+		if *serverURL != "" {
+			fmt.Fprintln(os.Stderr, "prestore-bench: -checkpoints is local-only; the daemon manages its own checkpoint store (-checkpoint-dir on prestored)")
+			os.Exit(2)
+		}
+		store, err := checkpoint.NewStore(0, *checkpointDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		ckptView = store.View()
+		ctx = checkpoint.NewContext(ctx, ckptView)
+	}
+
 	if *specPath != "" {
 		err := runSpecFile(ctx, os.Stdout, *specPath, *serverURL, *quick)
 		if err == nil {
@@ -180,6 +202,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
 			os.Exit(1)
+		}
+		if ckptView != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: checkpoints: %d hits, %d misses\n",
+				ckptView.Hits(), ckptView.Misses())
 		}
 		return
 	}
@@ -263,6 +289,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "prestore-bench: %d experiment(s), %s total experiment time, %d failed\n",
 		len(results), wall.Round(time.Millisecond), failed)
+	if ckptView != nil {
+		fmt.Fprintf(os.Stderr, "prestore-bench: checkpoints: %d hits, %d misses\n",
+			ckptView.Hits(), ckptView.Misses())
+	}
 	if *serverURL == "" {
 		if s := sweepWall.Seconds(); s > 0 && sweepOps > 0 {
 			fmt.Fprintf(os.Stderr, "prestore-bench: %d simulated ops in %s (%.2f Mops/s host throughput)\n",

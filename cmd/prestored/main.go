@@ -63,6 +63,10 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job wall-clock timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute,
 		"graceful-shutdown bound; jobs still running at the deadline are cancelled")
+	checkpointBytes := flag.Int64("checkpoint-bytes", 0,
+		"in-memory warm-state checkpoint cache bound shared by all jobs (0 = 1 GiB, negative disables)")
+	checkpointDir := flag.String("checkpoint-dir", "",
+		"warm-state checkpoint disk tier; checkpoints survive restarts (empty = memory only)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the listen address")
 	coordinator := flag.Bool("coordinator", false,
@@ -119,11 +123,13 @@ func main() {
 		shutdown = coord.Shutdown
 	} else {
 		srv := server.New(server.Config{
-			Workers:     *workers,
-			QueueDepth:  *queue,
-			JobTimeout:  *jobTimeout,
-			Logger:      log,
-			EnablePprof: *pprofFlag,
+			Workers:         *workers,
+			QueueDepth:      *queue,
+			JobTimeout:      *jobTimeout,
+			CheckpointBytes: *checkpointBytes,
+			CheckpointDir:   *checkpointDir,
+			Logger:          log,
+			EnablePprof:     *pprofFlag,
 		})
 		handler = srv.Handler()
 		shutdown = srv.Shutdown

@@ -53,7 +53,7 @@ func runAblateDrain(ctx context.Context, w io.Writer, quick bool) {
 			mk := func() *sim.Machine {
 				cfg := sim.ConfigB(sim.MachineBConfig{FPGALatency: 60, FPGABandwidth: 10e9})
 				cfg.Drain = drain
-				return sim.NewMachine(cfg)
+				return sim.NewMachine(cfg).AttachOps(ctx)
 			}
 			l2 := micro.Listing2Config{Elements: 100000, Reads: n, Iters: iters, Seed: 7}
 			l2.Mode = micro.Baseline
@@ -79,7 +79,7 @@ func runAblateLLC(ctx context.Context, w io.Writer, quick bool) {
 		mk := func() *sim.Machine {
 			cfg := sim.ConfigA()
 			cfg.LLC.Policy = pol
-			return sim.NewMachine(cfg)
+			return sim.NewMachine(cfg).AttachOps(ctx)
 		}
 		l1 := micro.Listing1Config{
 			ElemSize: esz, Elements: int(32 * units.MiB / esz),
@@ -107,7 +107,7 @@ func runAblateDir(ctx context.Context, w io.Writer, quick bool) {
 		mk := func() *sim.Machine {
 			cfg := sim.ConfigB(sim.MachineBConfig{FPGALatency: 200, FPGABandwidth: 1.5e9})
 			cfg.DirOnDevice = onDevice
-			return sim.NewMachine(cfg)
+			return sim.NewMachine(cfg).AttachOps(ctx)
 		}
 		l2 := micro.Listing2Config{Elements: 100000, Reads: 80, Iters: iters, Seed: 7}
 		l2.Mode = micro.Baseline
@@ -140,7 +140,7 @@ func runAblatePMEMBuf(ctx context.Context, w io.Writer, quick bool) {
 					cfg.Windows[i].Device = newPMEMWithBuffer(entries)
 				}
 			}
-			return sim.NewMachine(cfg)
+			return sim.NewMachine(cfg).AttachOps(ctx)
 		}
 		l1 := micro.Listing1Config{
 			ElemSize: esz, Elements: int(32 * units.MiB / esz),

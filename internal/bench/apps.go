@@ -60,9 +60,9 @@ func runFig7(ctx context.Context, w io.Writer, quick bool) {
 		if cancelled(ctx) {
 			return
 		}
-		base := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Baseline, quick))
-		clean := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Clean, quick))
-		skip := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Skip, quick))
+		base := tensor.Train(sim.MachineA().AttachOps(ctx), trainCfg(batch, tensor.Baseline, quick))
+		clean := tensor.Train(sim.MachineA().AttachOps(ctx), trainCfg(batch, tensor.Clean, quick))
+		skip := tensor.Train(sim.MachineA().AttachOps(ctx), trainCfg(batch, tensor.Skip, quick))
 		row(w, fmt.Sprint(batch),
 			fmt.Sprintf("%.1f", float64(base.Elapsed)/1e6),
 			pct(float64(base.Elapsed)/float64(clean.Elapsed)),
@@ -76,8 +76,8 @@ func runFig8(ctx context.Context, w io.Writer, quick bool) {
 		if cancelled(ctx) {
 			return
 		}
-		base := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Baseline, quick))
-		clean := tensor.Train(sim.MachineA(), trainCfg(batch, tensor.Clean, quick))
+		base := tensor.Train(sim.MachineA().AttachOps(ctx), trainCfg(batch, tensor.Baseline, quick))
+		clean := tensor.Train(sim.MachineA().AttachOps(ctx), trainCfg(batch, tensor.Clean, quick))
 		row(w, fmt.Sprint(batch), f2(base.WriteAmp), f2(clean.WriteAmp))
 	}
 }
@@ -100,9 +100,9 @@ func runFig9(ctx context.Context, w io.Writer, quick bool) {
 			cfg.Scale = quickScale(k)
 		}
 		cfg.Mode = nas.Baseline
-		base := nas.Run(sim.MachineA(), cfg)
+		base := nas.Run(sim.MachineA().AttachOps(ctx), cfg)
 		cfg.Mode = nas.Clean
-		clean := nas.Run(sim.MachineA(), cfg)
+		clean := nas.Run(sim.MachineA().AttachOps(ctx), cfg)
 		row(w, string(k), f2(base.WriteAmp), f2(clean.WriteAmp),
 			f2(float64(clean.Elapsed)/float64(base.Elapsed)),
 			fmt.Sprint(base.Checksum == clean.Checksum))
@@ -142,9 +142,9 @@ func runOverhead(ctx context.Context, w io.Writer, quick bool) {
 			cfg.Scale = quickScale(k)
 		}
 		cfg.Mode = nas.Baseline
-		base := nas.Run(sim.MachineBFast(), cfg)
+		base := nas.Run(sim.MachineBFast().AttachOps(ctx), cfg)
 		cfg.Mode = nas.Clean
-		clean := nas.Run(sim.MachineBFast(), cfg)
+		clean := nas.Run(sim.MachineBFast().AttachOps(ctx), cfg)
 		row(w, string(k),
 			fmt.Sprintf("%.1f", float64(base.Elapsed)/1e6),
 			fmt.Sprintf("%.1f", float64(clean.Elapsed)/1e6),
@@ -162,9 +162,9 @@ func runOverhead(ctx context.Context, w io.Writer, quick bool) {
 		ftCfg.Scale = quickScale(nas.FT)
 	}
 	ftCfg.Mode = nas.Baseline
-	ftBase := nas.Run(sim.MachineA(), ftCfg)
+	ftBase := nas.Run(sim.MachineA().AttachOps(ctx), ftCfg)
 	ftCfg.Mode = nas.CleanHot
-	ftHot := nas.Run(sim.MachineA(), ftCfg)
+	ftHot := nas.Run(sim.MachineA().AttachOps(ctx), ftCfg)
 	header(w, "variant", "Mcyc", "slowdown")
 	row(w, "baseline", fmt.Sprintf("%.1f", float64(ftBase.Elapsed)/1e6), "1.0x")
 	row(w, "clean fftz2", fmt.Sprintf("%.1f", float64(ftHot.Elapsed)/1e6),
@@ -181,9 +181,9 @@ func runOverhead(ctx context.Context, w io.Writer, quick bool) {
 		isCfg.Scale = quickScale(nas.IS)
 	}
 	isCfg.Mode = nas.Baseline
-	isBase := nas.Run(sim.MachineA(), isCfg)
+	isBase := nas.Run(sim.MachineA().AttachOps(ctx), isCfg)
 	isCfg.Mode = nas.Clean
-	isClean := nas.Run(sim.MachineA(), isCfg)
+	isClean := nas.Run(sim.MachineA().AttachOps(ctx), isCfg)
 	header(w, "variant", "Mcyc", "delta")
 	row(w, "baseline", fmt.Sprintf("%.1f", float64(isBase.Elapsed)/1e6), "")
 	row(w, "clean", fmt.Sprintf("%.1f", float64(isClean.Elapsed)/1e6),

@@ -75,8 +75,8 @@ func TestGoldenOutput(t *testing.T) {
 		}
 		totalOps += results[i].SimOps
 	}
-	// Per-experiment SimOps is approximate under parallel runs (ops land
-	// in a shared process-wide counter), but the sweep total must move.
+	// Per-experiment SimOps is exact under any -parallel setting (each
+	// run counts through its own context-attached counter).
 	if totalOps == 0 {
 		t.Error("sweep retired zero simulated ops")
 	}

@@ -55,9 +55,10 @@ func init() {
 	// x9 is registered as a declarative scenario spec in spec.go.
 }
 
-// kvSetup builds a machine + store + heap sized per DESIGN.md §6.
-func kvSetup(mk func() *sim.Machine, which, window string, quick bool) (*sim.Machine, kv.Store, *kv.ValueHeap, ycsb.Config) {
-	m := mk()
+// kvSetup builds a machine + store + heap sized per DESIGN.md §6. The
+// machine attaches to ctx's per-run ops counter when one is present.
+func kvSetup(ctx context.Context, mk func() *sim.Machine, which, window string, quick bool) (*sim.Machine, kv.Store, *kv.ValueHeap, ycsb.Config) {
+	m := mk().AttachOps(ctx)
 	records := uint64(400_000)
 	ops := 6000
 	if quick {
@@ -90,10 +91,10 @@ func runKVA(ctx context.Context, w io.Writer, quick bool, which string, modes []
 			if cancelled(ctx) {
 				return
 			}
-			m, store, heap, cfg := kvSetup(sim.MachineA, which, sim.WindowPMEM, quick)
+			m, store, heap, cfg := kvSetup(ctx, sim.MachineA, which, sim.WindowPMEM, quick)
 			cfg.ValueSize = vsz
 			cfg.Craft = mode
-			ycsb.Load(m, store, heap, cfg)
+			kvLoad(ctx, m, store, heap, cfg)
 			results[mode] = ycsb.Run(m, store, heap, cfg)
 		}
 		base := results[kv.CraftBaseline]
@@ -119,10 +120,10 @@ func runFig12(ctx context.Context, w io.Writer, quick bool) {
 			if cancelled(ctx) {
 				return
 			}
-			m, store, heap, cfg := kvSetup(sim.MachineA, "clht", sim.WindowPMEM, quick)
+			m, store, heap, cfg := kvSetup(ctx, sim.MachineA, "clht", sim.WindowPMEM, quick)
 			cfg.ValueSize = vsz
 			cfg.Craft = mode
-			ycsb.Load(m, store, heap, cfg)
+			kvLoad(ctx, m, store, heap, cfg)
 			amps[mode] = ycsb.Run(m, store, heap, cfg).WriteAmp
 		}
 		row(w, units.Bytes(uint64(vsz)),
@@ -143,10 +144,10 @@ func runKVB(ctx context.Context, w io.Writer, quick bool, which string) {
 			if cancelled(ctx) {
 				return
 			}
-			m, store, heap, cfg := kvSetup(mk.mk, which, sim.WindowRemote, quick)
+			m, store, heap, cfg := kvSetup(ctx, mk.mk, which, sim.WindowRemote, quick)
 			cfg.ValueSize = 1024
 			cfg.Craft = mode
-			ycsb.Load(m, store, heap, cfg)
+			kvLoad(ctx, m, store, heap, cfg)
 			results[mode] = ycsb.Run(m, store, heap, cfg)
 		}
 		base, clean := results[kv.CraftBaseline], results[kv.CraftClean]

@@ -38,9 +38,9 @@ func runTable1(ctx context.Context, w io.Writer, _ bool) {
 		{"machine-C", sim.WindowCXL},
 	}
 	machines := map[string]*sim.Machine{
-		"machine-A": sim.MachineA(),
-		"machine-B": sim.MachineBFast(),
-		"machine-C": sim.MachineC(),
+		"machine-A": sim.MachineA().AttachOps(ctx),
+		"machine-B": sim.MachineBFast().AttachOps(ctx),
+		"machine-C": sim.MachineC().AttachOps(ctx),
 	}
 	for _, r := range rows {
 		if cancelled(ctx) {
@@ -68,11 +68,11 @@ func runListing3(ctx context.Context, w io.Writer, quick bool) {
 	if quick {
 		iters = 20000
 	}
-	base := micro.RunListing3(sim.MachineA(), micro.Listing3Config{Iters: iters, Mode: micro.Baseline})
+	base := micro.RunListing3(sim.MachineA().AttachOps(ctx), micro.Listing3Config{Iters: iters, Mode: micro.Baseline})
 	if cancelled(ctx) {
 		return
 	}
-	clean := micro.RunListing3(sim.MachineA(), micro.Listing3Config{Iters: iters, Mode: micro.CleanPrestore})
+	clean := micro.RunListing3(sim.MachineA().AttachOps(ctx), micro.Listing3Config{Iters: iters, Mode: micro.CleanPrestore})
 	header(w, "variant", "cyc/rewrite", "slowdown")
 	row(w, "baseline", fmt.Sprintf("%.1f", base.CyclesPerRew), "1.0x")
 	row(w, "clean", fmt.Sprintf("%.1f", clean.CyclesPerRew),

@@ -28,11 +28,11 @@ func runYCSBMixes(ctx context.Context, w io.Writer, quick bool) {
 			if cancelled(ctx) {
 				return
 			}
-			m, store, heap, cfg := kvSetup(sim.MachineA, "clht", sim.WindowPMEM, quick)
+			m, store, heap, cfg := kvSetup(ctx, sim.MachineA, "clht", sim.WindowPMEM, quick)
 			cfg.ValueSize = 1024
 			cfg.Workload = mix
 			cfg.Craft = mode
-			ycsb.Load(m, store, heap, cfg)
+			kvLoad(ctx, m, store, heap, cfg)
 			results[mode] = ycsb.Run(m, store, heap, cfg)
 		}
 		base, clean := results[kv.CraftBaseline], results[kv.CraftClean]
@@ -69,11 +69,11 @@ func runKVThreads(ctx context.Context, w io.Writer, quick bool) {
 			if cancelled(ctx) {
 				return
 			}
-			m, store, heap, cfg := kvSetup(sim.MachineA, "clht", sim.WindowPMEM, quick)
+			m, store, heap, cfg := kvSetup(ctx, sim.MachineA, "clht", sim.WindowPMEM, quick)
 			cfg.ValueSize = 1024
 			cfg.Threads = th
 			cfg.Craft = mode
-			ycsb.Load(m, store, heap, cfg)
+			kvLoad(ctx, m, store, heap, cfg)
 			results[mode] = ycsb.Run(m, store, heap, cfg)
 		}
 		base, clean := results[kv.CraftBaseline], results[kv.CraftClean]

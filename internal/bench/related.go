@@ -33,7 +33,7 @@ func runPrefetchOrthogonal(ctx context.Context, w io.Writer, quick bool) {
 			}
 			cfg := sim.ConfigA()
 			cfg.PrefetchDepth = depth
-			m := sim.NewMachine(cfg)
+			m := sim.NewMachine(cfg).AttachOps(ctx)
 			res := micro.RunListing1(m, micro.Listing1Config{
 				ElemSize: esz, Elements: int(32 * units.MiB / esz),
 				Threads: 2, Iters: int(vol / esz / 2),

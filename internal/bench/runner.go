@@ -23,15 +23,13 @@ type Result struct {
 	ID       string        `json:"id"`
 	Title    string        `json:"title"`
 	WallTime time.Duration `json:"wall_time_ns"`
-	// SimOps is the number of simulated operations the process retired
-	// while this experiment ran, and SimOpsPerSec divides it by the
-	// wall time: the simulator's host-side throughput. With Parallel > 1
-	// concurrent experiments retire ops into the same process-wide
-	// counter, so per-experiment figures are exact only at -parallel 1;
-	// the sweep-wide aggregate is always meaningful. A timed-out or
-	// cancelled experiment stops at its next sweep-iteration boundary,
-	// so it does not keep retiring ops into the windows of experiments
-	// that run after it was reported failed.
+	// SimOps is the number of simulated operations this experiment's own
+	// machines retired, and SimOpsPerSec divides it by the wall time:
+	// the simulator's host-side throughput. Each run carries a private
+	// sim.OpsCounter on its context and every machine an experiment
+	// constructs attaches to it, so per-experiment figures are exact
+	// under any -parallel setting — concurrent experiments never inflate
+	// each other's counts.
 	SimOps       uint64  `json:"sim_ops"`
 	SimOpsPerSec float64 `json:"sim_ops_per_sec"`
 	Output       string  `json:"output"`
@@ -177,14 +175,15 @@ func RunOneGuarded(ctx context.Context, sink io.Writer, e Experiment, cfg Runner
 		rctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 	}
+	var ops sim.OpsCounter
+	rctx = sim.WithOpsSink(rctx, &ops)
 	t := &teeWriter{sink: sink}
 	start := time.Now()
-	opsBefore := sim.RetiredOps()
 	errText := runRecovered(rctx, t, e, cfg.Quick)
 
 	res := Result{ID: e.ID, Title: e.Title, Err: errText}
 	res.WallTime = time.Since(start)
-	res.SimOps = sim.RetiredOps() - opsBefore
+	res.SimOps = ops.Total()
 	if s := res.WallTime.Seconds(); s > 0 {
 		res.SimOpsPerSec = float64(res.SimOps) / s
 	}

@@ -123,6 +123,11 @@ func runTable2(ctx context.Context, w io.Writer, quick bool) {
 		if cancelled(ctx) {
 			return
 		}
+		// Attach this run's machines to the surrounding ops counter;
+		// Table2Workloads keeps its context-free signature for the CLI
+		// consumers.
+		mk := wl.NewMachine
+		wl.NewMachine = func() *sim.Machine { return mk().AttachOps(ctx) }
 		rep := dirtbuster.Analyze(wl, dirtbuster.Config{})
 		seq, fence := "", ""
 		choice := core.NoPrestore

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"prestores/internal/checkpoint"
+	"prestores/internal/sim"
+	"prestores/internal/workloads/kv"
+	"prestores/internal/workloads/ycsb"
+)
+
+// kvWarmKey derives the content-addressed identity of a KV experiment's
+// load phase. The YCSB load is RNG-free and runs on core 0 with
+// baseline crafting, so the post-load state depends only on the store
+// kind, the window, the record count, the value size and the heap size
+// — mode, threads and mix sweeps all fork from the same warm state.
+// The build version and the machine's config hash are part of the key,
+// so a simulator change or a different machine never matches a stale
+// checkpoint.
+func kvWarmKey(m *sim.Machine, store kv.Store, heap *kv.ValueHeap, cfg ycsb.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "bench-kv\x00%s\x00%s\x00%s\x00%s\x00%d\x00%d\x00%d",
+		checkpoint.Build(), m.ConfigHash(), store.Name(), cfg.Window,
+		cfg.Records, cfg.ValueSize, heap.Size())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// kvLoad is the checkpoint-aware replacement for ycsb.Load at every
+// bench call site. Without a checkpoint view on the context it is
+// exactly the cold load; with one, the first grid point's post-load
+// snapshot is memoized under its warm-prefix key and every sibling
+// grid point forks from it instead of re-simulating the load.
+//
+// Snapshot restore is proven lossless and canonical (see
+// internal/sim/snapshot_test.go), so warm-forked sweeps stay
+// byte-identical to cold ones — the golden guard runs both ways.
+func kvLoad(ctx context.Context, m *sim.Machine, store kv.Store, heap *kv.ValueHeap, cfg ycsb.Config) {
+	view := checkpoint.FromContext(ctx)
+	if view == nil {
+		ycsb.Load(m, store, heap, cfg)
+		return
+	}
+	key := kvWarmKey(m, store, heap, cfg)
+	pc := &sim.PhaseControl{
+		Restore: func(m *sim.Machine) ([]byte, bool) {
+			data, ok := view.Get(key)
+			if !ok {
+				return nil, false
+			}
+			ck, err := sim.DecodeCheckpoint(data)
+			if err != nil || ck.Build != checkpoint.Build() || ck.ConfigHash != m.ConfigHash() {
+				// Stale or corrupt store entry: treat as a miss. The
+				// machine is untouched, so the cold load is still safe.
+				return nil, false
+			}
+			if err := ck.Restore(m); err != nil {
+				// The header matched but the payload did not apply: the
+				// machine may be partially mutated, so falling back to a
+				// cold load would corrupt the run. Fail loudly instead —
+				// the runner contains the panic into Result.Err.
+				panic(fmt.Sprintf("checkpoint %s: restore failed: %v", key[:12], err))
+			}
+			return ck.Annex, true
+		},
+		Save: func(m *sim.Machine, annex []byte) {
+			ck, err := m.NewCheckpoint(checkpoint.Build(), annex)
+			if err != nil {
+				return // machine not snapshottable: siblings load cold
+			}
+			view.Put(key, ck.Encode())
+		},
+	}
+	if err := ycsb.WarmLoad(m, store, heap, cfg, pc); err != nil {
+		panic(fmt.Sprintf("checkpoint %s: %v", key[:12], err))
+	}
+}

@@ -1,0 +1,82 @@
+package cache
+
+import (
+	"fmt"
+
+	"prestores/internal/snap"
+)
+
+// SnapshotState serializes all mutable cache state: the replacement
+// clock, the RNG, the counters, and every set's tags, stamps, flags and
+// tree bits. The configuration itself is not written — restore targets
+// are constructed from the same config, and the machine-level config
+// hash guards against mismatches; the geometry stamp here is a second,
+// cheaper line of defence that catches corrupt payloads early.
+func (c *Cache) SnapshotState(w *snap.Writer) {
+	w.Section("CACH")
+	w.U64(uint64(len(c.sets)))
+	w.U64(uint64(c.cfg.Ways))
+	w.U64(c.tick)
+	state, inc := c.rng.State()
+	w.U64(state)
+	w.U64(inc)
+	w.U64(c.stats.Hits)
+	w.U64(c.stats.Misses)
+	w.U64(c.stats.Evictions)
+	w.U64(c.stats.DirtyEvictions)
+	w.U64(c.stats.Cleans)
+	w.U64(c.stats.Fills)
+	w.U64(c.stats.Invalidations)
+	for si := range c.sets {
+		s := &c.sets[si]
+		w.I64(int64(s.nvalid))
+		w.U64(s.plru)
+		w.U8(s.mru)
+		for _, t := range s.tags {
+			w.U64(t)
+		}
+		for _, st := range s.stamps {
+			w.U64(st)
+		}
+		w.Raw(s.flags)
+	}
+}
+
+// RestoreState overwrites the cache's mutable state with a snapshot
+// taken from an identically-configured cache. The per-set metadata is
+// copied into the existing backing arrays in place.
+func (c *Cache) RestoreState(r *snap.Reader) error {
+	r.Section("CACH")
+	nsets, ways := r.U64(), r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nsets != uint64(len(c.sets)) || ways != uint64(c.cfg.Ways) {
+		return fmt.Errorf("cache %q: snapshot geometry %dx%d does not match %dx%d",
+			c.cfg.Name, nsets, ways, len(c.sets), c.cfg.Ways)
+	}
+	c.tick = r.U64()
+	state, inc := r.U64(), r.U64()
+	c.rng.SetState(state, inc)
+	c.stats.Hits = r.U64()
+	c.stats.Misses = r.U64()
+	c.stats.Evictions = r.U64()
+	c.stats.DirtyEvictions = r.U64()
+	c.stats.Cleans = r.U64()
+	c.stats.Fills = r.U64()
+	c.stats.Invalidations = r.U64()
+	for si := range c.sets {
+		s := &c.sets[si]
+		s.nvalid = int(r.I64())
+		s.plru = r.U64()
+		s.mru = r.U8()
+		for i := range s.tags {
+			s.tags[i] = r.U64()
+		}
+		for i := range s.stamps {
+			s.stamps[i] = r.U64()
+		}
+		r.Raw(s.flags)
+	}
+	return r.Err()
+}

@@ -1,0 +1,211 @@
+// Package checkpoint provides the content-addressed warm-state store
+// behind checkpoint-aware sweeps: encoded sim.Checkpoint payloads keyed
+// by canonical warm-prefix keys, held in a byte-capped in-memory LRU
+// with an optional disk tier.
+//
+// The store itself is dumb on purpose — it maps opaque keys to opaque
+// bytes. All semantics (what a key covers, build/config validation)
+// live with the producers: keys already encode the build version and
+// machine config hash, and consumers re-verify both when decoding, so
+// a stale disk tier can cause misses but never wrong results.
+package checkpoint
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxBytes bounds the in-memory tier when the caller passes 0.
+const DefaultMaxBytes = 1 << 30 // 1 GiB
+
+// Build returns the running binary's version string — the VCS revision
+// when built from a checkout, "dev" otherwise. Warm-prefix keys embed
+// it so that checkpoints never survive a simulator change.
+func Build() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "dev"
+}
+
+type entry struct {
+	key  string
+	data []byte
+	elem *list.Element
+}
+
+// Store is a byte-capped LRU checkpoint cache, safe for concurrent use.
+// With a directory configured, every Put also lands on disk
+// (atomically, via temp file + rename) and a memory miss falls back to
+// a disk read, so checkpoints survive both LRU pressure and process
+// restarts.
+type Store struct {
+	maxBytes int64
+	dir      string
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	bytes   int64
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewStore returns a store holding at most maxBytes in memory
+// (DefaultMaxBytes when 0). A non-empty dir enables the disk tier; the
+// directory is created if missing.
+func NewStore(maxBytes int64, dir string) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return &Store{
+		maxBytes: maxBytes,
+		dir:      dir,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+	}, nil
+}
+
+// diskPath maps a key to its file. Keys are hex SHA-256 strings, so
+// they are safe as file names without escaping.
+func (s *Store) diskPath(key string) string {
+	return filepath.Join(s.dir, key+".ckpt")
+}
+
+// Get returns the checkpoint stored under key. A memory miss consults
+// the disk tier (re-admitting a hit into memory). Hit/miss counters
+// cover the lookup as a whole, not the tiers.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		data := e.data
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return data, true
+	}
+	s.mu.Unlock()
+	if s.dir != "" {
+		if data, err := os.ReadFile(s.diskPath(key)); err == nil {
+			s.admit(key, data)
+			s.hits.Add(1)
+			return data, true
+		}
+	}
+	s.misses.Add(1)
+	return nil, false
+}
+
+// Put stores data under key, evicting least-recently-used entries to
+// stay under the byte cap, and writes through to the disk tier if one
+// is configured. An entry larger than the whole cap is still kept (the
+// alternative — silently never caching — would hide every hit).
+func (s *Store) Put(key string, data []byte) {
+	s.admit(key, data)
+	if s.dir != "" {
+		tmp, err := os.CreateTemp(s.dir, ".ckpt-*")
+		if err != nil {
+			return // disk tier is best-effort; memory tier already has it
+		}
+		name := tmp.Name()
+		_, werr := tmp.Write(data)
+		cerr := tmp.Close()
+		if werr != nil || cerr != nil {
+			os.Remove(name)
+			return
+		}
+		if err := os.Rename(name, s.diskPath(key)); err != nil {
+			os.Remove(name)
+		}
+	}
+}
+
+func (s *Store) admit(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		s.lru.MoveToFront(e.elem)
+	} else {
+		e := &entry{key: key, data: data}
+		e.elem = s.lru.PushFront(e)
+		s.entries[key] = e
+		s.bytes += int64(len(data))
+	}
+	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		victim := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, victim.key)
+		s.bytes -= int64(len(victim.data))
+	}
+}
+
+// Hits returns the number of Get calls answered from either tier.
+func (s *Store) Hits() uint64 { return s.hits.Load() }
+
+// Misses returns the number of Get calls answered by neither tier.
+func (s *Store) Misses() uint64 { return s.misses.Load() }
+
+// Bytes returns the in-memory tier's current size.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Len returns the number of in-memory entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// View wraps a store with per-consumer hit/miss counters, so a daemon
+// job (or one CLI sweep) can report its own checkpoint behaviour while
+// sharing the process-wide store.
+type View struct {
+	store  *Store
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// View returns a new per-consumer view of the store.
+func (s *Store) View() *View { return &View{store: s} }
+
+// Get looks up key, counting the outcome on both the view and the
+// underlying store.
+func (v *View) Get(key string) ([]byte, bool) {
+	data, ok := v.store.Get(key)
+	if ok {
+		v.hits.Add(1)
+	} else {
+		v.misses.Add(1)
+	}
+	return data, ok
+}
+
+// Put stores data under key in the underlying store.
+func (v *View) Put(key string, data []byte) { v.store.Put(key, data) }
+
+// Hits returns this view's hit count.
+func (v *View) Hits() uint64 { return v.hits.Load() }
+
+// Misses returns this view's miss count.
+func (v *View) Misses() uint64 { return v.misses.Load() }

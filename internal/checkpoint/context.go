@@ -1,0 +1,22 @@
+package checkpoint
+
+import "context"
+
+// The context plumbing lives here (not in the consumers) so that both
+// internal/bench and internal/scenario can look up the same view
+// without importing each other.
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying v, making warm-state forking
+// available to every sweep layer below.
+func NewContext(ctx context.Context, v *View) context.Context {
+	return context.WithValue(ctx, ctxKey{}, v)
+}
+
+// FromContext returns the context's checkpoint view, or nil when the
+// run has no checkpoint store (the cold path).
+func FromContext(ctx context.Context) *View {
+	v, _ := ctx.Value(ctxKey{}).(*View)
+	return v
+}

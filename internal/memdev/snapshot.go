@@ -1,0 +1,148 @@
+package memdev
+
+import (
+	"container/list"
+
+	"prestores/internal/snap"
+)
+
+// StateSnapshotter is implemented by devices whose mutable state can be
+// checkpointed. All devices in this package implement it; the machine
+// refuses to snapshot a custom device that does not.
+type StateSnapshotter interface {
+	SnapshotState(w *snap.Writer)
+	RestoreState(r *snap.Reader) error
+}
+
+func writeStats(w *snap.Writer, s *Stats) {
+	w.U64(s.LineReads)
+	w.U64(s.LineWrites)
+	w.U64(s.BytesReceived)
+	w.U64(s.MediaBytesRead)
+	w.U64(s.MediaBytesWritten)
+	w.U64(s.BlockFills)
+	w.U64(s.PartialFlush)
+	w.U64(s.DirectoryOps)
+	w.U64(s.StallCycles)
+	w.U64(s.PeakQueueOver)
+}
+
+func readStats(r *snap.Reader, s *Stats) {
+	s.LineReads = r.U64()
+	s.LineWrites = r.U64()
+	s.BytesReceived = r.U64()
+	s.MediaBytesRead = r.U64()
+	s.MediaBytesWritten = r.U64()
+	s.BlockFills = r.U64()
+	s.PartialFlush = r.U64()
+	s.DirectoryOps = r.U64()
+	s.StallCycles = r.U64()
+	s.PeakQueueOver = r.U64()
+}
+
+// writeWC serializes a write-combining buffer in LRU-list order, front
+// (most recent) to back: eviction picks the back, so list order is
+// behaviourally significant and must survive the round trip.
+func writeWC(w *snap.Writer, lru *list.List) {
+	w.U64(uint64(lru.Len()))
+	for el := lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*wcEntry)
+		w.U64(e.block)
+		w.U64(e.dirty)
+		w.U64(uint64(e.lines))
+	}
+}
+
+// readWC rebuilds a write-combining buffer, preserving LRU order: the
+// entries were written front-to-back, so PushBack reconstructs the same
+// sequence.
+func readWC(r *snap.Reader, entries map[uint64]*wcEntry, lru *list.List) {
+	clear(entries)
+	lru.Init()
+	n := r.U64()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		e := &wcEntry{block: r.U64(), dirty: r.U64(), lines: uint(r.U64())}
+		e.elem = lru.PushBack(e)
+		entries[e.block] = e
+	}
+}
+
+// SnapshotState implements StateSnapshotter.
+func (d *DRAM) SnapshotState(w *snap.Writer) {
+	w.Section("DRAM")
+	w.U64(d.q.busyUntil)
+	writeStats(w, &d.stats)
+}
+
+// RestoreState implements StateSnapshotter.
+func (d *DRAM) RestoreState(r *snap.Reader) error {
+	r.Section("DRAM")
+	d.q.busyUntil = r.U64()
+	readStats(r, &d.stats)
+	return r.Err()
+}
+
+// SnapshotState implements StateSnapshotter.
+func (d *Remote) SnapshotState(w *snap.Writer) {
+	w.Section("RMOT")
+	w.U64(d.q.busyUntil)
+	writeStats(w, &d.stats)
+}
+
+// RestoreState implements StateSnapshotter.
+func (d *Remote) RestoreState(r *snap.Reader) error {
+	r.Section("RMOT")
+	d.q.busyUntil = r.U64()
+	readStats(r, &d.stats)
+	return r.Err()
+}
+
+// SnapshotState implements StateSnapshotter.
+func (p *PMEM) SnapshotState(w *snap.Writer) {
+	w.Section("PMEM")
+	w.U64(p.qRead.busyUntil)
+	w.U64(p.qWrite.busyUntil)
+	writeStats(w, &p.stats)
+	writeWC(w, p.lru)
+	// Read buffer: block bases in LRU order, front (most recent) first.
+	w.U64(uint64(p.readLRU.Len()))
+	for el := p.readLRU.Front(); el != nil; el = el.Next() {
+		w.U64(el.Value.(uint64))
+	}
+}
+
+// RestoreState implements StateSnapshotter.
+func (p *PMEM) RestoreState(r *snap.Reader) error {
+	r.Section("PMEM")
+	p.qRead.busyUntil = r.U64()
+	p.qWrite.busyUntil = r.U64()
+	readStats(r, &p.stats)
+	readWC(r, p.entries, p.lru)
+	clear(p.readBuf)
+	p.readLRU.Init()
+	n := r.U64()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		block := r.U64()
+		p.readBuf[block] = p.readLRU.PushBack(block)
+	}
+	return r.Err()
+}
+
+// SnapshotState implements StateSnapshotter.
+func (d *CXLSSD) SnapshotState(w *snap.Writer) {
+	w.Section("CXLS")
+	w.U64(d.qRead.busyUntil)
+	w.U64(d.qWrite.busyUntil)
+	writeStats(w, &d.stats)
+	writeWC(w, d.lru)
+}
+
+// RestoreState implements StateSnapshotter.
+func (d *CXLSSD) RestoreState(r *snap.Reader) error {
+	r.Section("CXLS")
+	d.qRead.busyUntil = r.U64()
+	d.qWrite.busyUntil = r.U64()
+	readStats(r, &d.stats)
+	readWC(r, d.entries, d.lru)
+	return r.Err()
+}

@@ -1,0 +1,81 @@
+package memspace
+
+import (
+	"sort"
+
+	"prestores/internal/snap"
+)
+
+// SnapshotState serializes the store's reserved extents and every
+// materialized page. Extents are already kept sorted by start page;
+// hash-map pages are written in ascending page-number order so the
+// encoding never depends on map iteration order. The translation cache
+// (lastPN/lastPage) is a pure lookup shortcut and is not written.
+func (s *Store) SnapshotState(w *snap.Writer) {
+	w.Section("MEMS")
+	w.U64(uint64(len(s.extents)))
+	for i := range s.extents {
+		e := &s.extents[i]
+		w.U64(e.startPN)
+		w.U64(uint64(len(e.pages)))
+		for _, p := range e.pages {
+			if p == nil {
+				w.Bool(false)
+				continue
+			}
+			w.Bool(true)
+			w.Raw(p[:])
+		}
+	}
+	pns := make([]uint64, 0, len(s.pages))
+	for pn := range s.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	w.U64(uint64(len(pns)))
+	for _, pn := range pns {
+		w.U64(pn)
+		w.Raw(s.pages[pn][:])
+	}
+}
+
+// RestoreState replaces the store's contents wholesale with the
+// snapshot's: extents, pages and the lazy-materialization pattern all
+// come back exactly as captured, so later PagesAllocated answers (and,
+// more importantly, every byte read) match the snapshotted store.
+func (s *Store) RestoreState(r *snap.Reader) error {
+	r.Section("MEMS")
+	nExt := r.U64()
+	extents := make([]extent, 0, nExt)
+	for i := uint64(0); i < nExt && r.Err() == nil; i++ {
+		e := extent{startPN: r.U64()}
+		n := r.U64()
+		if r.Err() != nil {
+			break
+		}
+		e.pages = make([]*page, n)
+		for j := range e.pages {
+			if r.Bool() {
+				p := new(page)
+				r.Raw(p[:])
+				e.pages[j] = p
+			}
+		}
+		extents = append(extents, e)
+	}
+	nMap := r.U64()
+	pages := make(map[uint64]*page, nMap)
+	for i := uint64(0); i < nMap && r.Err() == nil; i++ {
+		pn := r.U64()
+		p := new(page)
+		r.Raw(p[:])
+		pages[pn] = p
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.extents = extents
+	s.pages = pages
+	s.lastPN, s.lastPage = 0, nil
+	return nil
+}

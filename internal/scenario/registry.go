@@ -122,6 +122,18 @@ type Workload struct {
 	// pre-store op and returns its metrics. Implementations must be
 	// deterministic for fixed (machine config, op, params).
 	Run func(m *sim.Machine, op string, p Params) (Metrics, error)
+	// WarmParams lists the parameters that determine the workload's warm
+	// (load) phase. Grid points differing only in other parameters or in
+	// the pre-store op share one post-warmup machine state, so the runner
+	// may fork them from a memoized checkpoint. Empty means the workload
+	// declares no checkpointable phase boundary.
+	WarmParams []string
+	// RunPhased, when set, is the checkpoint-aware variant of Run: the
+	// workload routes its warmup through pc (sim.PhaseControl), restoring
+	// a memoized post-warmup state on a hit and offering its own on a
+	// miss. Must produce metrics byte-identical to Run for the same
+	// inputs — the golden guard runs both paths.
+	RunPhased func(m *sim.Machine, op string, p Params, pc *sim.PhaseControl) (Metrics, error)
 }
 
 var workloadRegistry = map[string]Workload{}

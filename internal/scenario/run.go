@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"prestores/internal/checkpoint"
 	"prestores/internal/memdev"
 	"prestores/internal/sim"
 	"prestores/internal/units"
@@ -69,6 +70,18 @@ func (s *Spec) Exec(ctx context.Context, w io.Writer, quick bool) error {
 	}
 	header(w, titles...)
 
+	// Warm-state forking: with a checkpoint view on the context and a
+	// workload that declares a phase boundary, every grid point runs
+	// through the phased path keyed by the spec's warm-prefix key.
+	var prefixKey string
+	if view := checkpoint.FromContext(ctx); view != nil && wl.RunPhased != nil {
+		k, err := s.WarmPrefixKey(checkpoint.Build(), 0)
+		if err != nil {
+			return err
+		}
+		prefixKey = k
+	}
+
 	// Odometer over the axes; the first axis varies slowest.
 	obs := observerFrom(ctx)
 	idx := make([]int, len(axes))
@@ -76,7 +89,7 @@ func (s *Spec) Exec(ctx context.Context, w io.Writer, quick bool) error {
 		if ctx.Err() != nil {
 			return nil
 		}
-		if err := s.runRow(w, wl, axes, idx, base, obs); err != nil {
+		if err := s.runRow(ctx, w, wl, axes, idx, base, obs, prefixKey); err != nil {
 			return err
 		}
 		// Advance.
@@ -99,7 +112,9 @@ func (s *Spec) Exec(ctx context.Context, w io.Writer, quick bool) error {
 }
 
 // runRow executes one grid point (all its ops) and renders the row.
-func (s *Spec) runRow(w io.Writer, wl Workload, axes []Axis, idx []int, base Params, obs func(*sim.Machine)) error {
+// With a non-empty prefixKey each op's run goes through the workload's
+// phased path, forking from (or seeding) the context's checkpoint view.
+func (s *Spec) runRow(ctx context.Context, w io.Writer, wl Workload, axes []Axis, idx []int, base Params, obs func(*sim.Machine), prefixKey string) error {
 	params := base.clone()
 	machinePreset := s.Machine.Preset
 	ops := s.Policy.Ops
@@ -121,10 +136,18 @@ func (s *Spec) runRow(w io.Writer, wl Workload, axes []Axis, idx []int, base Par
 		if err != nil {
 			return err
 		}
+		m.AttachOps(ctx)
 		if obs != nil {
 			obs(m)
 		}
-		metrics, err := wl.Run(m, op, params)
+		var metrics Metrics
+		if prefixKey != "" {
+			key := warmRunKey(prefixKey, m.ConfigHash(), wl.WarmParams, params)
+			pc := phaseControl(checkpoint.FromContext(ctx), key)
+			metrics, err = wl.RunPhased(m, op, params, pc)
+		} else {
+			metrics, err = wl.Run(m, op, params)
+		}
 		if err != nil {
 			return fmt.Errorf("workload %s, op %s: %w", wl.Name, op, err)
 		}
@@ -165,6 +188,38 @@ func (s *Spec) renderCell(c Column, axes []Axis, idx []int, ops []string, result
 		return formatCell(c.Format, num/results[c.DenOp][den])
 	}
 	return formatCell(c.Format, num)
+}
+
+// phaseControl wires a checkpoint view into a sim.PhaseControl for one
+// grid point: restore forks the machine from the memoized post-warmup
+// state under key; save encodes and stores it. Stale entries (build or
+// config skew) count as misses; a restore that fails after the header
+// matched panics rather than silently re-running the warmup on a
+// half-mutated machine.
+func phaseControl(view *checkpoint.View, key string) *sim.PhaseControl {
+	return &sim.PhaseControl{
+		Restore: func(m *sim.Machine) ([]byte, bool) {
+			data, ok := view.Get(key)
+			if !ok {
+				return nil, false
+			}
+			ck, err := sim.DecodeCheckpoint(data)
+			if err != nil || ck.Build != checkpoint.Build() || ck.ConfigHash != m.ConfigHash() {
+				return nil, false
+			}
+			if err := ck.Restore(m); err != nil {
+				panic(fmt.Sprintf("checkpoint %s: restore failed: %v", key[:12], err))
+			}
+			return ck.Annex, true
+		},
+		Save: func(m *sim.Machine, annex []byte) {
+			ck, err := m.NewCheckpoint(checkpoint.Build(), annex)
+			if err != nil {
+				return // machine not snapshottable: later points load cold
+			}
+			view.Put(key, ck.Encode())
+		},
+	}
 }
 
 // buildMachine constructs a fresh machine for one run: preset or

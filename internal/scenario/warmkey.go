@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// WarmPrefixKey returns the content-addressed identity of a spec's warm
+// prefix: the SHA-256 of the spec's canonical JSON with every
+// sweep-axis-varied field masked out, joined with the build version and
+// the phase index. Two grid points of the same sweep — and two sweeps
+// differing only in swept values or axis order — share the key; any
+// change to a non-swept field (workload parameters, machine, quick
+// overrides, even cosmetic fields) produces a different key, trading
+// spurious misses for guaranteed correctness.
+//
+// The key deliberately does not resolve swept parameter values: the
+// runner combines it at runtime with the machine's config hash and the
+// workload's warm-parameter values, which is what distinguishes grid
+// points whose swept values do change the warm phase (see warmRunKey).
+func (s Spec) WarmPrefixKey(build string, phase int) (string, error) {
+	masked := s
+
+	// Swept parameter names, sorted — the axis order and value lists are
+	// masked, only the set of swept names survives.
+	axisParams := make([]string, 0, len(s.Policy.Axes))
+	for _, a := range s.Policy.Axes {
+		axisParams = append(axisParams, a.Param)
+	}
+	sort.Strings(axisParams)
+
+	// Drop swept parameters from the workload params and quick
+	// overrides: an axis overrides both, so their base values are dead.
+	maskMap := func(in map[string]any) map[string]any {
+		if in == nil {
+			return nil
+		}
+		out := make(map[string]any, len(in))
+		for k, v := range in {
+			out[k] = v
+		}
+		for _, p := range axisParams {
+			delete(out, p)
+		}
+		return out
+	}
+	masked.Workload.Params = maskMap(s.Workload.Params)
+	masked.Run.Quick = maskMap(s.Run.Quick)
+	masked.Policy.Axes = nil
+	// Columns, footer and ops shape the rendered table, not the
+	// simulation — but masking them would let two specs with different
+	// non-swept content collide if a future field ever feeds simulation.
+	// Keep them: a cosmetic change costing one cold load is the safe
+	// direction. The "op" axis is masked with the rest of the axes; ops
+	// never affect the warm phase (loads are baseline-crafted).
+
+	canon, err := json.Marshal(masked)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "scenario\x00%s\x00%d\x00", build, phase)
+	h.Write(canon)
+	for _, p := range axisParams {
+		fmt.Fprintf(h, "\x00axis:%s", p)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// warmRunKey narrows a spec's warm-prefix key to one grid point: the
+// machine's config hash plus the effective values of the workload's
+// declared warm parameters. Grid points differing only in measured-
+// phase parameters (op, threads, mix, ...) map to the same run key and
+// fork from the same checkpoint.
+func warmRunKey(prefixKey, configHash string, warmParams []string, p Params) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s", prefixKey, configHash)
+	names := append([]string(nil), warmParams...)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "\x00%s=%v", n, p[n])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"testing"
+)
+
+func warmSpec() Spec {
+	return Spec{
+		Version: 1,
+		Name:    "warmkey-test",
+		Machine: MachineSpec{Preset: "machine-a"},
+		Workload: WorkloadSpec{
+			Name:   "ycsb",
+			Params: map[string]any{"records": 400000, "value_size": 256, "threads": 10},
+		},
+		Policy: PolicySpec{
+			Axes: []Axis{
+				{Param: "value_size", Values: []any{64, 256, 1024}, Quick: []any{256}},
+				{Param: "op", Values: []any{"none", "clean", "skip"}},
+			},
+			Columns: []Column{{Title: "value", Axis: "value_size"}},
+		},
+		Run: RunSpec{Quick: map[string]any{"records": 100000, "value_size": 512}},
+	}
+}
+
+func key(t *testing.T, s Spec, build string, phase int) string {
+	t.Helper()
+	k, err := s.WarmPrefixKey(build, phase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestWarmPrefixKeyInvariants pins the key's contract: invariant under
+// everything a sweep axis masks (axis order, value lists, quick lists,
+// labels, the swept parameters' base values), sensitive to everything
+// else (non-swept parameters, machine, build, phase).
+func TestWarmPrefixKeyInvariants(t *testing.T) {
+	base := key(t, warmSpec(), "build-1", 0)
+
+	// Determinism.
+	if k := key(t, warmSpec(), "build-1", 0); k != base {
+		t.Errorf("same spec hashed twice: %s vs %s", base, k)
+	}
+
+	same := map[string]func(*Spec){
+		"axis order swapped": func(s *Spec) {
+			s.Policy.Axes[0], s.Policy.Axes[1] = s.Policy.Axes[1], s.Policy.Axes[0]
+		},
+		"axis values changed": func(s *Spec) {
+			s.Policy.Axes[0].Values = []any{4096}
+		},
+		"axis quick list changed": func(s *Spec) {
+			s.Policy.Axes[0].Quick = []any{64, 1024}
+		},
+		"axis labels added": func(s *Spec) {
+			s.Policy.Axes[1].Labels = []string{"base", "cl", "sk"}
+		},
+		"swept param's base value changed": func(s *Spec) {
+			s.Workload.Params["value_size"] = 8192
+		},
+		"swept param's quick override changed": func(s *Spec) {
+			s.Run.Quick["value_size"] = 64
+		},
+		"swept param's quick override removed": func(s *Spec) {
+			delete(s.Run.Quick, "value_size")
+		},
+	}
+	for name, mutate := range same {
+		s := warmSpec()
+		mutate(&s)
+		if k := key(t, s, "build-1", 0); k != base {
+			t.Errorf("%s: key changed (%s vs %s); sweep-masked fields must not affect it", name, k, base)
+		}
+	}
+
+	diff := map[string]func(*Spec){
+		"non-swept param changed": func(s *Spec) {
+			s.Workload.Params["records"] = 50000
+		},
+		"non-swept quick override changed": func(s *Spec) {
+			s.Run.Quick["records"] = 200000
+		},
+		"machine preset changed": func(s *Spec) {
+			s.Machine.Preset = "machine-b-fast"
+		},
+		"seed changed": func(s *Spec) {
+			s.Run.Seed = 7
+		},
+		"workload changed": func(s *Spec) {
+			s.Workload.Name = "listing3"
+		},
+		"axis param set changed": func(s *Spec) {
+			s.Policy.Axes[0].Param = "threads"
+		},
+	}
+	for name, mutate := range diff {
+		s := warmSpec()
+		mutate(&s)
+		if k := key(t, s, "build-1", 0); k == base {
+			t.Errorf("%s: key unchanged; non-masked fields must affect it", name)
+		}
+	}
+
+	if k := key(t, warmSpec(), "build-2", 0); k == base {
+		t.Error("build change: key unchanged; checkpoints must not survive a simulator change")
+	}
+	if k := key(t, warmSpec(), "build-1", 1); k == base {
+		t.Error("phase change: key unchanged")
+	}
+
+	// The original spec must not have been mutated by key computation.
+	if got := warmSpec().Workload.Params["value_size"]; got != 256 {
+		t.Errorf("spec mutated: value_size = %v", got)
+	}
+}
+
+// TestWarmRunKey pins the per-grid-point narrowing: sensitive to the
+// config hash and the declared warm parameters' effective values,
+// insensitive to measured-phase parameters and declaration order.
+func TestWarmRunKey(t *testing.T) {
+	warm := []string{"store", "records", "value_size"}
+	p := Params{"store": "clht", "records": 100000, "value_size": 256, "threads": 10, "mix": "A"}
+	base := warmRunKey("prefix", "cfg-1", warm, p)
+
+	if k := warmRunKey("prefix", "cfg-1", warm, p.clone()); k != base {
+		t.Error("same inputs hashed twice differ")
+	}
+	if k := warmRunKey("prefix", "cfg-2", warm, p); k == base {
+		t.Error("config hash ignored")
+	}
+	if k := warmRunKey("other", "cfg-1", warm, p); k == base {
+		t.Error("prefix key ignored")
+	}
+	if k := warmRunKey("prefix", "cfg-1", []string{"records", "value_size", "store"}, p); k != base {
+		t.Error("warm-param declaration order leaked into the key")
+	}
+
+	q := p.clone()
+	q["threads"] = 4
+	q["mix"] = "F"
+	if k := warmRunKey("prefix", "cfg-1", warm, q); k != base {
+		t.Error("measured-phase params leaked into the key; sibling grid points would never share a checkpoint")
+	}
+	q = p.clone()
+	q["value_size"] = 1024
+	if k := warmRunKey("prefix", "cfg-1", warm, q); k == base {
+		t.Error("warm param value ignored; grid points with different loads would share a checkpoint")
+	}
+}
+
+// FuzzWarmPrefixKey hammers the masking logic: for any parameter name
+// and pair of values, a spec that sweeps that parameter must produce
+// the same key regardless of the parameter's base value, and the key
+// computation must be deterministic and never panic.
+func FuzzWarmPrefixKey(f *testing.F) {
+	f.Add("value_size", int64(64), int64(4096), true)
+	f.Add("records", int64(100), int64(100000), false)
+	f.Add("", int64(0), int64(0), true)
+	f.Add("op", int64(1), int64(2), true)
+	f.Add("machine", int64(-1), int64(1), false)
+	f.Fuzz(func(t *testing.T, name string, v1, v2 int64, sweep bool) {
+		// The base spec already sweeps some params; those are masked
+		// whether or not this case adds an axis for them.
+		for _, a := range warmSpec().Policy.Axes {
+			if a.Param == name {
+				sweep = true
+			}
+		}
+		build := func(v int64) Spec {
+			s := warmSpec()
+			s.Workload.Params[name] = v
+			if sweep {
+				s.Policy.Axes = append(s.Policy.Axes, Axis{Param: name, Values: []any{v}})
+			}
+			return s
+		}
+		k1, err1 := build(v1).WarmPrefixKey("b", 0)
+		k2, err2 := build(v2).WarmPrefixKey("b", 0)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error asymmetry: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if r1, _ := build(v1).WarmPrefixKey("b", 0); r1 != k1 {
+			t.Fatalf("non-deterministic key for %q", name)
+		}
+		if sweep && k1 != k2 {
+			t.Errorf("swept param %q: base value leaked into the key", name)
+		}
+		if !sweep && v1 != v2 && k1 == k2 {
+			t.Errorf("non-swept param %q: value ignored by the key", name)
+		}
+	})
+}

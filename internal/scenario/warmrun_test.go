@@ -1,0 +1,70 @@
+package scenario_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"prestores/internal/checkpoint"
+	"prestores/internal/scenario"
+
+	_ "prestores/internal/workloads/ycsb" // registers the phased ycsb workload
+)
+
+// TestExecWarmForkByteIdentity drives the declarative grid runner's
+// checkpoint path: an op sweep over the ycsb workload with a checkpoint
+// view on the context must produce the cold run's bytes exactly, with
+// the sweep's sibling grid points forking from the first point's
+// post-load snapshot.
+func TestExecWarmForkByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real KV sweep twice; skipped with -short")
+	}
+	spec := scenario.Spec{
+		Version: 1,
+		Name:    "warm-exec",
+		Machine: scenario.MachineSpec{Preset: "machine-a"},
+		Workload: scenario.WorkloadSpec{
+			Name: "ycsb",
+			Params: map[string]any{
+				"records": 20000, "ops": 400, "threads": 4, "value_size": 256,
+			},
+		},
+		Policy: scenario.PolicySpec{
+			Axes: []scenario.Axis{{Param: "op", Values: []any{"none", "clean", "skip"}}},
+			Columns: []scenario.Column{
+				{Title: "mode", Axis: "op"},
+				{Title: "ops/s", Metric: "ops_per_sec", Format: "mops"},
+				{Title: "amp", Metric: "write_amp", Format: "f2"},
+			},
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	run := func(ctx context.Context) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := spec.Exec(ctx, &buf, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cold := run(context.Background())
+
+	store, err := checkpoint.NewStore(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := store.View()
+	warm := run(checkpoint.NewContext(context.Background(), view))
+
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm-forked Exec output differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	// Three ops share one load: the first misses, the rest fork.
+	if view.Misses() != 1 || view.Hits() != 2 {
+		t.Errorf("checkpoint traffic = %d hits, %d misses; want 2 hits, 1 miss", view.Hits(), view.Misses())
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+
+	"prestores/internal/bench"
+	"prestores/internal/checkpoint"
+)
+
+// syncWriter serializes slog writes from worker goroutines.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestJobContextCarriesCheckpointView asserts the worker injects a
+// per-job view of the shared store into the run context, and that the
+// job-lifecycle log line reports the job's own hit/miss counts.
+func TestJobContextCarriesCheckpointView(t *testing.T) {
+	var logBuf syncWriter
+	e := bench.Experiment{
+		ID: "ck1", Title: "checkpoint probe", Paper: "n/a",
+		Run: func(ctx context.Context, w io.Writer, quick bool) {
+			view := checkpoint.FromContext(ctx)
+			if view == nil {
+				io.WriteString(w, "no view\n")
+				return
+			}
+			if _, ok := view.Get("probe"); ok {
+				io.WriteString(w, "unexpected hit\n")
+				return
+			}
+			view.Put("probe", []byte("warm"))
+			if data, ok := view.Get("probe"); !ok || string(data) != "warm" {
+				io.WriteString(w, "lost put\n")
+				return
+			}
+			io.WriteString(w, "view ok\n")
+		},
+	}
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Lookup:  lookupOf(e),
+		Logger:  slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+
+	st := submit(t, ts.URL, map[string]any{"id": "ck1", "quick": true})
+	final := waitFinal(t, ts.URL, st.ID)
+	if final.State != "done" || !strings.Contains(final.Result.Output, "view ok") {
+		t.Fatalf("job did not see a working checkpoint view: %+v", final)
+	}
+	if s.ck == nil || s.ck.Len() != 1 {
+		t.Fatalf("shared store should hold the probe entry; store=%v", s.ck)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "ckpt_hits=1") || !strings.Contains(logs, "ckpt_misses=1") {
+		t.Errorf("job done log line missing per-job checkpoint counters:\n%s", logs)
+	}
+}
+
+// TestCheckpointDisabled asserts a negative CheckpointBytes turns the
+// subsystem off end to end: no store, no context view, no metric family.
+func TestCheckpointDisabled(t *testing.T) {
+	e := bench.Experiment{
+		ID: "ck0", Title: "no checkpoint", Paper: "n/a",
+		Run: func(ctx context.Context, w io.Writer, quick bool) {
+			if checkpoint.FromContext(ctx) != nil {
+				io.WriteString(w, "unexpected view\n")
+				return
+			}
+			io.WriteString(w, "no view\n")
+		},
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, CheckpointBytes: -1, Lookup: lookupOf(e)})
+	if s.ck != nil {
+		t.Fatal("store built despite CheckpointBytes < 0")
+	}
+	st := submit(t, ts.URL, map[string]any{"id": "ck0", "quick": true})
+	final := waitFinal(t, ts.URL, st.ID)
+	if final.State != "done" || !strings.Contains(final.Result.Output, "no view") {
+		t.Fatalf("disabled server still exposed a view: %+v", final)
+	}
+	if text := scrapeMetrics(t, ts.URL); strings.Contains(text, "prestored_checkpoint") {
+		t.Errorf("checkpoint metric family rendered while disabled:\n%s", text)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"prestores/internal/bench"
+	"prestores/internal/checkpoint"
 )
 
 // jobState is a job's position in its lifecycle.
@@ -56,6 +57,11 @@ type job struct {
 	out       *progressLog
 	done      chan struct{} // closed when the job reaches a final state
 	submitted time.Time
+	// ckpt is the job's view of the shared warm-state checkpoint store,
+	// set by the worker before run starts and read by finalize for the
+	// lifecycle log; nil when checkpointing is disabled or the job was
+	// abandoned before a worker picked it up.
+	ckpt *checkpoint.View
 
 	mu        sync.Mutex
 	state     jobState

@@ -58,7 +58,9 @@ func (s *Server) experimentRun(e bench.Experiment, quick bool) func(context.Cont
 // SimOps accounting, cancellation labeling. The analyses themselves
 // are single pipeline stages over a private simulated machine, so
 // cancellation is observed between stages rather than mid-simulation.
-// The body receives the job so it can attach artifacts.
+// The body receives the job so it can attach artifacts. SimOps comes
+// from a per-run counter the body's machines attach to via the
+// context, so concurrent jobs never inflate each other's counts.
 func analysisRun(id, title string, timeout time.Duration,
 	body func(ctx context.Context, j *job, out *bytes.Buffer) error) func(context.Context, *job) bench.Result {
 	return func(ctx context.Context, j *job) bench.Result {
@@ -67,9 +69,10 @@ func analysisRun(id, title string, timeout time.Duration,
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 			defer cancel()
 		}
+		var ops sim.OpsCounter
+		ctx = sim.WithOpsSink(ctx, &ops)
 		var out bytes.Buffer
 		start := time.Now()
-		opsBefore := sim.RetiredOps()
 		errText := func() (errText string) {
 			defer func() {
 				if r := recover(); r != nil {
@@ -86,7 +89,7 @@ func analysisRun(id, title string, timeout time.Duration,
 		}()
 		res := bench.Result{ID: id, Title: title, Err: errText}
 		res.WallTime = time.Since(start)
-		res.SimOps = sim.RetiredOps() - opsBefore
+		res.SimOps = ops.Total()
 		if sec := res.WallTime.Seconds(); sec > 0 {
 			res.SimOpsPerSec = float64(res.SimOps) / sec
 		}
@@ -94,6 +97,14 @@ func analysisRun(id, title string, timeout time.Duration,
 		j.out.Write(out.Bytes())
 		return res
 	}
+}
+
+// attachOps returns a copy of wl whose machines report retired ops to
+// the context's per-run counter (see sim.WithOpsSink).
+func attachOps(ctx context.Context, wl dirtbuster.Workload) dirtbuster.Workload {
+	mk := wl.NewMachine
+	wl.NewMachine = func() *sim.Machine { return mk().AttachOps(ctx) }
+	return wl
 }
 
 // lookupWorkload finds a DirtBuster-analyzable workload by name.
@@ -110,6 +121,7 @@ func (s *Server) lookupWorkload(name string, quick bool) (dirtbuster.Workload, b
 func (s *Server) dirtbusterRun(wl dirtbuster.Workload) func(context.Context, *job) bench.Result {
 	return analysisRun("dirtbuster/"+wl.Name, "DirtBuster analysis of "+wl.Name, s.cfg.JobTimeout,
 		func(ctx context.Context, _ *job, out *bytes.Buffer) error {
+			wl := attachOps(ctx, wl)
 			rep := dirtbuster.Analyze(wl, dirtbuster.Config{})
 			fmt.Fprintln(out, rep.Render())
 			return nil
@@ -127,6 +139,7 @@ func (s *Server) traceRun(wl dirtbuster.Workload, spec traceSpec) func(context.C
 	}
 	return analysisRun("trace/"+mode+"/"+wl.Name, "trace analysis ("+mode+") of "+wl.Name, s.cfg.JobTimeout,
 		func(ctx context.Context, _ *job, out *bytes.Buffer) error {
+			wl := attachOps(ctx, wl)
 			tb, line := dirtbuster.Record(wl)
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("cancelled: %w", err)

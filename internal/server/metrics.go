@@ -146,6 +146,13 @@ type metricsGauges struct {
 	inflight      int
 	cacheEntries  int
 	uptime        time.Duration
+
+	// Warm-state checkpoint store counters, sampled from the shared
+	// store; the family is omitted when checkpointing is disabled.
+	ckptEnabled bool
+	ckptHits    uint64
+	ckptMisses  uint64
+	ckptBytes   int64
 }
 
 // render writes the Prometheus text exposition format (version 0.0.4).
@@ -164,6 +171,17 @@ func (m *metrics) render(w io.Writer, g metricsGauges) {
 	counter("prestored_cache_hits_total", "Submits answered from the result cache.", m.cacheHits.Load())
 	counter("prestored_cache_misses_total", "Submits that enqueued new work.", m.cacheMisses.Load())
 	counter("prestored_coalesced_total", "Submits attached to an identical in-flight job.", m.coalesced.Load())
+
+	if g.ckptEnabled {
+		// Unsigned counters rendered with %d directly: a uint64 past
+		// 1<<63 must not appear negative.
+		uctr := func(name, help string, v uint64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		uctr("prestored_checkpoint_hits_total", "Warm-state checkpoint lookups answered from the store.", g.ckptHits)
+		uctr("prestored_checkpoint_misses_total", "Warm-state checkpoint lookups that loaded cold.", g.ckptMisses)
+		gauge("prestored_checkpoint_store_bytes", "Bytes of warm-state checkpoints held in memory.", float64(g.ckptBytes))
+	}
 
 	if keys, vals := m.finished.snapshot(); len(keys) > 0 {
 		fmt.Fprintf(w, "# HELP prestored_jobs_finished_total Jobs reaching a final state, by kind and state.\n")

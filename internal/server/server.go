@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"prestores/internal/bench"
+	"prestores/internal/checkpoint"
 	"prestores/internal/dirtbuster"
 )
 
@@ -70,6 +71,14 @@ type Config struct {
 	// Workloads lists the DirtBuster-analyzable workloads; nil means
 	// bench.Table2Workloads.
 	Workloads func(quick bool) []dirtbuster.Workload
+	// CheckpointBytes bounds the in-memory warm-state checkpoint cache
+	// shared by all jobs; 0 means checkpoint.DefaultMaxBytes, negative
+	// disables checkpointing entirely (every sweep loads cold).
+	CheckpointBytes int64
+	// CheckpointDir enables the checkpoint disk tier: warm states
+	// survive LRU pressure and daemon restarts. Empty keeps them
+	// memory-only.
+	CheckpointDir string
 	// Logger receives structured logs (job lifecycle with job IDs);
 	// nil discards them.
 	Logger *slog.Logger
@@ -103,6 +112,7 @@ type Server struct {
 
 	log   *slog.Logger
 	m     metrics
+	ck    *checkpoint.Store // shared warm-state cache; nil when disabled
 	start time.Time
 }
 
@@ -138,6 +148,16 @@ func New(cfg Config) *Server {
 		cache:    make(map[string]*bench.Result),
 		cacheIDs: make(map[string]string),
 		start:    time.Now(),
+	}
+	if cfg.CheckpointBytes >= 0 {
+		ck, err := checkpoint.NewStore(cfg.CheckpointBytes, cfg.CheckpointDir)
+		if err != nil {
+			// The disk tier is an optimization; fall back to memory-only
+			// rather than refusing to start.
+			s.log.Warn("checkpoint disk tier unavailable", "dir", cfg.CheckpointDir, "error", err)
+			ck, _ = checkpoint.NewStore(cfg.CheckpointBytes, "")
+		}
+		s.ck = ck
 	}
 	s.m.init()
 	s.routes()
@@ -211,8 +231,16 @@ func (s *Server) worker() {
 		s.m.queueWait.observe(j.kind, wait)
 		s.log.Info("job start", "job", j.id, "kind", j.kind, "queue_wait", wait)
 		s.m.running.Add(1)
+		// Each job gets its own view of the shared checkpoint store:
+		// warm states are reused across jobs, hit/miss counts stay
+		// per-job for the lifecycle log lines.
+		ctx := j.ctx
+		if s.ck != nil {
+			j.ckpt = s.ck.View()
+			ctx = checkpoint.NewContext(ctx, j.ckpt)
+		}
 		start := time.Now()
-		res := j.run(j.ctx, j)
+		res := j.run(ctx, j)
 		dur := time.Since(start)
 		s.m.running.Add(-1)
 		s.m.runDur.observe(j.kind, dur)
@@ -312,16 +340,20 @@ func (s *Server) finalize(j *job, res bench.Result) {
 	}
 	s.mu.Unlock()
 
+	attrs := []any{"job", j.id, "kind", j.kind}
+	if j.ckpt != nil {
+		attrs = append(attrs, "ckpt_hits", j.ckpt.Hits(), "ckpt_misses", j.ckpt.Misses())
+	}
 	switch final {
 	case stateDone:
 		s.m.jobsDone.Add(1)
-		s.log.Info("job done", "job", j.id, "kind", j.kind)
+		s.log.Info("job done", attrs...)
 	case stateFailed:
 		s.m.jobsFailed.Add(1)
-		s.log.Warn("job failed", "job", j.id, "kind", j.kind, "error", res.Err)
+		s.log.Warn("job failed", append(attrs, "error", res.Err)...)
 	case stateCancelled:
 		s.m.jobsCancelled.Add(1)
-		s.log.Info("job cancelled", "job", j.id, "kind", j.kind)
+		s.log.Info("job cancelled", attrs...)
 	}
 	s.m.finished.inc(j.kind, final.String())
 	j.cancel() // release the context's resources
@@ -701,13 +733,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cacheEntries := len(s.cache)
 	inflight := len(s.inflight)
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.render(w, metricsGauges{
+	g := metricsGauges{
 		queueDepth:    queued,
 		queueCapacity: s.cfg.QueueDepth,
 		workers:       s.cfg.Workers,
 		inflight:      inflight,
 		cacheEntries:  cacheEntries,
 		uptime:        time.Since(s.start),
-	})
+	}
+	if s.ck != nil {
+		g.ckptEnabled = true
+		g.ckptHits = s.ck.Hits()
+		g.ckptMisses = s.ck.Misses()
+		g.ckptBytes = s.ck.Bytes()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.render(w, g)
 }

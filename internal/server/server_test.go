@@ -506,6 +506,11 @@ func TestMetricsAndHealthz(t *testing.T) {
 		"prestored_jobs_running 0",
 		"prestored_sim_ops_total",
 		"prestored_sim_ops_per_second",
+		// The warm-state checkpoint store is on by default; its family
+		// renders even before any KV sweep touches it.
+		"prestored_checkpoint_hits_total 0",
+		"prestored_checkpoint_misses_total 0",
+		"prestored_checkpoint_store_bytes 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

@@ -45,7 +45,8 @@ type Machine struct {
 	hook    Hook
 	memHook MemHook
 
-	opsFlushed uint64 // portion of core instr counters already in retiredOps
+	opsFlushed uint64      // portion of core instr counters already in retiredOps
+	opsSink    *OpsCounter // per-run counter receiving the same flushes, or nil
 }
 
 // NewMachine builds a machine from cfg. It panics on malformed
@@ -249,6 +250,9 @@ func (m *Machine) flushOps() {
 	}
 	if d := total - m.opsFlushed; d > 0 {
 		retiredOps.Add(d)
+		if m.opsSink != nil {
+			m.opsSink.add(d)
+		}
 		m.opsFlushed = total
 	}
 }

@@ -1,0 +1,39 @@
+package sim
+
+// PhaseControl carries the warm-state forking hooks across a workload's
+// warmup/measure boundary. The sweep layers (internal/bench,
+// internal/scenario) construct one wired to a checkpoint store; the
+// workload only declares where its warmup ends.
+//
+// A nil *PhaseControl is valid and means "no checkpointing": TryRestore
+// reports a miss and WarmupDone does nothing, so workloads call both
+// unconditionally and behave identically with or without a store.
+type PhaseControl struct {
+	// Restore attempts to fetch a warm snapshot and apply it to m,
+	// returning the workload's annex bytes on a hit.
+	Restore func(m *Machine) (annex []byte, ok bool)
+	// Save persists m's post-warmup state together with the workload's
+	// annex bytes.
+	Save func(m *Machine, annex []byte)
+}
+
+// TryRestore attempts to fork m from a memoized warm state. On a hit
+// the machine already carries the post-warmup state and the workload
+// must skip its warmup phase, using the returned annex to reconstruct
+// host-side state.
+func (p *PhaseControl) TryRestore(m *Machine) (annex []byte, ok bool) {
+	if p == nil || p.Restore == nil {
+		return nil, false
+	}
+	return p.Restore(m)
+}
+
+// WarmupDone declares that m has just crossed the workload's
+// warmup/measure boundary, offering the state for memoization along
+// with the workload's host-state annex.
+func (p *PhaseControl) WarmupDone(m *Machine, annex []byte) {
+	if p == nil || p.Save == nil {
+		return
+	}
+	p.Save(m, annex)
+}

@@ -1,0 +1,45 @@
+package clht
+
+import (
+	"fmt"
+
+	"prestores/internal/snap"
+)
+
+// SnapshotState serializes the table's host-side mutable state — the
+// overflow-pool cursor and the activity counters — for a checkpoint
+// annex. The bucket and overflow contents live in simulated memory and
+// are covered by the machine snapshot.
+func (t *Table) SnapshotState(w *snap.Writer) {
+	w.Section("CLHT")
+	w.U64(t.nextOvf)
+	w.U64(t.stats.Puts)
+	w.U64(t.stats.Gets)
+	w.U64(t.stats.Hits)
+	w.U64(t.stats.Updates)
+	w.U64(t.stats.Inserts)
+	w.U64(t.stats.Chained)
+	w.U64(t.stats.LockSpins)
+}
+
+// RestoreState replaces the table's host-side state with a serialized
+// one. The table must have been constructed with the same geometry as
+// the producer's.
+func (t *Table) RestoreState(r *snap.Reader) error {
+	r.Section("CLHT")
+	nextOvf := r.U64()
+	var st Stats
+	st.Puts = r.U64()
+	st.Gets = r.U64()
+	st.Hits = r.U64()
+	st.Updates = r.U64()
+	st.Inserts = r.U64()
+	st.Chained = r.U64()
+	st.LockSpins = r.U64()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("clht: %w", err)
+	}
+	t.nextOvf = nextOvf
+	t.stats = st
+	return nil
+}

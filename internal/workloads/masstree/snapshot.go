@@ -1,0 +1,47 @@
+package masstree
+
+import (
+	"fmt"
+
+	"prestores/internal/snap"
+)
+
+// SnapshotState serializes the tree's host-side mutable state — the
+// node-pool cursor and the activity counters — for a checkpoint annex.
+// The nodes themselves live in simulated memory and are covered by the
+// machine snapshot; rootCell is fixed at construction.
+func (t *Tree) SnapshotState(w *snap.Writer) {
+	w.Section("MTRE")
+	w.U64(t.nextNode)
+	w.U64(t.stats.Puts)
+	w.U64(t.stats.Gets)
+	w.U64(t.stats.Hits)
+	w.U64(t.stats.Updates)
+	w.U64(t.stats.Inserts)
+	w.U64(t.stats.Splits)
+	w.U64(t.stats.Restarts)
+	w.I64(int64(t.stats.Depth))
+}
+
+// RestoreState replaces the tree's host-side state with a serialized
+// one. The tree must have been constructed with the same pool geometry
+// as the producer's.
+func (t *Tree) RestoreState(r *snap.Reader) error {
+	r.Section("MTRE")
+	nextNode := r.U64()
+	var st Stats
+	st.Puts = r.U64()
+	st.Gets = r.U64()
+	st.Hits = r.U64()
+	st.Updates = r.U64()
+	st.Inserts = r.U64()
+	st.Splits = r.U64()
+	st.Restarts = r.U64()
+	st.Depth = int(r.I64())
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("masstree: %w", err)
+	}
+	t.nextNode = nextNode
+	t.stats = st
+	return nil
+}

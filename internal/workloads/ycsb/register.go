@@ -51,47 +51,60 @@ func init() {
 		Ops:         []string{"none", "clean", "skip", "demote"},
 		MetricNames: []string{"elapsed", "ops_per_sec", "reads", "writes", "scans", "read_misses", "write_amp"},
 		Run: func(m *sim.Machine, op string, p scenario.Params) (scenario.Metrics, error) {
-			craft, err := craftFor(op)
-			if err != nil {
-				return nil, err
-			}
-			mix, err := workloadFor(p.Str("mix", "A"))
-			if err != nil {
-				return nil, err
-			}
-			threads := p.Int("threads", 10)
-			if threads <= 0 || threads > m.Cores() {
-				return nil, fmt.Errorf("threads: must be in 1..%d for %s", m.Cores(), m.Name())
-			}
-			window := p.Str("window", sim.WindowPMEM)
-			storeName := p.Str("store", "clht")
-			store, ok := kv.NewStore(storeName, m, window)
-			if !ok {
-				return nil, fmt.Errorf("store: unknown store %q (one of %v)", storeName, kv.Stores())
-			}
-			heap := kv.NewValueHeap(m, window, p.Uint64("heap", 4*units.GiB))
-			cfg := Config{
-				Records:   p.Uint64("records", 400_000),
-				Ops:       p.Int("ops", 6000),
-				Threads:   threads,
-				ValueSize: uint32(p.Uint64("value_size", 256)),
-				Workload:  mix,
-				Craft:     craft,
-				Theta:     p.Float("theta", 0),
-				Window:    window,
-				Seed:      p.Uint64("seed", 0),
-			}
-			Load(m, store, heap, cfg)
-			r := Run(m, store, heap, cfg)
-			return scenario.Metrics{
-				"elapsed":     float64(r.Elapsed),
-				"ops_per_sec": r.OpsPerSec,
-				"reads":       float64(r.Reads),
-				"writes":      float64(r.Writes),
-				"scans":       float64(r.Scans),
-				"read_misses": float64(r.ReadMisses),
-				"write_amp":   r.WriteAmp,
-			}, nil
+			return runScenario(m, op, p, nil)
 		},
+		// The load phase is RNG-free and baseline-crafted, so only these
+		// parameters shape the post-load state; sweeps over op, mix,
+		// threads, ops, theta or seed fork from one warm checkpoint.
+		WarmParams: []string{"store", "records", "value_size", "heap", "window"},
+		RunPhased:  runScenario,
 	})
+}
+
+// runScenario is the registered entry point; with a non-nil pc the load
+// phase goes through WarmLoad and can fork from a checkpoint.
+func runScenario(m *sim.Machine, op string, p scenario.Params, pc *sim.PhaseControl) (scenario.Metrics, error) {
+	craft, err := craftFor(op)
+	if err != nil {
+		return nil, err
+	}
+	mix, err := workloadFor(p.Str("mix", "A"))
+	if err != nil {
+		return nil, err
+	}
+	threads := p.Int("threads", 10)
+	if threads <= 0 || threads > m.Cores() {
+		return nil, fmt.Errorf("threads: must be in 1..%d for %s", m.Cores(), m.Name())
+	}
+	window := p.Str("window", sim.WindowPMEM)
+	storeName := p.Str("store", "clht")
+	store, ok := kv.NewStore(storeName, m, window)
+	if !ok {
+		return nil, fmt.Errorf("store: unknown store %q (one of %v)", storeName, kv.Stores())
+	}
+	heap := kv.NewValueHeap(m, window, p.Uint64("heap", 4*units.GiB))
+	cfg := Config{
+		Records:   p.Uint64("records", 400_000),
+		Ops:       p.Int("ops", 6000),
+		Threads:   threads,
+		ValueSize: uint32(p.Uint64("value_size", 256)),
+		Workload:  mix,
+		Craft:     craft,
+		Theta:     p.Float("theta", 0),
+		Window:    window,
+		Seed:      p.Uint64("seed", 0),
+	}
+	if err := WarmLoad(m, store, heap, cfg, pc); err != nil {
+		return nil, err
+	}
+	r := Run(m, store, heap, cfg)
+	return scenario.Metrics{
+		"elapsed":     float64(r.Elapsed),
+		"ops_per_sec": r.OpsPerSec,
+		"reads":       float64(r.Reads),
+		"writes":      float64(r.Writes),
+		"scans":       float64(r.Scans),
+		"read_misses": float64(r.ReadMisses),
+		"write_amp":   r.WriteAmp,
+	}, nil
 }

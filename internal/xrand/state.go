@@ -1,0 +1,8 @@
+package xrand
+
+// State returns the generator's internal state for checkpointing.
+func (p *PCG) State() (state, inc uint64) { return p.state, p.inc }
+
+// SetState restores state captured by State, making the generator
+// continue the exact sequence the captured one would have produced.
+func (p *PCG) SetState(state, inc uint64) { p.state, p.inc = state, inc }
