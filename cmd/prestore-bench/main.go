@@ -17,6 +17,10 @@
 //	prestore-bench -dump-spec fig3        # print a spec-driven experiment's JSON spec
 //	prestore-bench -spec my.json          # run a custom scenario spec locally
 //	prestore-bench -spec my.json -server http://host:8344   # ... or on a daemon
+//	prestore-bench -spec my.json -seed 7  # override the workload's RNG seed
+//	prestore-bench -autotune my.json -seed 7 -trajectory traj.json   # search for the best pre-store plan
+//	prestore-bench -autotune my.json -objective device_write_bytes -budget 64   # tune a different metric
+//	prestore-bench -autotune my.json -server http://host:8344   # search on a daemon (or cluster)
 //
 // Experiments are independent (each builds its own simulated machine),
 // so -parallel N runs them concurrently; output is flushed in
@@ -118,7 +122,42 @@ func main() {
 		"record per-cache-line write attribution and write the report as JSON to this file (forces -parallel 1)")
 	checkpointDir := flag.String("checkpoints", "",
 		"warm-state checkpoint directory: sweeps fork sibling grid points from memoized post-warmup snapshots instead of reloading (output is byte-identical; local runs only)")
+	autotunePath := flag.String("autotune", "",
+		"search for the best pre-store plan over the scenario spec in this JSON file (locally, or on -server)")
+	seedFlag := flag.Int64("seed", -1,
+		"RNG seed: overrides workload.params.seed for -spec, seeds the -autotune search (-1 keeps defaults)")
+	budget := flag.Int("budget", 0,
+		"candidate evaluation budget for -autotune (0 = the engine default)")
+	objective := flag.String("objective", "",
+		"workload metric the -autotune search optimizes (default elapsed, minimized)")
+	trajectoryPath := flag.String("trajectory", "",
+		"write the -autotune search trajectory as JSON to this file")
 	flag.Parse()
+
+	// Flag cross-validation, mirroring the -timeline rules: every flag
+	// that silently does nothing in the selected mode is an error.
+	if *autotunePath != "" {
+		switch {
+		case *specPath != "" || *run != "" || *all:
+			fmt.Fprintln(os.Stderr, "prestore-bench: -autotune is its own mode and cannot be combined with -spec/-run/-all")
+			os.Exit(2)
+		case *timelinePath != "" || *lineReportPath != "":
+			fmt.Fprintln(os.Stderr, "prestore-bench: -timeline/-linereport cannot be combined with -autotune; the search records its own telemetry probe (see the trajectory's probe section)")
+			os.Exit(2)
+		case *jsonPath != "":
+			fmt.Fprintln(os.Stderr, "prestore-bench: -json records experiment sweeps; use -trajectory to save an -autotune search")
+			os.Exit(2)
+		}
+	} else {
+		if *budget != 0 || *objective != "" || *trajectoryPath != "" {
+			fmt.Fprintln(os.Stderr, "prestore-bench: -budget/-objective/-trajectory only apply to -autotune")
+			os.Exit(2)
+		}
+		if *seedFlag >= 0 && *specPath == "" {
+			fmt.Fprintln(os.Stderr, "prestore-bench: -seed only applies to -spec (workload RNG) or -autotune (search RNG)")
+			os.Exit(2)
+		}
+	}
 
 	var exps []bench.Experiment
 	switch {
@@ -144,7 +183,7 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
-	case *specPath != "": // handled below, after signal setup
+	case *specPath != "", *autotunePath != "": // handled below, after signal setup
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -194,8 +233,29 @@ func main() {
 		ctx = checkpoint.NewContext(ctx, ckptView)
 	}
 
+	if *autotunePath != "" {
+		err := runAutotuneFile(ctx, *autotunePath, autotuneOpts{
+			server:     *serverURL,
+			quick:      *quick,
+			parallel:   *parallel,
+			seed:       *seedFlag,
+			budget:     *budget,
+			objective:  *objective,
+			trajectory: *trajectoryPath,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if ckptView != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: checkpoints: %d hits, %d misses\n",
+				ckptView.Hits(), ckptView.Misses())
+		}
+		return
+	}
+
 	if *specPath != "" {
-		err := runSpecFile(ctx, os.Stdout, *specPath, *serverURL, *quick)
+		err := runSpecFile(ctx, os.Stdout, *specPath, *serverURL, *quick, *seedFlag)
 		if err == nil {
 			err = writeTelemetry(rec, *timelinePath, *lineReportPath)
 		}

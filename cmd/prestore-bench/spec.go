@@ -37,8 +37,10 @@ func writeSpec(w io.Writer, id string) error {
 
 // runSpecFile runs a scenario spec from a JSON file: validated here
 // either way, then executed in process or submitted to a prestored
-// daemon (whose output streams back byte-identical).
-func runSpecFile(ctx context.Context, w io.Writer, path, serverURL string, quick bool) error {
+// daemon (whose output streams back byte-identical). A non-negative
+// seed overrides the workload's own RNG seed parameter; workloads
+// without a seed parameter reject it with the usual validation error.
+func runSpecFile(ctx context.Context, w io.Writer, path, serverURL string, quick bool, seed int64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -46,6 +48,15 @@ func runSpecFile(ctx context.Context, w io.Writer, path, serverURL string, quick
 	sp, err := scenario.Decode(data)
 	if err != nil {
 		return fmt.Errorf("%s: invalid scenario spec: %v", path, err)
+	}
+	if seed >= 0 {
+		if sp.Workload.Params == nil {
+			sp.Workload.Params = map[string]any{}
+		}
+		sp.Workload.Params["seed"] = float64(seed)
+		if err := sp.Validate(); err != nil {
+			return fmt.Errorf("-seed %d: %v", seed, err)
+		}
 	}
 	if serverURL != "" {
 		return runSpecRemote(ctx, w, serverURL, sp, quick)

@@ -34,6 +34,17 @@
 //	     -d '{"id":"fig3","quick":true}'                       # stream
 //	curl -s localhost:8344/metrics                             # scrape
 //
+// Autotuning: POST /v1/autotune runs a closed-loop search for the best
+// pre-store plan over a single-point scenario spec (per-iteration
+// NDJSON progress with ?stream=1; trajectory and winner artifacts at
+// /v1/jobs/{id}/trajectory and .../winner). POST /v1/eval evaluates one
+// single-point spec to raw metrics — the autotuner's measurement
+// primitive, which a coordinator routes to its shards so the cluster
+// evaluates each search generation in parallel (the search itself runs
+// on the coordinator's embedded autotune host). The same request with
+// the same seed reproduces the identical trajectory byte for byte,
+// standalone or clustered.
+//
 // The first SIGINT/SIGTERM drains gracefully: the listener stops, new
 // submits get 503, queued and running jobs complete (bounded by
 // -drain-timeout). A second signal cancels the remaining jobs

@@ -1,0 +1,67 @@
+package autotune
+
+import "encoding/json"
+
+// Plan is one candidate pre-store plan: the placement window plus a
+// complete per-site op assignment. The search space is the cross
+// product of the candidate windows and every per-site op choice.
+type Plan struct {
+	// Window is the placement window ("" keeps the workload's default).
+	Window string `json:"window,omitempty"`
+	// Table assigns an op (none/clean/skip/demote) to every site.
+	Table map[string]string `json:"table"`
+}
+
+// key returns the plan's canonical identity. json.Marshal sorts map
+// keys, so equal plans always produce equal keys; the search's eval
+// cache and its final comparison tiebreak both use it.
+func (p Plan) key() string {
+	b, err := json.Marshal(p)
+	if err != nil {
+		// A map[string]string cannot fail to marshal.
+		panic("autotune: plan marshal: " + err.Error())
+	}
+	return string(b)
+}
+
+func cloneTable(t map[string]string) map[string]string {
+	out := make(map[string]string, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// uniformPlan assigns one op to every site.
+func uniformPlan(window string, sites []string, op string) Plan {
+	t := make(map[string]string, len(sites))
+	for _, s := range sites {
+		t[s] = op
+	}
+	return Plan{Window: window, Table: t}
+}
+
+// neighbors enumerates the plans one move away from cur, in
+// deterministic order: each site (workload declaration order) switched
+// to each other op (workload op order), then each alternative window
+// with the table unchanged.
+func neighbors(cur Plan, sites, ops, windows []string) []Plan {
+	var out []Plan
+	for _, site := range sites {
+		for _, op := range ops {
+			if op == cur.Table[site] {
+				continue
+			}
+			t := cloneTable(cur.Table)
+			t[site] = op
+			out = append(out, Plan{Window: cur.Window, Table: t})
+		}
+	}
+	for _, w := range windows {
+		if w == cur.Window {
+			continue
+		}
+		out = append(out, Plan{Window: w, Table: cloneTable(cur.Table)})
+	}
+	return out
+}

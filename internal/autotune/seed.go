@@ -1,0 +1,40 @@
+package autotune
+
+import "prestores/internal/telemetry"
+
+// SeedPlan applies DirtBuster's decision rules to a baseline probe's
+// line report and returns the pre-store op the search should start
+// every site at, plus the name of the rule that fired:
+//
+//   - far-rewrites: lines are mostly rewritten at distances beyond what
+//     the caches hold, so dirty data lingers until capacity eviction —
+//     demote it down the hierarchy right after the write.
+//   - far-rereads: data is rarely or distantly re-read, so keeping the
+//     line cached buys nothing, but its dirty state still scrambles
+//     eviction order — clean (write back, keep the copy) right after
+//     the write.
+//   - near-rereads (otherwise): the data is both rewritten and re-read
+//     while cache-near; stores are not worth caching long-term, so
+//     write them non-temporally (skip).
+//
+// The probe sees one aggregate over all sites, so this seeds a uniform
+// plan; the hill climb then differentiates per site. When the report is
+// empty (no tracked writes), or the workload does not support the
+// chosen op, the baseline op "none" is kept.
+func SeedPlan(rep *telemetry.LineReport, supported func(op string) bool) (op, rule string) {
+	t := rep.Totals()
+	switch {
+	case t.Writes == 0:
+		return "none", "no-writes"
+	case t.Rewrites > 0 && 2*t.NearRewrites <= t.Rewrites:
+		op, rule = "demote", "far-rewrites"
+	case t.Rereads == 0 || 2*t.NearRereads <= t.Rereads:
+		op, rule = "clean", "far-rereads"
+	default:
+		op, rule = "skip", "near-rereads"
+	}
+	if !supported(op) {
+		return "none", rule + "-unsupported"
+	}
+	return op, rule
+}

@@ -1,0 +1,8 @@
+package bench
+
+import (
+	// Scenario workloads no hand-written experiment references yet are
+	// pulled in here, so every binary that serves the scenario registry
+	// (prestore-bench, prestored and its shards) can run them.
+	_ "prestores/internal/workloads/sites"
+)

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"prestores/internal/checkpoint"
+)
+
+// CheckSinglePoint reports whether the spec evaluates exactly one grid
+// point — no sweep axes, exactly one op — which is what EvalPoint and
+// the autotuner's candidate runs require. The returned error names the
+// offending field, matching Validate's style.
+func (s *Spec) CheckSinglePoint() error {
+	if len(s.Policy.Axes) != 0 {
+		return fmt.Errorf("policy.axes: single-point evaluation requires no sweep axes (got %d)", len(s.Policy.Axes))
+	}
+	if len(s.Policy.Ops) != 1 {
+		return fmt.Errorf("policy.ops: single-point evaluation requires exactly one op (got %d)", len(s.Policy.Ops))
+	}
+	return nil
+}
+
+// EvalPoint runs a single-point spec and returns its raw metrics
+// instead of a rendered table. This is the autotuner's measurement
+// primitive: candidate plans differ only in policy.window/policy.table,
+// so with a checkpoint view on the context every candidate forks from
+// the same memoized post-warmup state (unless run.cold_start opts out).
+// Metrics are deterministic for a fixed spec, warm or cold — the
+// phased-run byte-identity guarantee covers them.
+func (s *Spec) EvalPoint(ctx context.Context, quick bool) (Metrics, error) {
+	if err := s.CheckSinglePoint(); err != nil {
+		return nil, err
+	}
+	wl, ok := Get(s.Workload.Name)
+	if !ok {
+		return nil, fmt.Errorf("workload.name: unknown workload %q (one of %v)", s.Workload.Name, WorkloadNames())
+	}
+	base := s.baseParams(quick)
+	m, err := s.buildMachine(s.Machine.Preset)
+	if err != nil {
+		return nil, err
+	}
+	m.AttachOps(ctx)
+	if obs := observerFrom(ctx); obs != nil {
+		obs(m)
+	}
+	op := s.Policy.Ops[0]
+	if view := checkpoint.FromContext(ctx); view != nil && wl.RunPhased != nil && !s.Run.ColdStart {
+		prefixKey, err := s.WarmPrefixKey(checkpoint.Build(), 0)
+		if err != nil {
+			return nil, err
+		}
+		key := warmRunKey(prefixKey, m.ConfigHash(), wl.WarmParams, base)
+		metrics, err := wl.RunPhased(m, op, base, phaseControl(view, key))
+		if err != nil {
+			return nil, fmt.Errorf("workload %s, op %s: %w", wl.Name, op, err)
+		}
+		return metrics, nil
+	}
+	metrics, err := wl.Run(m, op, base)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s, op %s: %w", wl.Name, op, err)
+	}
+	return metrics, nil
+}
+
+// WithPlan returns a copy of the spec carrying a different pre-store
+// plan: the placement window and the per-site op table. The table map
+// is copied; the rest of the spec is shared structurally, so callers
+// must treat the result as immutable (the autotuner only re-encodes
+// it). An empty window keeps the workload's own placement default.
+func (s Spec) WithPlan(window string, table map[string]string) Spec {
+	out := s
+	out.Policy.Window = window
+	if len(table) == 0 {
+		out.Policy.Table = nil
+	} else {
+		t := make(map[string]string, len(table))
+		for k, v := range table {
+			t[k] = v
+		}
+		out.Policy.Table = t
+	}
+	return out
+}

@@ -134,6 +134,33 @@ type Workload struct {
 	// miss. Must produce metrics byte-identical to Run for the same
 	// inputs — the golden guard runs both paths.
 	RunPhased func(m *sim.Machine, op string, p Params, pc *sim.PhaseControl) (Metrics, error)
+	// Sites names the workload's pre-store call sites, in declaration
+	// order. A workload with sites resolves each site's op through
+	// SiteOp, so a spec's policy.table (and the autotuner searching over
+	// it) can choose demote/clean/skip per site instead of one op for
+	// the whole run. Site ops apply to the measured phase only — the
+	// warm phase is baseline-crafted regardless (the checkpoint contract
+	// depends on this).
+	Sites []string
+}
+
+// siteTableKey is the reserved Params key the grid runner uses to hand
+// a spec's policy.table to the workload. It is injected at run time and
+// never appears in a spec's workload.params (validation rejects unknown
+// parameter names, and names are workload-declared).
+const siteTableKey = "__site_table"
+
+// SiteOp resolves the pre-store op for one named call site: the
+// policy.table entry for the site when the run carries one, otherwise
+// the row's op. Workloads with Sites call this once per site at the
+// start of the measured phase.
+func SiteOp(p Params, site, rowOp string) string {
+	if t, ok := p[siteTableKey].(map[string]string); ok {
+		if op, ok := t[site]; ok && op != "" {
+			return op
+		}
+	}
+	return rowOp
 }
 
 var workloadRegistry = map[string]Workload{}
@@ -156,6 +183,13 @@ func Register(w Workload) {
 		default:
 			panic(fmt.Sprintf("scenario: workload %s param %s has unknown kind %q", w.Name, p.Name, p.Kind))
 		}
+	}
+	seenSites := map[string]bool{}
+	for _, site := range w.Sites {
+		if site == "" || seenSites[site] {
+			panic(fmt.Sprintf("scenario: workload %s has empty or duplicate site %q", w.Name, site))
+		}
+		seenSites[site] = true
 	}
 	workloadRegistry[w.Name] = w
 }

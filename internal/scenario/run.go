@@ -40,20 +40,7 @@ func (s *Spec) Exec(ctx context.Context, w io.Writer, quick bool) error {
 		return fmt.Errorf("workload.name: unknown workload %q (one of %v)", s.Workload.Name, WorkloadNames())
 	}
 
-	// Effective base parameters: spec params + quick overrides +
-	// policy placement + seed override.
-	base := Params(s.Workload.Params).clone()
-	if quick {
-		for k, v := range s.Run.Quick {
-			base[k] = v
-		}
-	}
-	if s.Policy.Window != "" {
-		base["window"] = s.Policy.Window
-	}
-	if s.Run.Seed != 0 {
-		base["seed"] = s.Run.Seed
-	}
+	base := s.baseParams(quick)
 
 	// Effective axis values.
 	axes := make([]Axis, len(s.Policy.Axes))
@@ -73,8 +60,9 @@ func (s *Spec) Exec(ctx context.Context, w io.Writer, quick bool) error {
 	// Warm-state forking: with a checkpoint view on the context and a
 	// workload that declares a phase boundary, every grid point runs
 	// through the phased path keyed by the spec's warm-prefix key.
+	// run.cold_start opts the whole spec out.
 	var prefixKey string
-	if view := checkpoint.FromContext(ctx); view != nil && wl.RunPhased != nil {
+	if view := checkpoint.FromContext(ctx); view != nil && wl.RunPhased != nil && !s.Run.ColdStart {
 		k, err := s.WarmPrefixKey(checkpoint.Build(), 0)
 		if err != nil {
 			return err
@@ -109,6 +97,32 @@ func (s *Spec) Exec(ctx context.Context, w io.Writer, quick bool) error {
 		fmt.Fprintln(w, line)
 	}
 	return nil
+}
+
+// baseParams assembles the effective base parameters for a run: spec
+// params + quick overrides + policy placement + seed override + the
+// per-site op table (under its reserved key, resolved by SiteOp).
+func (s *Spec) baseParams(quick bool) Params {
+	base := Params(s.Workload.Params).clone()
+	if quick {
+		for k, v := range s.Run.Quick {
+			base[k] = v
+		}
+	}
+	if s.Policy.Window != "" {
+		base["window"] = s.Policy.Window
+	}
+	if s.Run.Seed != 0 {
+		base["seed"] = s.Run.Seed
+	}
+	if len(s.Policy.Table) > 0 {
+		t := make(map[string]string, len(s.Policy.Table))
+		for k, v := range s.Policy.Table {
+			t[k] = v
+		}
+		base[siteTableKey] = t
+	}
+	return base
 }
 
 // runRow executes one grid point (all its ops) and renders the row.

@@ -79,11 +79,16 @@ type Column struct {
 // runs, where pre-stored data is placed, the sweep axes, and how the
 // resulting table is laid out.
 type PolicySpec struct {
-	Ops     []string `json:"ops,omitempty"`
-	Window  string   `json:"window,omitempty"` // placement: overrides the workload's "window" param
-	Axes    []Axis   `json:"axes,omitempty"`
-	Columns []Column `json:"columns"`
-	Footer  []string `json:"footer,omitempty"`
+	Ops    []string `json:"ops,omitempty"`
+	Window string   `json:"window,omitempty"` // placement: overrides the workload's "window" param
+	// Table overrides the pre-store op per workload site (site name →
+	// op). Sites the table does not name fall back to the row's op. Only
+	// workloads that declare Sites accept a table; the autotuner searches
+	// over this field.
+	Table   map[string]string `json:"table,omitempty"`
+	Axes    []Axis            `json:"axes,omitempty"`
+	Columns []Column          `json:"columns"`
+	Footer  []string          `json:"footer,omitempty"`
 }
 
 // RunSpec holds run controls.
@@ -95,6 +100,11 @@ type RunSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// MaxPoints caps rows × ops; 0 means DefaultMaxPoints.
 	MaxPoints int `json:"max_points,omitempty"`
+	// ColdStart disables warm-state checkpoint forking for this spec
+	// even when the runner has a checkpoint view: every point loads from
+	// scratch. The autotuner's telemetry probe sets this so the recorded
+	// events never depend on what happens to be in the checkpoint cache.
+	ColdStart bool `json:"cold_start,omitempty"`
 }
 
 // TelemetrySpec opts a spec run into telemetry capture (see
@@ -374,6 +384,26 @@ func (s *Spec) Validate() error {
 			seenOps[op] = true
 			if !w.hasOp(op) {
 				return fmt.Errorf("policy.ops[%d]: unknown op %q (workload %s supports %v)", i, op, w.Name, w.Ops)
+			}
+		}
+	}
+
+	// Per-site op table.
+	if len(s.Policy.Table) > 0 {
+		if len(w.Sites) == 0 {
+			return fmt.Errorf("policy.table: workload %s declares no pre-store sites", w.Name)
+		}
+		sites := make([]string, 0, len(s.Policy.Table))
+		for site := range s.Policy.Table {
+			sites = append(sites, site)
+		}
+		sort.Strings(sites)
+		for _, site := range sites {
+			if !containsStr(w.Sites, site) {
+				return fmt.Errorf("policy.table.%s: unknown site (workload %s has sites %v)", site, w.Name, w.Sites)
+			}
+			if op := s.Policy.Table[site]; !w.hasOp(op) {
+				return fmt.Errorf("policy.table.%s: unknown op %q (workload %s supports %v)", site, s.Policy.Table[site], w.Name, w.Ops)
 			}
 		}
 	}

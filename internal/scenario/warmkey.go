@@ -50,6 +50,11 @@ func (s Spec) WarmPrefixKey(build string, phase int) (string, error) {
 	masked.Workload.Params = maskMap(s.Workload.Params)
 	masked.Run.Quick = maskMap(s.Run.Quick)
 	masked.Policy.Axes = nil
+	// The per-site op table is a measured-phase choice by the same
+	// contract that masks the "op" axis (below): warm loads are
+	// baseline-crafted. Masking it lets every candidate plan the
+	// autotuner tries fork from one shared warm checkpoint.
+	masked.Policy.Table = nil
 	// Columns, footer and ops shape the rendered table, not the
 	// simulation — but masking them would let two specs with different
 	// non-swept content collide if a future field ever feeds simulation.

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"prestores/internal/autotune"
+)
+
+// autotuneBase is the single-point sites spec autotune tests search
+// over; the sites workload pins {hot: demote, once: clean} as the
+// unique elapsed optimum of its plan matrix.
+const autotuneBase = `{
+  "version": 1,
+  "machine": {"preset": "machine-a"},
+  "workload": {"name": "sites"},
+  "policy": {"ops": ["none"], "columns": [{"title": "elapsed", "op": "none", "metric": "elapsed"}]}
+}`
+
+// mustArtifact fetches a finished job's artifact, failing on non-200.
+func mustArtifact(t *testing.T, base, id, name string) []byte {
+	t.Helper()
+	code, data, _ := getArtifact(t, base, id, name)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s for job %s: status %d: %s", name, id, code, data)
+	}
+	return data
+}
+
+// TestAutotuneSearchEndToEnd drives the full daemon-side loop: submit a
+// search, read the trajectory and winner artifacts, re-evaluate the
+// recorded winner spec through POST /v1/eval and check it reproduces
+// the recorded metrics byte for byte, then confirm result caching and
+// the autotune metric families.
+func TestAutotuneSearchEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	const request = `{"spec": ` + autotuneBase + `, "seed": 7, "objective": "elapsed"}`
+	code, data := postRaw(t, ts.URL+"/v1/autotune", request)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (want 202): %s", code, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	st = waitFinal(t, ts.URL, st.ID)
+	if st.State != "done" || st.Result == nil {
+		t.Fatalf("autotune job did not finish cleanly: %+v", st)
+	}
+	if !strings.Contains(st.Result.Output, `"event":"done"`) {
+		t.Errorf("job output carries no progress stream:\n%s", st.Result.Output)
+	}
+
+	traj, err := autotune.DecodeTrajectory(mustArtifact(t, ts.URL, st.ID, "trajectory"))
+	if err != nil {
+		t.Fatalf("trajectory artifact does not decode: %v", err)
+	}
+	if traj.Evals > traj.Budget || len(traj.Iterations) != traj.Evals {
+		t.Fatalf("trajectory bookkeeping wrong: evals %d, budget %d, iterations %d",
+			traj.Evals, traj.Budget, len(traj.Iterations))
+	}
+	base := traj.Iterations[0]
+	if base.Source != "baseline" {
+		t.Errorf("iteration 0 source = %q, want baseline", base.Source)
+	}
+	if traj.Winner.Objective >= base.Objective {
+		t.Errorf("winner objective %g does not beat the all-none baseline %g",
+			traj.Winner.Objective, base.Objective)
+	}
+	if got := traj.Winner.Plan.Table; got["hot"] != "demote" || got["once"] != "clean" {
+		t.Errorf("winner plan = %v, want {hot: demote, once: clean}", got)
+	}
+
+	var winner autotune.Winner
+	if err := json.Unmarshal(mustArtifact(t, ts.URL, st.ID, "winner"), &winner); err != nil {
+		t.Fatalf("winner artifact does not decode: %v", err)
+	}
+	if winner.Iter != traj.Winner.Iter {
+		t.Errorf("winner artifact iter %d, trajectory says %d", winner.Iter, traj.Winner.Iter)
+	}
+
+	// The recorded winner spec, replayed through the eval endpoint, must
+	// reproduce the recorded metrics exactly — the contract the CI smoke
+	// checks over a real socket.
+	code, data = postRaw(t, ts.URL+"/v1/eval", `{"spec": `+string(traj.Winner.Spec)+`}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("eval submit: status %d: %s", code, data)
+	}
+	var est JobStatus
+	if err := json.Unmarshal(data, &est); err != nil {
+		t.Fatal(err)
+	}
+	est = waitFinal(t, ts.URL, est.ID)
+	if est.State != "done" || est.Result == nil {
+		t.Fatalf("eval job did not finish cleanly: %+v", est)
+	}
+	wantOut, err := json.Marshal(traj.Winner.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Result.Output != string(wantOut)+"\n" {
+		t.Errorf("eval of winner spec = %q, want %q", est.Result.Output, string(wantOut)+"\n")
+	}
+
+	// A request differing only in parallelism is the same search: the
+	// cache key zeroes Parallel, so this must be a hit.
+	code, data = postRaw(t, ts.URL+"/v1/autotune",
+		`{"spec": `+autotuneBase+`, "seed": 7, "objective": "elapsed", "parallel": 4}`)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: status %d (want 200 cache hit): %s", code, data)
+	}
+	var second JobStatus
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Errorf("parallel-only resubmit not served from cache: %+v", second)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"prestored_autotune_searches_total 1",
+		"prestored_autotune_converged_total",
+		"prestored_autotune_evals_total",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestAutotuneSubmitRejectsInvalidRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"missing spec", `{"budget": 4}`, "spec: required"},
+		{"unknown objective", `{"spec": ` + autotuneBase + `, "objective": "nope"}`, "objective: unknown metric"},
+		{"budget over limit", `{"spec": ` + autotuneBase + `, "budget": 100000}`, "exceeds the limit"},
+		{"siteless workload", `{"spec": {"version": 1, "machine": {"preset": "machine-a"},
+			"workload": {"name": "listing1"},
+			"policy": {"ops": ["none"], "columns": [{"title": "e", "op": "none", "metric": "elapsed"}]}}}`,
+			"no pre-store sites"},
+		{"swept spec", `{"spec": {"version": 1, "machine": {"preset": "machine-a"},
+			"workload": {"name": "sites"},
+			"policy": {"ops": ["none", "clean"],
+				"axes": [{"param": "rounds", "values": [1, 2]}],
+				"columns": [{"title": "e", "op": "none", "metric": "elapsed"}]}}}`,
+			"policy.axes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, data := postRaw(t, ts.URL+"/v1/autotune", tc.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d (want 400): %s", code, data)
+			}
+			var body map[string]string
+			if err := json.Unmarshal(data, &body); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(body["error"], tc.wantErr) {
+				t.Errorf("error %q does not name %q", body["error"], tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEvalRejectsSweptSpecs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	code, data := postRaw(t, ts.URL+"/v1/eval", `{"spec": {"version": 1,
+		"machine": {"preset": "machine-a"},
+		"workload": {"name": "sites"},
+		"policy": {"ops": ["none", "clean"],
+			"columns": [{"title": "e", "op": "none", "metric": "elapsed"}]}}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d (want 400): %s", code, data)
+	}
+	if !strings.Contains(string(data), "policy.ops") {
+		t.Errorf("error %s does not name policy.ops", data)
+	}
+}

@@ -134,7 +134,9 @@ func submitExp(t *testing.T, base, id string) server.JobStatus {
 
 func waitFinal(t *testing.T, base, id string) server.JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(15 * time.Second)
+	// Generous upper bound only: the race detector slows the autotune
+	// search well past what the plain tests need.
+	deadline := time.Now().Add(60 * time.Second)
 	for {
 		resp, err := http.Get(base + "/v1/jobs/" + id)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +42,10 @@ type Config struct {
 	// MaxJobs bounds tracked job mappings, oldest evicted first;
 	// <= 0 means 4096.
 	MaxJobs int
+	// AutotuneWorkers sizes the embedded autotune host's worker pool —
+	// the number of concurrent autotuning searches (each search fans its
+	// candidate evaluations out across the shards); <= 0 means 2.
+	AutotuneWorkers int
 	// Backoff paces retries against a shard answering 429 during a
 	// requeue. The zero value is the shared default schedule.
 	Backoff Backoff
@@ -67,6 +72,13 @@ type Coordinator struct {
 	prober *prober
 	mux    *http.ServeMux
 	log    *slog.Logger
+
+	// tuner is the embedded autotune host: a full worker daemon that
+	// runs only POST /v1/autotune jobs, with candidate evaluations
+	// fanned out across the shards through clusterEvaluator. Its job
+	// IDs ("job-N") are disjoint from routed ones ("cjob-N"), which is
+	// how /v1/jobs dispatch tells them apart.
+	tuner *server.Server
 
 	mu     sync.Mutex
 	closed bool
@@ -137,6 +149,15 @@ func New(cfg Config) (*Coordinator, error) {
 				c.m.probeDowns.inc(cfg.Shards[shard])
 			}
 		})
+	tuneWorkers := cfg.AutotuneWorkers
+	if tuneWorkers <= 0 {
+		tuneWorkers = 2
+	}
+	c.tuner = server.New(server.Config{
+		Workers:           tuneWorkers,
+		AutotuneEvaluator: clusterEvaluator{c: c},
+		Logger:            cfg.Logger,
+	})
 	c.routes()
 	go c.prober.run()
 	return c, nil
@@ -152,9 +173,10 @@ func trimSlash(s string) string {
 // Handler returns the coordinator's HTTP surface.
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
-// Shutdown stops the prober and refuses new submits. The coordinator
-// runs no jobs of its own, so there is nothing to drain — in-flight
-// proxied streams end when their client or shard side does.
+// Shutdown stops the prober, refuses new submits and drains the
+// embedded autotune host. The coordinator runs no routed jobs of its
+// own — in-flight proxied streams end when their client or shard side
+// does.
 func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.mu.Lock()
 	if c.closed {
@@ -164,7 +186,7 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.closed = true
 	c.mu.Unlock()
 	c.prober.close()
-	return nil
+	return c.tuner.Shutdown(ctx)
 }
 
 // routeKey content-addresses a submit for placement: the job kind and
@@ -198,6 +220,8 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("POST /v1/dirtbuster", c.submitHandler("dirtbuster"))
 	c.mux.HandleFunc("POST /v1/trace", c.submitHandler("trace"))
 	c.mux.HandleFunc("POST /v1/scenarios", c.submitHandler("scenario"))
+	c.mux.HandleFunc("POST /v1/eval", c.submitHandler("eval"))
+	c.mux.HandleFunc("POST /v1/autotune", c.handleAutotune)
 	c.mux.HandleFunc("GET /v1/experiments", c.passthrough("/v1/experiments"))
 	c.mux.HandleFunc("GET /v1/registry", c.passthrough("/v1/registry"))
 	c.mux.HandleFunc("GET /v1/workloads", c.passthrough("/v1/workloads"))
@@ -205,6 +229,8 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("GET /v1/jobs/{id}/stream", c.handleStreamJob)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/timeline", c.artifactHandler("timeline"))
 	c.mux.HandleFunc("GET /v1/jobs/{id}/linereport", c.artifactHandler("linereport"))
+	c.mux.HandleFunc("GET /v1/jobs/{id}/trajectory", c.artifactHandler("trajectory"))
+	c.mux.HandleFunc("GET /v1/jobs/{id}/winner", c.artifactHandler("winner"))
 	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancelJob)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
@@ -252,6 +278,7 @@ func (c *Coordinator) submitHandler(kind string) http.HandlerFunc {
 		"dirtbuster": "/v1/dirtbuster",
 		"trace":      "/v1/trace",
 		"scenario":   "/v1/scenarios",
+		"eval":       "/v1/eval",
 	}[kind]
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -325,6 +352,32 @@ func (c *Coordinator) submitHandler(kind string) http.HandlerFunc {
 		}
 		writeError(w, http.StatusBadGateway, "every healthy shard failed to accept the job")
 	}
+}
+
+// handleAutotune delegates an autotuning search to the embedded host.
+// The search job itself runs on the coordinator; every candidate
+// evaluation it spawns goes back through the cluster surface and is
+// routed to a shard like any other eval submit.
+func (c *Coordinator) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	c.tuner.Handler().ServeHTTP(w, r)
+}
+
+// delegated dispatches a /v1/jobs request by ID namespace: routed jobs
+// carry "cjob-" IDs, everything else belongs to the embedded autotune
+// host and is answered by it directly.
+func (c *Coordinator) delegated(w http.ResponseWriter, r *http.Request) bool {
+	if strings.HasPrefix(r.PathValue("id"), "cjob-") {
+		return false
+	}
+	c.tuner.Handler().ServeHTTP(w, r)
+	return true
 }
 
 // addJob registers a routed job under a coordinator-namespaced ID
@@ -453,6 +506,9 @@ func (c *Coordinator) requeue(ctx context.Context, j *cjob, failedShard int, fai
 }
 
 func (c *Coordinator) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	if c.delegated(w, r) {
+		return
+	}
 	j := c.job(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
@@ -501,6 +557,9 @@ func (c *Coordinator) handleGetJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	if c.delegated(w, r) {
+		return
+	}
 	j := c.job(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
@@ -536,6 +595,9 @@ func (c *Coordinator) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 // artifactHandler proxies a job's telemetry artifact from its shard.
 func (c *Coordinator) artifactHandler(name string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if c.delegated(w, r) {
+			return
+		}
 		j := c.job(r.PathValue("id"))
 		if j == nil {
 			writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
@@ -602,6 +664,18 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	c.renderMetrics(w)
+	// Append the embedded autotune host's families (prestored_*,
+	// including prestored_autotune_*) — name-disjoint from the
+	// coordinator's own prestored_coordinator_* set.
+	rec := newRecorder()
+	req, err := http.NewRequestWithContext(r.Context(), "GET", "/metrics", nil)
+	if err != nil {
+		return
+	}
+	c.tuner.Handler().ServeHTTP(rec, req)
+	if rec.code == http.StatusOK {
+		w.Write(rec.body.Bytes())
+	}
 }
 
 // ---- stream proxying ----
@@ -614,6 +688,9 @@ type streamEvent struct {
 }
 
 func (c *Coordinator) handleStreamJob(w http.ResponseWriter, r *http.Request) {
+	if c.delegated(w, r) {
+		return
+	}
 	j := c.job(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))

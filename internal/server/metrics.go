@@ -123,6 +123,11 @@ type metrics struct {
 	rejected      atomic.Int64
 	running       atomic.Int64
 
+	// Autotuning-search counters (POST /v1/autotune).
+	autotuneSearches  atomic.Int64
+	autotuneEvals     atomic.Int64
+	autotuneConverged atomic.Int64
+
 	// Labeled families: per-kind scheduling latency and run duration,
 	// and per-kind/state completion counts.
 	queueWait histogramVec
@@ -171,6 +176,9 @@ func (m *metrics) render(w io.Writer, g metricsGauges) {
 	counter("prestored_cache_hits_total", "Submits answered from the result cache.", m.cacheHits.Load())
 	counter("prestored_cache_misses_total", "Submits that enqueued new work.", m.cacheMisses.Load())
 	counter("prestored_coalesced_total", "Submits attached to an identical in-flight job.", m.coalesced.Load())
+	counter("prestored_autotune_searches_total", "Autotuning searches that completed successfully.", m.autotuneSearches.Load())
+	counter("prestored_autotune_evals_total", "Candidate plan evaluations performed by autotuning searches.", m.autotuneEvals.Load())
+	counter("prestored_autotune_converged_total", "Autotuning searches that reached a local optimum within budget.", m.autotuneConverged.Load())
 
 	if g.ckptEnabled {
 		// Unsigned counters rendered with %d directly: a uint64 past

@@ -117,6 +117,9 @@ type registryWorkload struct {
 	Params      []scenario.ParamDef `json:"params,omitempty"`
 	Ops         []string            `json:"ops"`
 	Metrics     []string            `json:"metrics"`
+	// Sites lists the workload's named pre-store call sites — the
+	// dimensions a policy.table (and the autotuner) can steer per-site.
+	Sites []string `json:"sites,omitempty"`
 }
 
 // registryResponse is the GET /v1/registry body: every building block a
@@ -145,6 +148,7 @@ func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
 			Params:      wl.Params,
 			Ops:         wl.Ops,
 			Metrics:     wl.MetricNames,
+			Sites:       wl.Sites,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -197,7 +197,7 @@ func TestRegistryListsAllBuildingBlocks(t *testing.T) {
 	}
 
 	wantWorkloads := []string{"btree", "listing1", "listing2", "listing3",
-		"nas", "phoronix", "tensor-train", "x9", "ycsb"}
+		"nas", "phoronix", "sites", "tensor-train", "x9", "ycsb"}
 	byName := map[string]registryWorkload{}
 	for _, w := range reg.Workloads {
 		byName[w.Name] = w
@@ -211,6 +211,14 @@ func TestRegistryListsAllBuildingBlocks(t *testing.T) {
 		if len(w.Ops) == 0 || len(w.Metrics) == 0 {
 			t.Errorf("workload %s listing incomplete: %+v", name, w)
 		}
+	}
+	// Site-bearing workloads must advertise their pre-store sites — the
+	// dimensions POST /v1/autotune searches over.
+	if got := byName["sites"].Sites; len(got) != 2 || got[0] != "hot" || got[1] != "once" {
+		t.Errorf("sites workload sites = %v, want [hot once]", got)
+	}
+	if got := byName["ycsb"].Sites; len(got) != 1 || got[0] != "craft" {
+		t.Errorf("ycsb workload sites = %v, want [craft]", got)
 	}
 	if len(reg.Workloads) != len(wantWorkloads) {
 		t.Errorf("registry lists %d workloads, want %d: %+v", len(reg.Workloads), len(wantWorkloads), byName)

@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"prestores/internal/autotune"
 	"prestores/internal/bench"
 	"prestores/internal/checkpoint"
 	"prestores/internal/dirtbuster"
@@ -86,6 +87,11 @@ type Config struct {
 	// on the daemon mux. Off by default: the profiling surface should
 	// not be reachable unless asked for.
 	EnablePprof bool
+	// AutotuneEvaluator overrides how autotune jobs measure candidate
+	// plans; nil means in-process evaluation (autotune.Local). The
+	// cluster coordinator injects an evaluator that fans candidates out
+	// across its worker shards.
+	AutotuneEvaluator autotune.Evaluator
 }
 
 var (
@@ -456,6 +462,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/dirtbuster", s.handleSubmitDirtbuster)
 	s.mux.HandleFunc("POST /v1/trace", s.handleSubmitTrace)
 	s.mux.HandleFunc("POST /v1/scenarios", s.handleSubmitScenario)
+	s.mux.HandleFunc("POST /v1/eval", s.handleSubmitEval)
+	s.mux.HandleFunc("POST /v1/autotune", s.handleSubmitAutotune)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleListWorkloads)
@@ -463,6 +471,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStreamJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.artifactHandler("timeline"))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/linereport", s.artifactHandler("linereport"))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trajectory", s.artifactHandler("trajectory"))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/winner", s.artifactHandler("winner"))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -492,7 +502,7 @@ func (s *Server) artifactHandler(name string) http.HandlerFunc {
 		data, ok := j.artifact(name)
 		if !ok {
 			writeError(w, http.StatusNotFound,
-				"job %s recorded no %s; submit a scenario with a telemetry block to record one", j.id, name)
+				"job %s recorded no %s artifact (telemetry artifacts need a telemetry block on the submit)", j.id, name)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -109,7 +109,9 @@ func getJob(t *testing.T, base, id string) JobStatus {
 // waitFinal polls a job until it reaches a final state.
 func waitFinal(t *testing.T, base, id string) JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	// Generous upper bound only: the race detector slows the autotune
+	// search well past what the plain tests need.
+	deadline := time.Now().Add(60 * time.Second)
 	for {
 		st := getJob(t, base, id)
 		switch st.State {
@@ -117,7 +119,7 @@ func waitFinal(t *testing.T, base, id string) JobStatus {
 			return st
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("job %s still %s after 10s", id, st.State)
+			t.Fatalf("job %s still %s after 60s", id, st.State)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -142,11 +143,74 @@ func (r *Recorder) LineReport(maxLines int) *LineReport {
 	return rep
 }
 
-// WriteJSON renders the report as indented JSON.
+// WriteJSON renders the report as indented JSON. The encoding is
+// stable: struct field order is fixed, Lines and Buckets are sorted by
+// the total orders LineReport establishes, and no timestamps or host
+// state leak in — equal reports render equal bytes.
 func (rep *LineReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// DecodeLineReport parses a report previously rendered by WriteJSON,
+// strictly (unknown fields are errors — a skew between daemon and
+// client versions fails loudly instead of silently dropping fields).
+// This is how the autotuner consumes a probe run's report when the
+// probe executed on a remote shard.
+func DecodeLineReport(data []byte) (*LineReport, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep LineReport
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding line report: %w", err)
+	}
+	return &rep, nil
+}
+
+// LineTotals aggregates the per-line attribution columns over every
+// line in the report. The autotuner's seeding rules consume these
+// directly (rewrite/re-read frequency and nearness) instead of
+// re-deriving them from the raw line list.
+type LineTotals struct {
+	Writes         uint64 `json:"writes"`
+	Rewrites       uint64 `json:"rewrites"`
+	RewriteDistSum uint64 `json:"rewrite_dist_sum"`
+	NearRewrites   uint64 `json:"near_rewrites"`
+	Rereads        uint64 `json:"rereads"`
+	RereadDistSum  uint64 `json:"reread_dist_sum"`
+	NearRereads    uint64 `json:"near_rereads"`
+}
+
+// AvgRewriteDist returns the mean re-write distance in instructions.
+func (t LineTotals) AvgRewriteDist() float64 {
+	if t.Rewrites == 0 {
+		return 0
+	}
+	return float64(t.RewriteDistSum) / float64(t.Rewrites)
+}
+
+// AvgRereadDist returns the mean re-read distance in instructions.
+func (t LineTotals) AvgRereadDist() float64 {
+	if t.Rereads == 0 {
+		return 0
+	}
+	return float64(t.RereadDistSum) / float64(t.Rereads)
+}
+
+// Totals sums the attribution columns over rep.Lines.
+func (rep *LineReport) Totals() LineTotals {
+	var t LineTotals
+	for _, s := range rep.Lines {
+		t.Writes += s.Writes
+		t.Rewrites += s.Rewrites
+		t.RewriteDistSum += s.RewriteDistSum
+		t.NearRewrites += s.NearRewrites
+		t.Rereads += s.Rereads
+		t.RereadDistSum += s.RereadDistSum
+		t.NearRereads += s.NearRereads
+	}
+	return t
 }
 
 // WriteText renders the report for humans: a traffic summary, the

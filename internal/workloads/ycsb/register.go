@@ -49,7 +49,7 @@ func init() {
 			{Name: "seed", Kind: scenario.KindInt, Help: "PRNG seed"},
 		},
 		Ops:         []string{"none", "clean", "skip", "demote"},
-		MetricNames: []string{"elapsed", "ops_per_sec", "reads", "writes", "scans", "read_misses", "write_amp"},
+		MetricNames: []string{"elapsed", "ops_per_sec", "reads", "writes", "scans", "read_misses", "write_amp", "device_write_bytes"},
 		Run: func(m *sim.Machine, op string, p scenario.Params) (scenario.Metrics, error) {
 			return runScenario(m, op, p, nil)
 		},
@@ -58,13 +58,16 @@ func init() {
 		// threads, ops, theta or seed fork from one warm checkpoint.
 		WarmParams: []string{"store", "records", "value_size", "heap", "window"},
 		RunPhased:  runScenario,
+		// One pre-store call site: the value-crafting path all puts go
+		// through. A policy.table {"craft": op} steers it per-site.
+		Sites: []string{"craft"},
 	})
 }
 
 // runScenario is the registered entry point; with a non-nil pc the load
 // phase goes through WarmLoad and can fork from a checkpoint.
 func runScenario(m *sim.Machine, op string, p scenario.Params, pc *sim.PhaseControl) (scenario.Metrics, error) {
-	craft, err := craftFor(op)
+	craft, err := craftFor(scenario.SiteOp(p, "craft", op))
 	if err != nil {
 		return nil, err
 	}
@@ -99,12 +102,13 @@ func runScenario(m *sim.Machine, op string, p scenario.Params, pc *sim.PhaseCont
 	}
 	r := Run(m, store, heap, cfg)
 	return scenario.Metrics{
-		"elapsed":     float64(r.Elapsed),
-		"ops_per_sec": r.OpsPerSec,
-		"reads":       float64(r.Reads),
-		"writes":      float64(r.Writes),
-		"scans":       float64(r.Scans),
-		"read_misses": float64(r.ReadMisses),
-		"write_amp":   r.WriteAmp,
+		"elapsed":            float64(r.Elapsed),
+		"ops_per_sec":        r.OpsPerSec,
+		"reads":              float64(r.Reads),
+		"writes":             float64(r.Writes),
+		"scans":              float64(r.Scans),
+		"read_misses":        float64(r.ReadMisses),
+		"write_amp":          r.WriteAmp,
+		"device_write_bytes": float64(r.DeviceWriteBytes),
 	}, nil
 }

@@ -58,15 +58,16 @@ type Config struct {
 
 // Result reports a measured run.
 type Result struct {
-	Elapsed    units.Cycles
-	Ops        uint64
-	OpsPerSec  float64
-	Reads      uint64
-	Writes     uint64
-	Scans      uint64
-	ReadMisses uint64
-	WriteAmp   float64 // device-side, for the store's window
-	Checksum   uint64  // functional digest of all read values
+	Elapsed          units.Cycles
+	Ops              uint64
+	OpsPerSec        float64
+	Reads            uint64
+	Writes           uint64
+	Scans            uint64
+	ReadMisses       uint64
+	WriteAmp         float64 // device-side, for the store's window
+	DeviceWriteBytes uint64  // media bytes written in the store's window
+	Checksum         uint64  // functional digest of all read values
 }
 
 // Load populates the store with cfg.Records sequential keys using
@@ -193,5 +194,6 @@ func Run(m *sim.Machine, store kv.Store, heap *kv.ValueHeap, cfg Config) Result 
 	res.Ops = uint64(cfg.Ops) * uint64(cfg.Threads)
 	res.OpsPerSec = float64(res.Ops) / m.Seconds(res.Elapsed)
 	res.WriteAmp = dev.Stats().WriteAmplification()
+	res.DeviceWriteBytes = dev.Stats().MediaBytesWritten
 	return res
 }
