@@ -2,17 +2,30 @@
 // file and analyzes recordings offline — DirtBuster's intended usage as
 // an optimization pass decoupled from the profiled run (paper §6.1).
 //
+// Recording streams chunks to disk as the workload runs (v2 chunked
+// format), so peak memory stays flat no matter how long the trace is;
+// analysis streams the chunks back in two bounded-memory passes.
+// Recordings can also be shipped to a prestored daemon (or cluster
+// coordinator) for remote sharded analysis.
+//
 // Usage:
 //
 //	prestore-trace -record tf.trace -workload tensorflow
 //	prestore-trace -analyze tf.trace -line 64
 //	prestore-trace -analyze tf.trace -pmcheck -pmbase 0x10000000000
+//	prestore-trace -upload tf.trace -server http://localhost:8344
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"prestores/internal/bench"
 	"prestores/internal/dirtbuster"
@@ -23,8 +36,12 @@ import (
 func main() {
 	record := flag.String("record", "", "record the workload's trace to this file")
 	analyze := flag.String("analyze", "", "analyze a recorded trace file")
+	upload := flag.String("upload", "", "upload a recorded trace to -server and analyze it there")
+	serverURL := flag.String("server", "", "prestored daemon or coordinator base URL for -upload")
 	workload := flag.String("workload", "", "workload to record (see prestore-trace -list)")
 	list := flag.Bool("list", false, "list recordable workloads")
+	quick := flag.Bool("quick", true, "use smoke-sized workloads (full-size traces are huge)")
+	chunk := flag.Int("chunk", trace.DefaultChunkRecords, "records per chunk when recording")
 	name := flag.String("name", "trace", "application name for the analysis report")
 	lineSize := flag.Uint64("line", 64, "cache line size of the recorded machine")
 	report := flag.Bool("report", false, "print a perf-report-style per-function time profile")
@@ -35,76 +52,264 @@ func main() {
 
 	switch {
 	case *list:
-		for _, w := range bench.Table2Workloads(true) {
+		for _, w := range bench.Table2Workloads(*quick) {
 			fmt.Println(w.Name)
 		}
 	case *record != "" && *workload != "":
-		for _, w := range bench.Table2Workloads(true) {
-			if w.Name != *workload {
-				continue
+		doRecord(*record, *workload, *quick, *chunk)
+	case *analyze != "" && *report:
+		tb := loadTrace(*analyze)
+		fmt.Printf("%-32s %10s %8s %8s %8s\n", "function", "cycles", "time%", "store%", "ops")
+		for _, ft := range tb.TimeByFunction() {
+			if ft.Fn == "" {
+				ft.Fn = "(untagged)"
 			}
-			tb, line := dirtbuster.Record(w)
-			f, err := os.Create(*record)
-			if err != nil {
-				fatal(err)
+			storePct := 0.0
+			if ft.Cycles > 0 {
+				storePct = 100 * float64(ft.StoreCyc) / float64(ft.Cycles)
 			}
-			if err := tb.Encode(f); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("recorded %d ops of %q (line size %dB) to %s\n",
-				tb.Len(), w.Name, line, *record)
-			return
+			fmt.Printf("%-32s %10d %7.1f%% %7.1f%% %8d\n",
+				ft.Fn, ft.Cycles, ft.TimeShare*100, storePct, ft.Ops)
 		}
-		fmt.Fprintf(os.Stderr, "unknown workload %q; try -list\n", *workload)
-		os.Exit(2)
+	case *analyze != "" && *pmCheck:
+		tb := loadTrace(*analyze)
+		res := pmcheck.Check(tb, pmcheck.Config{
+			Base: *pmBase, Size: *pmSize, LineSize: *lineSize,
+		})
+		fmt.Printf("pmcheck: %d line-stores checked, %d commits, %d violations\n",
+			res.StoresChecked, res.Commits, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Println("  ", v)
+		}
+		if !res.Ok() {
+			os.Exit(1)
+		}
 	case *analyze != "":
-		f, err := os.Open(*analyze)
+		// The DirtBuster path streams chunks in two bounded-memory
+		// passes instead of decoding the whole trace.
+		open := func() (dirtbuster.ChunkIter, error) {
+			f, err := os.Open(*analyze)
+			if err != nil {
+				return nil, err
+			}
+			cr, err := trace.NewChunkReader(f)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			return &closingIter{cr: cr, f: f}, nil
+		}
+		rep, err := dirtbuster.AnalyzeChunkSource(*name, open, *lineSize, dirtbuster.Config{})
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		tb, err := trace.Decode(f)
-		if err != nil {
-			fatal(err)
-		}
-		if *report {
-			fmt.Printf("%-32s %10s %8s %8s %8s\n", "function", "cycles", "time%", "store%", "ops")
-			for _, ft := range tb.TimeByFunction() {
-				if ft.Fn == "" {
-					ft.Fn = "(untagged)"
-				}
-				storePct := 0.0
-				if ft.Cycles > 0 {
-					storePct = 100 * float64(ft.StoreCyc) / float64(ft.Cycles)
-				}
-				fmt.Printf("%-32s %10d %7.1f%% %7.1f%% %8d\n",
-					ft.Fn, ft.Cycles, ft.TimeShare*100, storePct, ft.Ops)
-			}
-			return
-		}
-		if *pmCheck {
-			res := pmcheck.Check(tb, pmcheck.Config{
-				Base: *pmBase, Size: *pmSize, LineSize: *lineSize,
-			})
-			fmt.Printf("pmcheck: %d line-stores checked, %d commits, %d violations\n",
-				res.StoresChecked, res.Commits, len(res.Violations))
-			for _, v := range res.Violations {
-				fmt.Println("  ", v)
-			}
-			if !res.Ok() {
-				os.Exit(1)
-			}
-			return
-		}
-		rep := dirtbuster.AnalyzeTrace(*name, tb, *lineSize, dirtbuster.Config{})
 		fmt.Println(rep.Render())
+	case *upload != "" && *serverURL != "":
+		doUpload(*serverURL, *upload, *name, *lineSize)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// doRecord streams the workload's trace to the file chunk by chunk:
+// the writer's buffer holds at most one chunk of records, so peak RSS
+// is flat in trace length.
+func doRecord(path, workload string, quick bool, chunkRecords int) {
+	for _, w := range bench.Table2Workloads(quick) {
+		if w.Name != workload {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		tw := trace.NewWriter(f, trace.WriterOptions{ChunkRecords: chunkRecords})
+		line := dirtbuster.RecordStream(w, tw.Hook())
+		if err := tw.Close(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d ops of %q (line size %dB) to %s in %d chunks\n",
+			tw.Records(), w.Name, line, path, tw.Chunks())
+		return
+	}
+	fmt.Fprintf(os.Stderr, "unknown workload %q; try -list\n", workload)
+	os.Exit(2)
+}
+
+// loadTrace fully decodes a recording (v1 or v2) for the analyses that
+// need the whole buffer in memory (-report, -pmcheck).
+func loadTrace(path string) *trace.Buffer {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tb, err := trace.Decode(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tb
+}
+
+// closingIter closes the underlying file when the chunk stream ends.
+type closingIter struct {
+	cr *trace.ChunkReader
+	f  *os.File
+}
+
+func (it *closingIter) Next() (*trace.Chunk, error) {
+	c, err := it.cr.Next()
+	if err != nil {
+		it.f.Close()
+	}
+	return c, err
+}
+
+const uploadPart = 4 << 20
+
+// doUpload ships a recording to a prestored daemon (or cluster
+// coordinator) with the resumable upload protocol, submits a chunked
+// analysis of it and prints the report. Offset mismatches (409) are
+// resumed from the server's offset, so a retried or interrupted upload
+// never re-sends bytes the server already has.
+func doUpload(base, path, app string, lineSize uint64) {
+	base = strings.TrimRight(base, "/")
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var opened struct {
+		Upload string `json:"upload"`
+		Offset int64  `json:"offset"`
+	}
+	if err := postJSON(base+"/v1/traces?resume=1", nil, &opened); err != nil {
+		fatal(err)
+	}
+	off := opened.Offset
+	buf := make([]byte, uploadPart)
+	for {
+		n, rerr := f.ReadAt(buf, off)
+		if n > 0 {
+			newOff, err := putPart(base, opened.Upload, off, buf[:n])
+			if err != nil {
+				fatal(err)
+			}
+			off = newOff
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			fatal(rerr)
+		}
+	}
+	var info struct {
+		Address string `json:"address"`
+		Chunks  int    `json:"chunks"`
+		Records uint64 `json:"records"`
+	}
+	if err := postJSON(base+"/v1/traces/uploads/"+opened.Upload+"/commit", nil, &info); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "uploaded %d bytes as %s (%d chunks, %d records)\n",
+		off, info.Address, info.Chunks, info.Records)
+
+	spec := map[string]any{"trace": info.Address, "app": app, "line_size": lineSize}
+	var st struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Result *struct {
+			Err    string `json:"err,omitempty"`
+			Output string `json:"output,omitempty"`
+		} `json:"result,omitempty"`
+	}
+	if err := postJSON(base+"/v1/analyses", spec, &st); err != nil {
+		fatal(err)
+	}
+	for st.State != "done" && st.State != "failed" && st.State != "cancelled" {
+		time.Sleep(100 * time.Millisecond)
+		if err := getJSON(base+"/v1/jobs/"+st.ID, &st); err != nil {
+			fatal(err)
+		}
+	}
+	if st.State != "done" {
+		msg := st.State
+		if st.Result != nil && st.Result.Err != "" {
+			msg += ": " + st.Result.Err
+		}
+		fatal(fmt.Errorf("remote analysis %s", msg))
+	}
+	fmt.Print(st.Result.Output)
+}
+
+// putPart uploads one part, following a 409's offset so a disagreement
+// with the server resolves in one extra round trip.
+func putPart(base, id string, off int64, part []byte) (int64, error) {
+	url := fmt.Sprintf("%s/v1/traces/uploads/%s?offset=%d", base, id, off)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(part))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var ack struct {
+		Offset int64  `json:"offset"`
+		Error  string `json:"error,omitempty"`
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusConflict:
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return 0, err
+		}
+		return ack.Offset, nil
+	default:
+		return 0, fmt.Errorf("upload part at %d: %d %s", off, resp.StatusCode, bytes.TrimSpace(body))
+	}
+}
+
+func postJSON(url string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := http.Post(url, "application/json", rd)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, out)
 }
 
 func fatal(err error) {

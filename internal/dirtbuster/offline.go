@@ -1,10 +1,6 @@
 package dirtbuster
 
 import (
-	"sort"
-
-	"prestores/internal/core"
-	"prestores/internal/profile"
 	"prestores/internal/sim"
 	"prestores/internal/trace"
 )
@@ -16,118 +12,18 @@ import (
 //
 // Step 1's ranking is derived from the same trace (a full recording
 // subsumes sampling); steps 2 and 3 replay the records through the
-// identical analysis the live pipeline uses.
+// identical analysis the live pipeline uses. This is the in-memory
+// convenience over the chunked Stats/Plan/Partial pipeline — both
+// produce byte-identical reports.
 func AnalyzeTrace(app string, tb *trace.Buffer, lineSize uint64, cfg Config) *Report {
-	cfg.fillDefaults()
-
-	// Step 1: rank functions and classify write intensity from the
-	// full recording.
-	type agg struct {
-		loads, stores uint64
+	stats := NewStats()
+	tb.Replay(stats.AddRecord)
+	plan := stats.Plan(app, lineSize, cfg)
+	a := plan.NewAnalysis()
+	if plan.WriteIntensive {
+		tb.Replay(a.feed)
 	}
-	byFn := map[string]*agg{}
-	var storeTime, totalTime uint64
-	maxCore := 0
-	tb.Replay(func(r trace.Record, fn string) {
-		if int(r.Core) > maxCore {
-			maxCore = int(r.Core)
-		}
-		totalTime += r.Cost
-		a := byFn[fn]
-		if a == nil {
-			a = &agg{}
-			byFn[fn] = a
-		}
-		switch r.Kind {
-		case sim.OpLoad:
-			a.loads++
-		case sim.OpStore, sim.OpStoreNT, sim.OpAtomic:
-			a.stores++
-			storeTime += r.Cost
-		}
-	})
-
-	rep := &Report{App: app, Config: cfg}
-	if totalTime > 0 {
-		rep.StoreShare = float64(storeTime) / float64(totalTime)
-	}
-	rep.WriteIntensive = rep.StoreShare >= cfg.WriteIntensiveShare
-
-	ranked := make([]profile.FuncStat, 0, len(byFn))
-	var totalStores uint64
-	for _, a := range byFn {
-		totalStores += a.stores
-	}
-	for fn, a := range byFn {
-		fs := profile.FuncStat{Fn: fn, Loads: a.loads, Stores: a.stores}
-		if totalStores > 0 {
-			fs.StoreShare = float64(a.stores) / float64(totalStores)
-		}
-		ranked = append(ranked, fs)
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].Stores != ranked[j].Stores {
-			return ranked[i].Stores > ranked[j].Stores
-		}
-		return ranked[i].Fn < ranked[j].Fn
-	})
-
-	if !rep.WriteIntensive {
-		for i, fs := range ranked {
-			if i == cfg.TopFunctions {
-				break
-			}
-			rep.Functions = append(rep.Functions, FuncReport{
-				Name:       fs.Fn,
-				StoreShare: fs.StoreShare,
-				Choice:     core.NoPrestore,
-				Reason:     "application is not write-intensive",
-			})
-		}
-		return rep
-	}
-
-	monitored := make(map[string]*fnState)
-	for i, fs := range ranked {
-		if i == cfg.TopFunctions || fs.Stores == 0 {
-			break
-		}
-		monitored[fs.Fn] = &fnState{
-			name:       fs.Fn,
-			storeShare: fs.StoreShare,
-			buckets:    make(map[uint64]*bucketAgg),
-		}
-	}
-
-	// Steps 2 and 3: replay through the live analysis.
-	an := &analysis{cfg: cfg, fns: monitored, lineSize: lineSize}
-	an.cores = make([]coreState, maxCore+1)
-	tb.Replay(func(r trace.Record, fn string) {
-		an.hook(sim.Event{
-			Core:  int(r.Core),
-			Kind:  r.Kind,
-			Addr:  r.Addr,
-			Size:  r.Size,
-			Fn:    fn,
-			Instr: r.Instr,
-		}, nil)
-	})
-	an.finish()
-
-	fns := make([]*fnState, 0, len(monitored))
-	for _, st := range monitored {
-		fns = append(fns, st)
-	}
-	sort.Slice(fns, func(i, j int) bool {
-		if fns[i].storeShare != fns[j].storeShare {
-			return fns[i].storeShare > fns[j].storeShare
-		}
-		return fns[i].name < fns[j].name
-	})
-	for _, st := range fns {
-		rep.Functions = append(rep.Functions, st.report(cfg))
-	}
-	return rep
+	return a.Report()
 }
 
 // Record runs the workload once with full tracing and returns the
@@ -140,4 +36,16 @@ func Record(w Workload) (*trace.Buffer, uint64) {
 	w.Run(m)
 	m.SetHook(nil)
 	return tb, m.LineSize()
+}
+
+// RecordStream runs the workload once streaming every operation into
+// hook — typically a trace.Writer's — so recording memory stays
+// bounded regardless of trace length. It returns the machine's line
+// size.
+func RecordStream(w Workload, hook sim.Hook) uint64 {
+	m := w.NewMachine()
+	m.SetHook(hook)
+	w.Run(m)
+	m.SetHook(nil)
+	return m.LineSize()
 }

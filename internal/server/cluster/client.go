@@ -132,6 +132,28 @@ func (e *streamStatusError) Error() string {
 	return fmt.Sprintf("shard returned %d to stream attach: %s", e.code, e.body)
 }
 
+// postChunk sends one framed chunk-analysis request to a shard. Like
+// do, a returned error means the shard did not answer at all; any HTTP
+// response comes back as (body, code). The response limit is sized for
+// a pass-2 partial of a dense chunk, not the unary JSON cap.
+func (sc *shardClient) postChunk(ctx context.Context, shardURL string, body []byte) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", shardURL+"/v1/analyses/chunks", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := sc.api.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, resp.StatusCode, nil
+}
+
 // healthy probes a shard's /healthz with its own short deadline.
 func (sc *shardClient) healthy(ctx context.Context, shardURL string, timeout time.Duration) bool {
 	ctx, cancel := context.WithTimeout(ctx, timeout)

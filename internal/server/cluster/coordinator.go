@@ -73,11 +73,14 @@ type Coordinator struct {
 	mux    *http.ServeMux
 	log    *slog.Logger
 
-	// tuner is the embedded autotune host: a full worker daemon that
-	// runs only POST /v1/autotune jobs, with candidate evaluations
-	// fanned out across the shards through clusterEvaluator. Its job
-	// IDs ("job-N") are disjoint from routed ones ("cjob-N"), which is
-	// how /v1/jobs dispatch tells them apart.
+	// tuner is the embedded host: a full worker daemon that runs the
+	// coordinator-resident jobs — POST /v1/autotune searches whose
+	// candidate evaluations fan out across the shards through
+	// clusterEvaluator, and POST /v1/analyses trace analyses whose
+	// per-chunk map steps fan out through clusterAnalyzer (the trace
+	// store lives on the coordinator too). Its job IDs ("job-N") are
+	// disjoint from routed ones ("cjob-N"), which is how /v1/jobs
+	// dispatch tells them apart.
 	tuner *server.Server
 
 	mu     sync.Mutex
@@ -156,6 +159,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c.tuner = server.New(server.Config{
 		Workers:           tuneWorkers,
 		AutotuneEvaluator: clusterEvaluator{c: c},
+		ChunkAnalyzer:     clusterAnalyzer{c: c},
 		Logger:            cfg.Logger,
 	})
 	c.routes()
@@ -221,7 +225,15 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("POST /v1/trace", c.submitHandler("trace"))
 	c.mux.HandleFunc("POST /v1/scenarios", c.submitHandler("scenario"))
 	c.mux.HandleFunc("POST /v1/eval", c.submitHandler("eval"))
-	c.mux.HandleFunc("POST /v1/autotune", c.handleAutotune)
+	c.mux.HandleFunc("POST /v1/autotune", c.embedded)
+	c.mux.HandleFunc("POST /v1/traces", c.embedded)
+	c.mux.HandleFunc("GET /v1/traces", c.embedded)
+	c.mux.HandleFunc("PUT /v1/traces/uploads/{id}", c.embedded)
+	c.mux.HandleFunc("POST /v1/traces/uploads/{id}/commit", c.embedded)
+	c.mux.HandleFunc("DELETE /v1/traces/uploads/{id}", c.embedded)
+	c.mux.HandleFunc("GET /v1/traces/{address}", c.embedded)
+	c.mux.HandleFunc("DELETE /v1/traces/{address}", c.embedded)
+	c.mux.HandleFunc("POST /v1/analyses", c.embedded)
 	c.mux.HandleFunc("GET /v1/experiments", c.passthrough("/v1/experiments"))
 	c.mux.HandleFunc("GET /v1/registry", c.passthrough("/v1/registry"))
 	c.mux.HandleFunc("GET /v1/workloads", c.passthrough("/v1/workloads"))
@@ -354,11 +366,13 @@ func (c *Coordinator) submitHandler(kind string) http.HandlerFunc {
 	}
 }
 
-// handleAutotune delegates an autotuning search to the embedded host.
-// The search job itself runs on the coordinator; every candidate
-// evaluation it spawns goes back through the cluster surface and is
-// routed to a shard like any other eval submit.
-func (c *Coordinator) handleAutotune(w http.ResponseWriter, r *http.Request) {
+// embedded delegates a request to the embedded host: autotuning
+// searches (whose candidate evaluations go back through the cluster
+// surface and are routed to shards like any other eval submit) and the
+// trace pipeline (uploads land in the embedded host's trace store;
+// analysis jobs run there with per-chunk work fanned out across the
+// shards by chunk content-address).
+func (c *Coordinator) embedded(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()

@@ -40,11 +40,13 @@ func (v *shardCounterVec) snapshot() (shards []string, vals []int64) {
 // cmetrics holds the coordinator's counters. Health and job gauges
 // are sampled at scrape time.
 type cmetrics struct {
-	routed      shardCounterVec // submits routed to a shard (202 accepted)
-	cacheHits   shardCounterVec // submits a shard answered from its cache (200)
-	requeued    shardCounterVec // jobs moved OFF a shard after it was lost
-	shardErrors shardCounterVec // proxied calls a shard failed to answer
-	probeDowns  shardCounterVec // healthy→unhealthy transitions
+	routed       shardCounterVec // submits routed to a shard (202 accepted)
+	cacheHits    shardCounterVec // submits a shard answered from its cache (200)
+	requeued     shardCounterVec // jobs moved OFF a shard after it was lost
+	shardErrors  shardCounterVec // proxied calls a shard failed to answer
+	probeDowns   shardCounterVec // healthy→unhealthy transitions
+	chunks       shardCounterVec // trace-analysis chunk calls a shard answered
+	chunkRetries shardCounterVec // chunk calls moved OFF a shard after a failure
 
 	rejected  atomic.Int64 // submits refused: no healthy shard
 	jobsDone  atomic.Int64 // proxied jobs observed reaching state done
@@ -81,6 +83,10 @@ func (c *Coordinator) renderMetrics(w io.Writer) {
 		"Proxied calls a shard failed to answer (connect failure or timeout).", &m.shardErrors)
 	counterVec("prestored_coordinator_probe_failures_total",
 		"Healthy-to-unhealthy transitions per shard.", &m.probeDowns)
+	counterVec("prestored_coordinator_chunks_total",
+		"Trace-analysis chunk calls answered by a shard.", &m.chunks)
+	counterVec("prestored_coordinator_chunk_retries_total",
+		"Chunk calls rerouted off a shard after it failed to answer.", &m.chunkRetries)
 	counter("prestored_coordinator_rejected_total",
 		"Submits refused because no shard was healthy.", m.rejected.Load())
 	counter("prestored_coordinator_jobs_done_total",

@@ -128,6 +128,12 @@ type metrics struct {
 	autotuneEvals     atomic.Int64
 	autotuneConverged atomic.Int64
 
+	// Trace-pipeline counters (POST /v1/traces, /v1/analyses).
+	traceUploads     atomic.Int64
+	traceUploadBytes atomic.Int64
+	traceAnalyses    atomic.Int64
+	traceChunks      atomic.Int64
+
 	// Labeled families: per-kind scheduling latency and run duration,
 	// and per-kind/state completion counts.
 	queueWait histogramVec
@@ -158,6 +164,10 @@ type metricsGauges struct {
 	ckptHits    uint64
 	ckptMisses  uint64
 	ckptBytes   int64
+
+	// Trace-store occupancy, sampled from the store per scrape.
+	traceBytes  int64
+	traceStored int
 }
 
 // render writes the Prometheus text exposition format (version 0.0.4).
@@ -179,6 +189,12 @@ func (m *metrics) render(w io.Writer, g metricsGauges) {
 	counter("prestored_autotune_searches_total", "Autotuning searches that completed successfully.", m.autotuneSearches.Load())
 	counter("prestored_autotune_evals_total", "Candidate plan evaluations performed by autotuning searches.", m.autotuneEvals.Load())
 	counter("prestored_autotune_converged_total", "Autotuning searches that reached a local optimum within budget.", m.autotuneConverged.Load())
+	counter("prestored_trace_uploads_total", "Trace recordings accepted into the store (one-shot or committed resumable uploads).", m.traceUploads.Load())
+	counter("prestored_trace_upload_bytes_total", "Encoded bytes of accepted trace recordings.", m.traceUploadBytes.Load())
+	counter("prestored_trace_analyses_total", "Chunked trace analyses that completed successfully.", m.traceAnalyses.Load())
+	counter("prestored_trace_chunks_total", "Trace chunks processed by analysis passes (local or on behalf of a coordinator).", m.traceChunks.Load())
+	gauge("prestored_trace_store_bytes", "Bytes held by the trace store (stored traces plus open upload buffers).", float64(g.traceBytes))
+	gauge("prestored_trace_stored", "Recordings currently in the trace store.", float64(g.traceStored))
 
 	if g.ckptEnabled {
 		// Unsigned counters rendered with %d directly: a uint64 past

@@ -13,6 +13,12 @@
 //	POST   /v1/dirtbuster         {"workload":"clht","quick":true}
 //	POST   /v1/trace              {"workload":"clht","mode":"dirtbuster|report|pmcheck"}
 //	POST   /v1/scenarios          {"spec":{...},"quick":true}   run a declarative scenario spec
+//	POST   /v1/traces             encoded trace body (binary)   store a recording; ?resume=1 opens a resumable upload
+//	PUT    /v1/traces/uploads/{id}?offset=N                     append one part (409 carries the offset to resume from)
+//	POST   /v1/traces/uploads/{id}/commit                       validate and store the assembled upload
+//	GET    /v1/traces             stored-trace listing; GET/DELETE /v1/traces/{address} fetch/evict one
+//	POST   /v1/analyses           {"trace":"<address>"}         chunked DirtBuster analysis of a stored trace
+//	POST   /v1/analyses/chunks    framed chunk (binary)         one synchronous per-chunk map step (cluster fan-out primitive)
 //	       ?stream=1 on any submit streams NDJSON progress instead of returning a job handle
 //	GET    /v1/experiments        registry listing
 //	GET    /v1/registry           scenario building blocks (machines, devices, workloads, stores, formats)
@@ -92,6 +98,14 @@ type Config struct {
 	// cluster coordinator injects an evaluator that fans candidates out
 	// across its worker shards.
 	AutotuneEvaluator autotune.Evaluator
+	// TraceQuotaBytes bounds the content-addressed trace store (stored
+	// traces plus open upload buffers); <= 0 means DefaultTraceQuota.
+	TraceQuotaBytes int64
+	// ChunkAnalyzer overrides how chunked trace analyses (POST
+	// /v1/analyses) compute per-chunk results; nil means in-process.
+	// The cluster coordinator injects an analyzer that fans chunks out
+	// across its worker shards.
+	ChunkAnalyzer ChunkAnalyzer
 }
 
 var (
@@ -116,10 +130,14 @@ type Server struct {
 	cache    map[string]*bench.Result // cache key → successful result
 	cacheIDs map[string]string        // cache key → job ID that produced it
 
-	log   *slog.Logger
-	m     metrics
-	ck    *checkpoint.Store // shared warm-state cache; nil when disabled
-	start time.Time
+	log    *slog.Logger
+	m      metrics
+	ck     *checkpoint.Store // shared warm-state cache; nil when disabled
+	traces *traceStore       // uploaded recordings, content-addressed
+	// chunkSem bounds concurrent POST /v1/analyses/chunks work so a
+	// coordinator's fan-out cannot starve this shard's job workers.
+	chunkSem chan struct{}
+	start    time.Time
 }
 
 // New builds a Server and starts its worker pool.
@@ -153,6 +171,8 @@ func New(cfg Config) *Server {
 		inflight: make(map[string]*job),
 		cache:    make(map[string]*bench.Result),
 		cacheIDs: make(map[string]string),
+		traces:   newTraceStore(cfg.TraceQuotaBytes),
+		chunkSem: make(chan struct{}, max(2, cfg.Workers)),
 		start:    time.Now(),
 	}
 	if cfg.CheckpointBytes >= 0 {
@@ -464,6 +484,15 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/scenarios", s.handleSubmitScenario)
 	s.mux.HandleFunc("POST /v1/eval", s.handleSubmitEval)
 	s.mux.HandleFunc("POST /v1/autotune", s.handleSubmitAutotune)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTracePost)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	s.mux.HandleFunc("PUT /v1/traces/uploads/{id}", s.handleTraceUploadPut)
+	s.mux.HandleFunc("POST /v1/traces/uploads/{id}/commit", s.handleTraceUploadCommit)
+	s.mux.HandleFunc("DELETE /v1/traces/uploads/{id}", s.handleTraceUploadAbort)
+	s.mux.HandleFunc("GET /v1/traces/{address}", s.handleTraceGet)
+	s.mux.HandleFunc("DELETE /v1/traces/{address}", s.handleTraceDelete)
+	s.mux.HandleFunc("POST /v1/analyses", s.handleSubmitAnalysis)
+	s.mux.HandleFunc("POST /v1/analyses/chunks", s.handleAnalyzeChunk)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleListWorkloads)
@@ -757,6 +786,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g.ckptMisses = s.ck.Misses()
 		g.ckptBytes = s.ck.Bytes()
 	}
+	g.traceBytes, g.traceStored = s.traces.usage()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.m.render(w, g)
 }

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"prestores/internal/dirtbuster"
+	"prestores/internal/trace"
+)
+
+// encodedTrace records the synthetic workload and returns its chunked
+// encoding (small chunks so even the tiny trace spans several), the
+// buffer and the machine line size.
+func encodedTrace(t *testing.T) ([]byte, *trace.Buffer, uint64) {
+	t.Helper()
+	tb, line := dirtbuster.Record(synthWorkload())
+	var buf bytes.Buffer
+	if err := tb.EncodeChunked(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tb, line
+}
+
+func postTrace(t *testing.T, base string, data []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/traces", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestTraceUploadOneShot(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	data, _, _ := encodedTrace(t)
+
+	code, body := postTrace(t, ts.URL, data)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /v1/traces: status %d: %s", code, body)
+	}
+	var info TraceInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Address != traceAddress(data) {
+		t.Fatalf("address %q, want content hash %q", info.Address, traceAddress(data))
+	}
+	if info.Bytes != int64(len(data)) || info.Chunks < 2 || info.Records == 0 {
+		t.Fatalf("implausible info: %+v", info)
+	}
+
+	// Re-uploading identical bytes dedupes onto the same entry.
+	code, body = postTrace(t, ts.URL, data)
+	if code != http.StatusCreated {
+		t.Fatalf("re-POST: status %d: %s", code, body)
+	}
+	var again TraceInfo
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Address != info.Address {
+		t.Fatalf("re-upload address %q != %q", again.Address, info.Address)
+	}
+
+	// Listing, fetching and deleting round-trip.
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []TraceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Address != info.Address {
+		t.Fatalf("list = %+v, want the one trace", list)
+	}
+	resp, err = http.Get(ts.URL + "/v1/traces/" + info.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, data) {
+		t.Fatalf("GET trace: status %d, %d bytes (want %d)", resp.StatusCode, len(got), len(data))
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/traces/"+info.Address, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE trace: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/traces/" + info.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET deleted trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func putPart(t *testing.T, base, id string, offset int64, part []byte) (int, []byte) {
+	t.Helper()
+	url := fmt.Sprintf("%s/v1/traces/uploads/%s?offset=%d", base, id, offset)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(part))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func TestTraceUploadResumable(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	data, _, _ := encodedTrace(t)
+
+	code, body := postJSON(t, ts.URL+"/v1/traces?resume=1", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("open resumable upload: status %d: %s", code, body)
+	}
+	var opened struct {
+		Upload string `json:"upload"`
+		Offset int64  `json:"offset"`
+	}
+	if err := json.Unmarshal(body, &opened); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upload in three parts; replay part 2 (a stale retry) and verify
+	// the duplicate is acknowledged; then try a wrong offset and use
+	// the 409's offset to resume.
+	third := len(data) / 3
+	parts := [][]byte{data[:third], data[third : 2*third], data[2*third:]}
+	off := int64(0)
+	for i, p := range parts {
+		code, body := putPart(t, ts.URL, opened.Upload, off, p)
+		if code != http.StatusOK {
+			t.Fatalf("part %d: status %d: %s", i, code, body)
+		}
+		off += int64(len(p))
+		if i == 1 {
+			if code, _ := putPart(t, ts.URL, opened.Upload, off-int64(len(p)), p); code != http.StatusOK {
+				t.Fatalf("duplicate part retry: status %d, want 200", code)
+			}
+		}
+	}
+	code, body = putPart(t, ts.URL, opened.Upload, off+999, []byte("x"))
+	if code != http.StatusConflict {
+		t.Fatalf("bad offset: status %d, want 409: %s", code, body)
+	}
+	var conflict struct {
+		Offset int64 `json:"offset"`
+	}
+	if err := json.Unmarshal(body, &conflict); err != nil {
+		t.Fatal(err)
+	}
+	if conflict.Offset != off {
+		t.Fatalf("409 offset %d, want %d", conflict.Offset, off)
+	}
+
+	code, body = postJSON(t, ts.URL+"/v1/traces/uploads/"+opened.Upload+"/commit", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("commit: status %d: %s", code, body)
+	}
+	var info TraceInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Address != traceAddress(data) {
+		t.Fatalf("committed address %q, want %q", info.Address, traceAddress(data))
+	}
+	// The upload is gone once committed.
+	if code, _ := putPart(t, ts.URL, opened.Upload, off, []byte("x")); code != http.StatusNotFound {
+		t.Fatalf("PUT after commit: status %d, want 404", code)
+	}
+}
+
+func TestTraceUploadRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, TraceQuotaBytes: 128})
+
+	// Corrupt bytes are rejected at validation time.
+	if code, body := postTrace(t, ts.URL, []byte("not a trace")); code != http.StatusBadRequest {
+		t.Fatalf("corrupt trace: status %d, want 400: %s", code, body)
+	}
+	// A valid trace over the 128-byte quota is rejected with 413.
+	data, _, _ := encodedTrace(t)
+	if code, body := postTrace(t, ts.URL, data); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-quota trace: status %d, want 413: %s", code, body)
+	}
+	// Resumable parts hit the same quota.
+	code, body := postJSON(t, ts.URL+"/v1/traces?resume=1", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("open upload: status %d: %s", code, body)
+	}
+	var opened struct {
+		Upload string `json:"upload"`
+	}
+	if err := json.Unmarshal(body, &opened); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := putPart(t, ts.URL, opened.Upload, 0, data); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-quota part: status %d, want 413", code)
+	}
+}
+
+func TestAnalysisEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	data, tb, line := encodedTrace(t)
+
+	code, body := postTrace(t, ts.URL, data)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d: %s", code, body)
+	}
+	var info TraceInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := map[string]any{"trace": info.Address, "app": "synthwl", "line_size": line}
+	code, body = postJSON(t, ts.URL+"/v1/analyses", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit analysis: status %d: %s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	st = waitFinal(t, ts.URL, st.ID)
+	if st.State != "done" {
+		t.Fatalf("analysis %s: %s", st.State, st.Result.Err)
+	}
+
+	want := dirtbuster.AnalyzeTrace("synthwl", tb, line, dirtbuster.Config{}).Render() + "\n"
+	if st.Result.Output != want {
+		t.Fatalf("sharded analysis output differs from monolithic\n--- got ---\n%s\n--- want ---\n%s",
+			st.Result.Output, want)
+	}
+
+	// An identical resubmit is a cache hit.
+	code, body = postJSON(t, ts.URL+"/v1/analyses", spec)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: status %d, want 200 cache hit: %s", code, body)
+	}
+	var hit JobStatus
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Result.Output != want {
+		t.Fatalf("resubmit not served from cache: %+v", hit)
+	}
+
+	// Unknown traces are rejected at submit time, not at run time.
+	if code, _ := postJSON(t, ts.URL+"/v1/analyses", map[string]any{"trace": "nope"}); code != http.StatusNotFound {
+		t.Fatalf("unknown trace: status %d, want 404", code)
+	}
+
+	// The trace-pipeline metric families are live.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtext, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"prestored_trace_uploads_total 1",
+		"prestored_trace_stored 1",
+		"prestored_trace_analyses_total 1",
+	} {
+		if !strings.Contains(string(mtext), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestAnalyzeChunkEndpoint exercises the synchronous per-chunk map
+// primitive the cluster coordinator fans out.
+func TestAnalyzeChunkEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	data, tb, line := encodedTrace(t)
+
+	cr, err := trace.NewChunkReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := StatsChunkRequest(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/analyses/chunks", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st dirtbuster.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.Records != uint64(len(c.Records)) {
+		t.Fatalf("stats phase: status %d, records %d (want %d)", resp.StatusCode, st.Records, len(c.Records))
+	}
+
+	// Partial phase under a real plan.
+	full := dirtbuster.NewStats()
+	tb.Replay(full.AddRecord)
+	plan := full.Plan("synthwl", line, dirtbuster.Config{})
+	body, err = PartialChunkRequest(plan, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/analyses/chunks", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial phase: status %d: %s", resp.StatusCode, raw)
+	}
+	pt, err := dirtbuster.DecodePartial(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.Chunks(); len(got) != 1 || got[0] != [2]int{0, 0} {
+		t.Fatalf("partial covers %v, want [[0 0]]", got)
+	}
+
+	// Unknown phases and garbage framing are rejected.
+	bad, err := EncodeChunkRequest(chunkJobHeader{Phase: "nope"}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/analyses/chunks", "application/octet-stream", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown phase: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/analyses/chunks", "application/octet-stream", strings.NewReader("xx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated request: status %d, want 400", resp.StatusCode)
+	}
+}

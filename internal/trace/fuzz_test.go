@@ -18,6 +18,13 @@ func FuzzDecode(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte("PSTR"))
+	// v2 chunked seeds alongside the v1 corpus.
+	var seed2 bytes.Buffer
+	if err := b.EncodeChunked(&seed2, 1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed2.Bytes())
+	f.Add([]byte("PST2"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tb, err := Decode(bytes.NewReader(data))
@@ -34,6 +41,66 @@ func FuzzDecode(f *testing.F) {
 		if err := tb.Encode(&out); err != nil {
 			t.Fatalf("re-encode of decoded trace failed: %v", err)
 		}
+	})
+}
+
+// FuzzChunkReader throws arbitrary bytes at the streaming chunk
+// reader: it must return errors or well-formed chunks, never panic.
+func FuzzChunkReader(f *testing.F) {
+	b := NewBuffer()
+	b.records = append(b.records,
+		Record{Core: 1, Addr: 64, Size: 8, Fn: b.intern("f"), Instr: 3, Cost: 5},
+		Record{Core: 2, Addr: 128, Size: 8, Fn: b.intern("g"), Instr: 4, Cost: 6},
+	)
+	var v1, v2 bytes.Buffer
+	if err := b.Encode(&v1); err != nil {
+		f.Fatal(err)
+	}
+	if err := b.EncodeChunked(&v2, 1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:v2.Len()/2])
+	var standalone bytes.Buffer
+	cr0, err := NewChunkReader(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	c0, err := cr0.Next()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := EncodeChunk(&standalone, c0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(standalone.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cr, err := NewChunkReader(bytes.NewReader(data))
+		if err == nil {
+			for i := 0; i < 1<<12; i++ {
+				c, err := cr.Next()
+				if err != nil {
+					break
+				}
+				// Every delivered record must resolve in the table.
+				for _, r := range c.Records {
+					if int(r.Fn) >= len(c.Funcs) {
+						t.Fatalf("chunk %d: fn id %d outside table of %d", c.Index, r.Fn, len(c.Funcs))
+					}
+				}
+				// A delivered chunk must survive the standalone codec.
+				var buf bytes.Buffer
+				if err := EncodeChunk(&buf, c); err != nil {
+					t.Fatalf("re-encode of decoded chunk: %v", err)
+				}
+				if _, err := DecodeChunk(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatalf("re-decode of re-encoded chunk: %v", err)
+				}
+			}
+		}
+		_, _ = DecodeChunk(bytes.NewReader(data))
 	})
 }
 

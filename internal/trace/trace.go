@@ -97,7 +97,44 @@ func (b *Buffer) Reset() { b.records = b.records[:0] }
 
 const magic = 0x50535452 // "PSTR"
 
-// Encode writes the trace in binary form.
+// MaxFuncs bounds the interned function table. Real traces intern a
+// handful of names; a corrupt header must not make a decoder allocate
+// or index an unbounded table.
+const MaxFuncs = 1 << 20
+
+// maxNameLen bounds a single interned function name on the wire.
+const maxNameLen = 1 << 16
+
+// RecordSize is the fixed on-wire size of one encoded Record, shared
+// by the v1 format, the v2 chunk format and the Partial wire codec.
+const RecordSize = 39
+
+// PutRecord encodes r into b, which must be at least RecordSize bytes.
+func PutRecord(b []byte, r Record) {
+	binary.LittleEndian.PutUint16(b[0:], r.Core)
+	b[2] = byte(r.Kind)
+	binary.LittleEndian.PutUint64(b[3:], r.Addr)
+	binary.LittleEndian.PutUint64(b[11:], r.Size)
+	binary.LittleEndian.PutUint32(b[19:], r.Fn)
+	binary.LittleEndian.PutUint64(b[23:], r.Instr)
+	binary.LittleEndian.PutUint64(b[31:], r.Cost)
+}
+
+// GetRecord decodes a record from b, which must be at least RecordSize
+// bytes.
+func GetRecord(b []byte) Record {
+	return Record{
+		Core:  binary.LittleEndian.Uint16(b[0:]),
+		Kind:  sim.OpKind(b[2]),
+		Addr:  binary.LittleEndian.Uint64(b[3:]),
+		Size:  binary.LittleEndian.Uint64(b[11:]),
+		Fn:    binary.LittleEndian.Uint32(b[19:]),
+		Instr: binary.LittleEndian.Uint64(b[23:]),
+		Cost:  binary.LittleEndian.Uint64(b[31:]),
+	}
+}
+
+// Encode writes the trace in the v1 binary form.
 func (b *Buffer) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var hdr [12]byte
@@ -108,22 +145,13 @@ func (b *Buffer) Encode(w io.Writer) error {
 		return err
 	}
 	for _, name := range b.fnNames {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(name); err != nil {
+		if err := writeName(bw, name); err != nil {
 			return err
 		}
 	}
-	var rec [39]byte
+	var rec [RecordSize]byte
 	for _, r := range b.records {
-		binary.LittleEndian.PutUint16(rec[0:], r.Core)
-		rec[2] = byte(r.Kind)
-		binary.LittleEndian.PutUint64(rec[3:], r.Addr)
-		binary.LittleEndian.PutUint64(rec[11:], r.Size)
-		binary.LittleEndian.PutUint32(rec[19:], r.Fn)
-		binary.LittleEndian.PutUint64(rec[23:], r.Instr)
-		binary.LittleEndian.PutUint64(rec[31:], r.Cost)
+		PutRecord(rec[:], r)
 		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
@@ -131,9 +159,42 @@ func (b *Buffer) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Decode reads a trace written by Encode.
+func writeName(bw *bufio.Writer, name string) error {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+		return err
+	}
+	_, err := bw.WriteString(name)
+	return err
+}
+
+func readName(br *bufio.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > maxNameLen {
+		return "", fmt.Errorf("trace: function name length %d too large", n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return "", err
+	}
+	return string(name), nil
+}
+
+// Decode reads a trace written by Encode (v1) or by a Writer (v2
+// chunked): the chunked form is assembled back into one in-memory
+// Buffer. Decoding fails on corrupt input, including records whose
+// function id falls outside the interned table.
 func Decode(r io.Reader) (*Buffer, error) {
 	br := bufio.NewReader(r)
+	m, err := peekMagic(br)
+	if err != nil {
+		return nil, err
+	}
+	if m == magic2 {
+		return decodeV2(br)
+	}
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, err
@@ -143,20 +204,16 @@ func Decode(r io.Reader) (*Buffer, error) {
 	}
 	nFns := binary.LittleEndian.Uint32(hdr[4:])
 	nRecs := binary.LittleEndian.Uint32(hdr[8:])
+	if nFns > MaxFuncs {
+		return nil, fmt.Errorf("trace: function table size %d exceeds limit %d", nFns, MaxFuncs)
+	}
 	b := NewBuffer()
 	for i := uint32(0); i < nFns; i++ {
-		var n uint32
-		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		name, err := readName(br)
+		if err != nil {
 			return nil, err
 		}
-		if n > 1<<16 {
-			return nil, fmt.Errorf("trace: function name length %d too large", n)
-		}
-		name := make([]byte, n)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, err
-		}
-		b.intern(string(name))
+		b.intern(name)
 	}
 	// Cap the preallocation: the header is untrusted input, and a
 	// corrupt count must not force a huge allocation before the reads
@@ -166,22 +223,26 @@ func Decode(r io.Reader) (*Buffer, error) {
 		prealloc = 1 << 20
 	}
 	b.records = make([]Record, 0, prealloc)
-	var rec [39]byte
+	var rec [RecordSize]byte
 	for i := uint32(0); i < nRecs; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, err
 		}
-		b.records = append(b.records, Record{
-			Core:  binary.LittleEndian.Uint16(rec[0:]),
-			Kind:  sim.OpKind(rec[2]),
-			Addr:  binary.LittleEndian.Uint64(rec[3:]),
-			Size:  binary.LittleEndian.Uint64(rec[11:]),
-			Fn:    binary.LittleEndian.Uint32(rec[19:]),
-			Instr: binary.LittleEndian.Uint64(rec[23:]),
-			Cost:  binary.LittleEndian.Uint64(rec[31:]),
-		})
+		rr := GetRecord(rec[:])
+		if rr.Fn >= nFns {
+			return nil, fmt.Errorf("trace: record %d references function id %d outside table of %d", i, rr.Fn, nFns)
+		}
+		b.records = append(b.records, rr)
 	}
 	return b, nil
+}
+
+func peekMagic(br *bufio.Reader) (uint32, error) {
+	p, err := br.Peek(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(p), nil
 }
 
 // FnTime is the per-function time attribution of a trace.
