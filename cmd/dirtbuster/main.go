@@ -18,13 +18,19 @@ import (
 
 	"prestores/internal/bench"
 	"prestores/internal/dirtbuster"
+	"prestores/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list workloads and exit")
 	workload := flag.String("workload", "", "workload to analyze (or 'all')")
 	quick := flag.Bool("quick", true, "use smoke-sized workload inputs")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "dirtbuster")
+		return
+	}
 
 	workloads := bench.Table2Workloads(*quick)
 	switch {

@@ -4,15 +4,23 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
 	"prestores/internal/bench"
+	"prestores/internal/obs"
 	"prestores/internal/sim"
 	"prestores/internal/units"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "machines")
+		return
+	}
 	if e, ok := bench.Lookup("table1"); ok {
 		if err := bench.RunOne(context.Background(), os.Stdout, e, true); err != nil {
 			fmt.Fprintln(os.Stderr, "machines:", err)

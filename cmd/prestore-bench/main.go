@@ -21,6 +21,7 @@
 //	prestore-bench -autotune my.json -seed 7 -trajectory traj.json   # search for the best pre-store plan
 //	prestore-bench -autotune my.json -objective device_write_bytes -budget 64   # tune a different metric
 //	prestore-bench -autotune my.json -server http://host:8344   # search on a daemon (or cluster)
+//	prestore-bench -run fig3 -server http://host:8344 -spans s.json   # distributed trace artifact
 //
 // Experiments are independent (each builds its own simulated machine),
 // so -parallel N runs them concurrently; output is flushed in
@@ -49,6 +50,7 @@ import (
 
 	"prestores/internal/bench"
 	"prestores/internal/checkpoint"
+	"prestores/internal/obs"
 	"prestores/internal/sim"
 	"prestores/internal/telemetry"
 )
@@ -132,7 +134,14 @@ func main() {
 		"workload metric the -autotune search optimizes (default elapsed, minimized)")
 	trajectoryPath := flag.String("trajectory", "",
 		"write the -autotune search trajectory as JSON to this file")
+	spansPath := flag.String("spans", "",
+		"write the submission's distributed span timeline (client + server side, Chrome trace-event JSON) to this file; requires -server")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "prestore-bench")
+		return
+	}
 
 	// Flag cross-validation, mirroring the -timeline rules: every flag
 	// that silently does nothing in the selected mode is an error.
@@ -155,6 +164,16 @@ func main() {
 		}
 		if *seedFlag >= 0 && *specPath == "" {
 			fmt.Fprintln(os.Stderr, "prestore-bench: -seed only applies to -spec (workload RNG) or -autotune (search RNG)")
+			os.Exit(2)
+		}
+	}
+	if *spansPath != "" {
+		switch {
+		case *serverURL == "":
+			fmt.Fprintln(os.Stderr, "prestore-bench: -spans records a distributed trace and requires -server")
+			os.Exit(2)
+		case *specPath != "" || *autotunePath != "":
+			fmt.Fprintln(os.Stderr, "prestore-bench: -spans follows experiment submissions (-run/-all); not supported for -spec/-autotune")
 			os.Exit(2)
 		}
 	}
@@ -288,8 +307,12 @@ func main() {
 	opsBefore := sim.RetiredOps()
 	var results []bench.Result
 	var runErr error
+	var spanCol *spanCollector
+	if *spansPath != "" {
+		spanCol = newSpanCollector()
+	}
 	if *serverURL != "" {
-		results, runErr = runRemote(ctx, os.Stdout, *serverURL, exps, *quick)
+		results, runErr = runRemote(ctx, os.Stdout, *serverURL, exps, *quick, spanCol)
 	} else {
 		results, runErr = bench.Run(ctx, os.Stdout, exps, bench.RunnerConfig{
 			Parallel: *parallel,
@@ -320,6 +343,13 @@ func main() {
 	if err := writeTelemetry(rec, *timelinePath, *lineReportPath); err != nil {
 		fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if spanCol != nil {
+		if err := spanCol.write(*spansPath); err != nil {
+			fmt.Fprintf(os.Stderr, "prestore-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonPath != "" {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"prestores/internal/bench"
+	"prestores/internal/obs"
 	"prestores/internal/server/cluster"
 )
 
@@ -60,9 +61,14 @@ func newRemoteClient() *remoteClient {
 
 // handle tracks one submitted experiment: the job ID to follow, or the
 // already-final result when the submit was answered from the cache.
+// ctx carries the submission's client span (when -spans is on) so
+// stream reconnects keep propagating the same trace; root is that
+// span, closed when the job's output has been fully collected.
 type handle struct {
-	id  string
-	res *bench.Result
+	id   string
+	res  *bench.Result
+	ctx  context.Context
+	root *obs.ActiveSpan
 }
 
 // runRemote executes the sweep on a prestored daemon (or a cluster
@@ -71,34 +77,46 @@ type handle struct {
 // repeats from its result cache — then outputs are printed in input
 // order, streaming the job whose turn it is. The bytes written to w
 // are identical to a local bench.Run over the same experiments.
-func runRemote(ctx context.Context, w io.Writer, base string, exps []bench.Experiment, quick bool) ([]bench.Result, error) {
+func runRemote(ctx context.Context, w io.Writer, base string, exps []bench.Experiment, quick bool, spans *spanCollector) ([]bench.Result, error) {
 	base = strings.TrimRight(base, "/")
 	rc := newRemoteClient()
 	results := make([]bench.Result, 0, len(exps))
 
 	handles := make([]handle, len(exps))
 	for i, e := range exps {
-		st, err := submitRemote(ctx, rc, base, e.ID, quick)
+		sctx, root := spans.begin(ctx, e.ID)
+		subCtx, sub := obs.Start(sctx, "submit")
+		st, err := submitRemote(subCtx, rc, base, e.ID, quick)
+		sub.End()
 		if err != nil {
+			root.End()
 			cancelRemote(rc, base, handles)
 			return results, fmt.Errorf("submitting %s: %w", e.ID, err)
 		}
 		if st.Cached {
+			root.SetAttr("cached", "true")
+			root.End()
 			handles[i] = handle{res: st.Result}
 		} else {
-			handles[i] = handle{id: st.ID}
+			handles[i] = handle{id: st.ID, ctx: sctx, root: root}
 		}
 	}
 
 	for i, h := range handles {
 		res := h.res
 		if res == nil {
-			r, err := streamRemote(ctx, rc, w, base, h.id)
+			strCtx, str := obs.Start(h.ctx, "stream", obs.KV("job", h.id))
+			r, err := streamRemote(strCtx, rc, w, base, h.id)
+			str.End()
+			h.root.End()
 			if err != nil {
 				cancelRemote(rc, base, handles[i:])
 				return results, fmt.Errorf("streaming %s (%s): %w", exps[i].ID, h.id, err)
 			}
 			res = r
+			// The job is terminal: its server-side spans are complete
+			// and safe to merge into the artifact.
+			spans.fetch(ctx, rc, base, h.id)
 			// The stream already carried the output bytes; only the
 			// failure trailer is local (it matches bench.Run's).
 		} else if _, err := io.WriteString(w, res.Output); err != nil {
@@ -131,6 +149,7 @@ func submitJob(ctx context.Context, rc *remoteClient, base, path string, body []
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		obs.InjectContext(ctx, req.Header)
 		resp, err := rc.api.Do(req)
 		if err != nil {
 			return nil, err
@@ -208,6 +227,7 @@ func streamOnce(ctx context.Context, rc *remoteClient, w io.Writer, base, id str
 	if err != nil {
 		return nil, false, err
 	}
+	obs.InjectContext(ctx, req.Header)
 	resp, err := rc.stream.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

@@ -29,6 +29,7 @@ import (
 
 	"prestores/internal/bench"
 	"prestores/internal/dirtbuster"
+	"prestores/internal/obs"
 	"prestores/internal/pmcheck"
 	"prestores/internal/trace"
 )
@@ -48,7 +49,12 @@ func main() {
 	pmCheck := flag.Bool("pmcheck", false, "run the persistence checker instead of DirtBuster")
 	pmBase := flag.Uint64("pmbase", 1<<40, "persistent range base for -pmcheck")
 	pmSize := flag.Uint64("pmsize", 256<<30, "persistent range size for -pmcheck")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "prestore-trace")
+		return
+	}
 
 	switch {
 	case *list:

@@ -63,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"prestores/internal/obs"
 	"prestores/internal/server"
 	"prestores/internal/server/cluster"
 )
@@ -86,7 +87,12 @@ func main() {
 		"comma-separated worker base URLs for -coordinator mode (e.g. http://w1:8344,http://w2:8344)")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second,
 		"coordinator health-probe period for worker shards")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "prestored")
+		return
+	}
 
 	var level slog.Level
 	switch strings.ToLower(*logLevel) {
@@ -103,7 +109,16 @@ func main() {
 			Error("invalid -log-level (want debug, info, warn or error)", "got", *logLevel)
 		os.Exit(2)
 	}
-	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	// Every log line whose context carries a span gets trace_id/span_id
+	// attributes — grep one trace ID to follow a request end to end.
+	log := slog.New(obs.NewLogHandler(
+		slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+
+	// The process-wide flight recorder: always on, bounded, lock-free.
+	// Dumped via GET /v1/debug/flightrecorder, on a forced shutdown, and
+	// on a main-goroutine panic.
+	flight := obs.NewFlightRecorder(0)
+	defer flight.DumpOnPanic(os.Stderr)
 
 	// Both modes expose the same HTTP surface and the same
 	// listen/drain lifecycle; only what sits behind the mux differs.
@@ -124,6 +139,8 @@ func main() {
 			Shards:        list,
 			ProbeInterval: *probeInterval,
 			Logger:        log,
+			Instance:      *addr,
+			Flight:        flight,
 		})
 		if err != nil {
 			log.Error("coordinator startup failed", "err", err)
@@ -141,6 +158,8 @@ func main() {
 			CheckpointDir:   *checkpointDir,
 			Logger:          log,
 			EnablePprof:     *pprofFlag,
+			Instance:        *addr,
+			Flight:          flight,
 		})
 		handler = srv.Handler()
 		shutdown = srv.Shutdown
@@ -171,6 +190,10 @@ func main() {
 	go func() {
 		<-sigc
 		log.Warn("forcing shutdown")
+		// A forced shutdown is exactly when the recent past matters:
+		// dump the flight recorder before the jobs are cancelled.
+		flight.Record("shutdown.forced", "", "", "second signal")
+		flight.WriteText(os.Stderr)
 		cancelDrain()
 	}()
 

@@ -22,6 +22,7 @@ import (
 	"io"
 	"sync"
 
+	"prestores/internal/obs"
 	"prestores/internal/scenario"
 	"prestores/internal/xrand"
 )
@@ -235,7 +236,12 @@ func (e *engine) evalBatch(ctx context.Context, plans []Plan, source string) (tr
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// One span per candidate evaluation: the fan-out's width and
+			// stragglers become visible on the search job's trace.
+			ctx, sp := obs.Start(ctx, "autotune.eval",
+				obs.KV("plan", fresh[i].key()), obs.KV("source", source))
 			metrics[i], errs[i] = e.ev.Eval(ctx, e.specFor(fresh[i]), e.par.Quick)
+			sp.End()
 		}(i)
 	}
 	wg.Wait()

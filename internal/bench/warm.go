@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"prestores/internal/checkpoint"
+	"prestores/internal/obs"
 	"prestores/internal/sim"
 	"prestores/internal/workloads/kv"
 	"prestores/internal/workloads/ycsb"
@@ -46,16 +47,29 @@ func kvLoad(ctx context.Context, m *sim.Machine, store kv.Store, heap *kv.ValueH
 	key := kvWarmKey(m, store, heap, cfg)
 	pc := &sim.PhaseControl{
 		Restore: func(m *sim.Machine) ([]byte, bool) {
+			// The lookup and restore are separate spans: a miss shows a
+			// lookup followed by the full cold load, a hit shows the
+			// restore replacing it — the timing difference checkpointing
+			// exists to create, visible per job.
+			lctx, lookup := obs.Start(ctx, "checkpoint.lookup", obs.KV("key", key[:12]))
 			data, ok := view.Get(key)
+			var ck *sim.Checkpoint
+			if ok {
+				var err error
+				ck, err = sim.DecodeCheckpoint(data)
+				if err != nil || ck.Build != checkpoint.Build() || ck.ConfigHash != m.ConfigHash() {
+					// Stale or corrupt store entry: treat as a miss. The
+					// machine is untouched, so the cold load is still safe.
+					ok = false
+				}
+			}
+			lookup.SetAttr("hit", fmt.Sprint(ok))
+			lookup.End()
 			if !ok {
 				return nil, false
 			}
-			ck, err := sim.DecodeCheckpoint(data)
-			if err != nil || ck.Build != checkpoint.Build() || ck.ConfigHash != m.ConfigHash() {
-				// Stale or corrupt store entry: treat as a miss. The
-				// machine is untouched, so the cold load is still safe.
-				return nil, false
-			}
+			_, restore := obs.Start(lctx, "checkpoint.restore", obs.KV("key", key[:12]))
+			defer restore.End()
 			if err := ck.Restore(m); err != nil {
 				// The header matched but the payload did not apply: the
 				// machine may be partially mutated, so falling back to a
@@ -66,6 +80,8 @@ func kvLoad(ctx context.Context, m *sim.Machine, store kv.Store, heap *kv.ValueH
 			return ck.Annex, true
 		},
 		Save: func(m *sim.Machine, annex []byte) {
+			_, save := obs.Start(ctx, "checkpoint.save", obs.KV("key", key[:12]))
+			defer save.End()
 			ck, err := m.NewCheckpoint(checkpoint.Build(), annex)
 			if err != nil {
 				return // machine not snapshottable: siblings load cold

@@ -18,6 +18,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"prestores/internal/obs"
 )
 
 // DefaultMaxBytes bounds the in-memory tier when the caller passes 0.
@@ -59,7 +61,16 @@ type Store struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// flight, when set, receives one record per cache decision (admit,
+	// evict) so the daemon's flight recorder shows why a sweep suddenly
+	// loads cold. Set once before the store is shared; nil is fine.
+	flight *obs.FlightRecorder
 }
+
+// SetFlight wires the store's cache decisions into a flight recorder.
+// Call before the store is shared across goroutines.
+func (s *Store) SetFlight(f *obs.FlightRecorder) { s.flight = f }
 
 // NewStore returns a store holding at most maxBytes in memory
 // (DefaultMaxBytes when 0). A non-empty dir enables the disk tier; the
@@ -147,6 +158,7 @@ func (s *Store) admit(key string, data []byte) {
 		e.elem = s.lru.PushFront(e)
 		s.entries[key] = e
 		s.bytes += int64(len(data))
+		s.flight.Recordf("ckpt.admit", "", "", "%s (%d bytes)", shortKey(key), len(data))
 	}
 	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
 		back := s.lru.Back()
@@ -154,7 +166,16 @@ func (s *Store) admit(key string, data []byte) {
 		s.lru.Remove(back)
 		delete(s.entries, victim.key)
 		s.bytes -= int64(len(victim.data))
+		s.flight.Recordf("ckpt.evict", "", "", "%s (%d bytes, LRU pressure)",
+			shortKey(victim.key), len(victim.data))
 	}
+}
+
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // Hits returns the number of Get calls answered from either tier.

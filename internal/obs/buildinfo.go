@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version reports this binary's build version: the embedded VCS
+// revision (short, "-dirty" suffixed when the tree was modified), or
+// "dev" when built without VCS stamping (go test, go run).
+func Version() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev string
+	var dirty bool
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// GoVersion reports the Go toolchain that built this binary.
+func GoVersion() string { return runtime.Version() }
+
+// PrintVersion writes the standard "-version" output all the cmd/
+// binaries share.
+func PrintVersion(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s %s (%s)\n", binary, Version(), GoVersion())
+}

@@ -1,0 +1,50 @@
+package obs
+
+import "context"
+
+type ctxKey int
+
+const (
+	ctxKeySpan ctxKey = iota
+	ctxKeyTracer
+)
+
+// ContextWithSpan attaches a span context: downstream Start calls nest
+// under it, outgoing HTTP requests propagate it (InjectContext), and
+// the log handler stamps lines with it.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKeySpan, sc)
+}
+
+// SpanFromContext returns the active span context, if any.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKeySpan).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// ContextWithTracer attaches the process tracer so deep layers (the
+// checkpoint-aware warm loader, the autotune engine, the chunk
+// analysis driver) can open child spans without plumbing a Tracer
+// through every signature.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, ctxKeyTracer, t)
+}
+
+// TracerFromContext returns the context's tracer (nil when absent —
+// and a nil Tracer records nothing, so callers never need to check).
+func TracerFromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(ctxKeyTracer).(*Tracer)
+	return t
+}
+
+// Start opens a child span using the context's tracer. Outside a
+// traced request it is a no-op returning ctx unchanged and a nil span
+// (safe to End), which is what keeps span call sites out of the local
+// CLI path and the simulator hot path entirely.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *ActiveSpan) {
+	t := TracerFromContext(ctx)
+	if !t.Enabled() {
+		return ctx, nil
+	}
+	return t.Start(ctx, name, attrs...)
+}

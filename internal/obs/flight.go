@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecord is one entry in the flight recorder: a timestamped
+// state transition (job lifecycle step, shard demotion, cache
+// decision, error) kept for postmortems.
+type FlightRecord struct {
+	Seq    uint64 `json:"seq"`
+	Time   int64  `json:"time_unix_nano"`
+	Kind   string `json:"kind"`
+	Job    string `json:"job,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// FlightRecorder is an always-on bounded ring of recent FlightRecords.
+// Writers are lock-free — one atomic increment claims a slot, one
+// atomic pointer store publishes the record — so recording from the
+// job scheduler's hot paths never contends. Readers (the debug
+// endpoint, the panic dump) snapshot whatever is published; a record
+// mid-overwrite is simply the newer one.
+//
+// A nil *FlightRecorder is valid and records nothing.
+type FlightRecorder struct {
+	mask  uint64
+	next  atomic.Uint64
+	slots []atomic.Pointer[FlightRecord]
+}
+
+// DefaultFlightSlots is the ring size of NewFlightRecorder(0).
+const DefaultFlightSlots = 1024
+
+// NewFlightRecorder builds a ring holding at least n records (rounded
+// up to a power of two); n <= 0 means DefaultFlightSlots.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightSlots
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &FlightRecorder{
+		mask:  uint64(size - 1),
+		slots: make([]atomic.Pointer[FlightRecord], size),
+	}
+}
+
+// Record appends one entry. job, trace and detail may be empty.
+func (f *FlightRecorder) Record(kind, job, trace, detail string) {
+	if f == nil {
+		return
+	}
+	r := &FlightRecord{
+		Time: time.Now().UnixNano(),
+		Kind: kind, Job: job, Trace: trace, Detail: detail,
+	}
+	n := f.next.Add(1) - 1
+	r.Seq = n
+	f.slots[n&f.mask].Store(r)
+}
+
+// Recordf is Record with a formatted detail.
+func (f *FlightRecorder) Recordf(kind, job, trace, format string, args ...any) {
+	if f == nil {
+		return
+	}
+	f.Record(kind, job, trace, fmt.Sprintf(format, args...))
+}
+
+// Snapshot returns the retained records, oldest first.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightRecord, 0, len(f.slots))
+	for i := range f.slots {
+		if r := f.slots[i].Load(); r != nil {
+			out = append(out, *r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Recorded reports how many records have ever been appended (>= the
+// retained count once the ring wraps).
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.next.Load()
+}
+
+// flightDump is the JSON shape of a flight-recorder dump.
+type flightDump struct {
+	Recorded uint64         `json:"recorded"`
+	Retained int            `json:"retained"`
+	Records  []FlightRecord `json:"records"`
+}
+
+// WriteJSON dumps the ring as JSON, oldest record first.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	recs := f.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flightDump{Recorded: f.Recorded(), Retained: len(recs), Records: recs})
+}
+
+// WriteText dumps the ring as one line per record, oldest first — the
+// stderr postmortem format used on panic and forced shutdown.
+func (f *FlightRecorder) WriteText(w io.Writer) {
+	recs := f.Snapshot()
+	fmt.Fprintf(w, "--- flight recorder: %d retained of %d recorded ---\n", len(recs), f.Recorded())
+	for _, r := range recs {
+		fmt.Fprintf(w, "%s #%d %s", time.Unix(0, r.Time).UTC().Format(time.RFC3339Nano), r.Seq, r.Kind)
+		if r.Job != "" {
+			fmt.Fprintf(w, " job=%s", r.Job)
+		}
+		if r.Trace != "" {
+			fmt.Fprintf(w, " trace=%s", r.Trace)
+		}
+		if r.Detail != "" {
+			fmt.Fprintf(w, " %s", r.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// DumpOnPanic is meant to be deferred at the top of main: if the
+// goroutine is panicking it dumps the ring to w (the black box
+// survives the crash) and re-panics so the process still dies loudly.
+func (f *FlightRecorder) DumpOnPanic(w io.Writer) {
+	if r := recover(); r != nil {
+		f.Record("panic", "", "", fmt.Sprint(r))
+		f.WriteText(w)
+		panic(r)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+)
+
+// TraceparentHeader is the W3C Trace Context header the fleet
+// propagates: "00-<32 hex trace>-<16 hex span>-<2 hex flags>". Using
+// the standard format means an external tracing proxy in front of the
+// daemon joins the same trace for free.
+const TraceparentHeader = "traceparent"
+
+// Inject writes sc into h as a traceparent header. Invalid contexts
+// write nothing.
+func Inject(h http.Header, sc SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceparentHeader, "00-"+sc.Trace.String()+"-"+sc.Span.String()+"-01")
+}
+
+// InjectContext propagates ctx's span context into h, if any. Call
+// sites building outgoing requests use this unconditionally; untraced
+// requests stay header-free.
+func InjectContext(ctx context.Context, h http.Header) {
+	if sc, ok := SpanFromContext(ctx); ok {
+		Inject(h, sc)
+	}
+}
+
+// Extract parses the traceparent header. It accepts any version whose
+// first three dash-separated fields look like version, trace ID and
+// span ID (the W3C rule: parse what you understand, ignore the rest).
+func Extract(h http.Header) (SpanContext, bool) {
+	v := h.Get(TraceparentHeader)
+	if len(v) < 2+1+32+1+16 {
+		return SpanContext{}, false
+	}
+	if !isHex(v[:2]) || v[2] != '-' || v[3+32] != '-' {
+		return SpanContext{}, false
+	}
+	if v[:2] == "ff" {
+		return SpanContext{}, false // forbidden version
+	}
+	trace, err := ParseTraceID(v[3 : 3+32])
+	if err != nil {
+		return SpanContext{}, false
+	}
+	span, err := ParseSpanID(v[3+32+1 : 3+32+1+16])
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{Trace: trace, Span: span}
+	return sc, sc.Valid()
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler wraps another slog.Handler and stamps every record whose
+// context carries a span with trace_id/span_id attributes, so a grep
+// for one trace ID reconstructs a request's full log story across the
+// queue, the worker and the finalizer.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner.
+func NewLogHandler(inner slog.Handler) *LogHandler {
+	return &LogHandler{inner: inner}
+}
+
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *LogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sc, ok := SpanFromContext(ctx); ok {
+		rec = rec.Clone()
+		rec.AddAttrs(
+			slog.String("trace_id", sc.Trace.String()),
+			slog.String("span_id", sc.Span.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}

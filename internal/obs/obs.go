@@ -1,0 +1,296 @@
+// Package obs is the fleet observability layer: request-scoped
+// distributed tracing (trace/span IDs minted at API entry points and
+// propagated across processes via the W3C traceparent header), a
+// bounded in-memory span store per process, an always-on lock-free
+// flight recorder of recent state transitions, a slog handler that
+// stamps every log line with the active trace/span ID, the Prometheus
+// text-exposition parser behind metrics federation, and build-info
+// helpers shared by all the binaries.
+//
+// It is stdlib-only and deliberately decoupled from the simulator:
+// spans wrap the *service* layer (queue wait, checkpoint restore,
+// guarded runs, autotune eval fan-out, chunk analyses, stream replay),
+// never the simulated memory hierarchy, so the hot path keeps its
+// zero-allocation guarantee with tracing compiled in.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end request across the fleet: minted
+// by whichever process sees the request first (bench client,
+// coordinator, or worker daemon) and propagated downstream unchanged.
+type TraceID [16]byte
+
+// SpanID identifies one operation within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// MarshalText renders the ID as lowercase hex; the zero ID renders as
+// the empty string so JSON span dumps omit absent parents cleanly.
+func (t TraceID) MarshalText() ([]byte, error) {
+	if t.IsZero() {
+		return nil, nil
+	}
+	return []byte(t.String()), nil
+}
+
+func (s SpanID) MarshalText() ([]byte, error) {
+	if s.IsZero() {
+		return nil, nil
+	}
+	return []byte(s.String()), nil
+}
+
+func (t *TraceID) UnmarshalText(b []byte) error {
+	if len(b) == 0 {
+		*t = TraceID{}
+		return nil
+	}
+	id, err := ParseTraceID(string(b))
+	if err != nil {
+		return err
+	}
+	*t = id
+	return nil
+}
+
+func (s *SpanID) UnmarshalText(b []byte) error {
+	if len(b) == 0 {
+		*s = SpanID{}
+		return nil
+	}
+	id, err := ParseSpanID(string(b))
+	if err != nil {
+		return err
+	}
+	*s = id
+	return nil
+}
+
+// ParseTraceID decodes a 32-hex-digit trace ID.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("obs: trace ID %q: want 32 hex digits", s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("obs: trace ID %q: %v", s, err)
+	}
+	return t, nil
+}
+
+// ParseSpanID decodes a 16-hex-digit span ID.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, fmt.Errorf("obs: span ID %q: want 16 hex digits", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, fmt.Errorf("obs: span ID %q: %v", s, err)
+	}
+	return id, nil
+}
+
+// idCounter de-duplicates IDs minted in the same crypto/rand failure
+// window; it also makes NewSpanID unique under an exhausted entropy
+// pool rather than silently colliding.
+var idCounter atomic.Uint64
+
+// NewTraceID mints a random trace ID. IDs come from crypto/rand; on
+// the (effectively impossible) failure path a timestamp+counter ID
+// keeps the service running rather than panicking mid-request.
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil || t.IsZero() {
+		binary.BigEndian.PutUint64(t[:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(t[8:], idCounter.Add(1))
+	}
+	return t
+}
+
+// NewSpanID mints a random span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	if _, err := rand.Read(s[:]); err != nil || s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], uint64(time.Now().UnixNano())^idCounter.Add(1))
+	}
+	return s
+}
+
+// SpanContext is the propagated pair: which trace a request belongs to
+// and which span is its current parent.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether both halves are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// KV builds an Attr.
+func KV(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Span is one completed operation: a named wall-clock interval inside
+// a trace, optionally parented to another span. Service/Instance name
+// the process that recorded it (e.g. "prestored" at ":8345"), which is
+// how a merged fleet-wide span dump keeps client, coordinator and
+// worker work apart.
+type Span struct {
+	Trace    TraceID `json:"trace"`
+	ID       SpanID  `json:"id"`
+	Parent   SpanID  `json:"parent,omitempty"`
+	Name     string  `json:"name"`
+	Service  string  `json:"service"`
+	Instance string  `json:"instance,omitempty"`
+	Start    int64   `json:"start_unix_nano"`
+	End      int64   `json:"end_unix_nano"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute ("" when absent).
+func (s *Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Duration is the span's wall-clock length.
+func (s *Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// Tracer mints and records spans for one process. A nil Tracer (and a
+// Tracer with a nil Store) is valid and records nothing, so call sites
+// never need to guard.
+type Tracer struct {
+	// Service names the process kind ("prestored", "coordinator",
+	// "bench-client", ...).
+	Service string
+	// Instance distinguishes processes of the same service, typically
+	// the listen address.
+	Instance string
+	// Store receives completed spans.
+	Store *Store
+}
+
+// Enabled reports whether spans recorded through t go anywhere.
+func (t *Tracer) Enabled() bool { return t != nil && t.Store != nil }
+
+// Child derives the span context for a new operation under parent:
+// same trace with a fresh span ID, or a brand-new trace when the
+// parent is absent (this process is the entry point).
+func (t *Tracer) Child(parent SpanContext) SpanContext {
+	sc := SpanContext{Trace: parent.Trace, Span: NewSpanID()}
+	if sc.Trace.IsZero() {
+		sc.Trace = NewTraceID()
+	}
+	return sc
+}
+
+// Start opens a span as a child of ctx's span context (or as a new
+// trace root) and returns a context carrying the new span, for further
+// nesting, plus the live span to End. A disabled tracer returns ctx
+// unchanged and a nil span — safe to End.
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *ActiveSpan) {
+	if !t.Enabled() {
+		return ctx, nil
+	}
+	parent, _ := SpanFromContext(ctx)
+	sc := t.Child(parent)
+	a := &ActiveSpan{
+		t: t,
+		sp: Span{
+			Trace: sc.Trace, ID: sc.Span, Parent: parent.Span,
+			Name: name, Service: t.Service, Instance: t.Instance,
+			Start: time.Now().UnixNano(), Attrs: attrs,
+		},
+	}
+	return ContextWithSpan(ContextWithTracer(ctx, t), sc), a
+}
+
+// Record adds a completed span under parent with explicit start/end
+// times (e.g. a queue wait measured after the fact) and returns its ID.
+func (t *Tracer) Record(parent SpanContext, name string, start, end time.Time, attrs ...Attr) SpanID {
+	if !t.Enabled() {
+		return SpanID{}
+	}
+	sc := t.Child(parent)
+	t.Store.Add(Span{
+		Trace: sc.Trace, ID: sc.Span, Parent: parent.Span,
+		Name: name, Service: t.Service, Instance: t.Instance,
+		Start: start.UnixNano(), End: end.UnixNano(), Attrs: attrs,
+	})
+	return sc.Span
+}
+
+// Add records a fully formed span. Callers that pre-minted the span's
+// context (a job's root span, opened at submit and closed at finalize)
+// use this instead of Record.
+func (t *Tracer) Add(sp Span) {
+	if !t.Enabled() {
+		return
+	}
+	if sp.Service == "" {
+		sp.Service = t.Service
+	}
+	if sp.Instance == "" {
+		sp.Instance = t.Instance
+	}
+	t.Store.Add(sp)
+}
+
+// ActiveSpan is a started, not-yet-recorded span.
+type ActiveSpan struct {
+	t  *Tracer
+	sp Span
+}
+
+// SetAttr annotates the span. Nil-safe.
+func (a *ActiveSpan) SetAttr(k, v string) {
+	if a == nil {
+		return
+	}
+	a.sp.Attrs = append(a.sp.Attrs, Attr{Key: k, Value: v})
+}
+
+// Context returns the span's propagation context (zero when nil).
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: a.sp.Trace, Span: a.sp.ID}
+}
+
+// End stamps the end time and records the span. Nil-safe; recording
+// twice is a no-op.
+func (a *ActiveSpan) End() {
+	if a == nil || a.t == nil {
+		return
+	}
+	a.sp.End = time.Now().UnixNano()
+	a.t.Add(a.sp)
+	a.t = nil
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a small parser for the Prometheus text
+// exposition format (version 0.0.4) — enough for two consumers: the
+// coordinator's /metrics federation endpoint (scrape each shard,
+// re-label, re-emit) and the metric-hygiene tests (well-formedness,
+// types, monotonic counters across scrapes).
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one metric line: name{labels} value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	// Value keeps the original text so re-emission is byte-faithful;
+	// Float() parses it on demand.
+	Value string
+}
+
+// Float parses the sample's value.
+func (s *Sample) Float() (float64, error) { return strconv.ParseFloat(s.Value, 64) }
+
+// Label returns the value of the named label ("" when absent).
+func (s *Sample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Family groups the samples of one metric name with its metadata.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", "summary", "untyped"
+	Samples []Sample
+}
+
+// ParseMetrics parses a text-format exposition into families in
+// first-appearance order. Histogram/summary child series (_bucket,
+// _sum, _count) are folded into their parent family.
+func ParseMetrics(r io.Reader) ([]*Family, error) {
+	var (
+		order []string
+		fams  = map[string]*Family{}
+	)
+	fam := func(name string) *Family {
+		f := fams[name]
+		if f == nil {
+			f = &Family{Name: name, Type: "untyped"}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimSpace(line[1:])
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				parts := strings.SplitN(rest[len("HELP "):], " ", 2)
+				f := fam(parts[0])
+				if len(parts) == 2 {
+					f.Help = parts[1]
+				}
+			case strings.HasPrefix(rest, "TYPE "):
+				parts := strings.Fields(rest[len("TYPE "):])
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("metrics line %d: malformed TYPE comment %q", lineno, line)
+				}
+				switch parts[1] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("metrics line %d: unknown metric type %q", lineno, parts[1])
+				}
+				fam(parts[0]).Type = parts[1]
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %v", lineno, err)
+		}
+		f := fam(familyName(s.Name, fams))
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]*Family, 0, len(order))
+	for _, name := range order {
+		out = append(out, fams[name])
+	}
+	return out, nil
+}
+
+// familyName maps a sample name onto its family: histogram/summary
+// children (_bucket/_sum/_count) belong to the family declared by
+// their TYPE comment when one exists.
+func familyName(sample string, fams map[string]*Family) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if f := fams[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+			return base
+		}
+	}
+	return sample
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	i := strings.IndexAny(line, "{ \t")
+	if i <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Value = fields[0]
+	if _, err := strconv.ParseFloat(s.Value, 64); err != nil {
+		return s, fmt.Errorf("bad value %q", s.Value)
+	}
+	return s, nil
+}
+
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		// Find the closing quote, honouring backslash escapes.
+		j := eq + 2
+		var val strings.Builder
+		for {
+			if j >= len(s) {
+				return nil, fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := s[j]
+			if c == '\\' && j+1 < len(s) {
+				switch s[j+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					val.WriteByte(s[j+1])
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			j++
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		s = strings.TrimPrefix(strings.TrimSpace(s[j+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' ||
+			i > 0 && '0' <= c && c <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' ||
+			i > 0 && '0' <= c && c <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// WithLabel returns a copy of the sample with an extra label inserted
+// (keeping label names sorted, which the federation endpoint relies on
+// for deterministic output). An existing label of the same name is
+// overwritten.
+func (s Sample) WithLabel(name, value string) Sample {
+	labels := make([]Label, 0, len(s.Labels)+1)
+	replaced := false
+	for _, l := range s.Labels {
+		if l.Name == name {
+			labels = append(labels, Label{Name: name, Value: value})
+			replaced = true
+			continue
+		}
+		labels = append(labels, l)
+	}
+	if !replaced {
+		labels = append(labels, Label{Name: name, Value: value})
+		sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	}
+	s.Labels = labels
+	return s
+}
+
+// WriteSample emits one sample line in exposition format.
+func WriteSample(w io.Writer, s Sample) {
+	if len(s.Labels) == 0 {
+		fmt.Fprintf(w, "%s %s\n", s.Name, s.Value)
+		return
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteString("} ")
+	b.WriteString(s.Value)
+	b.WriteByte('\n')
+	io.WriteString(w, b.String())
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import "sync"
+
+// Store is a bounded in-memory span store: spans grouped by trace,
+// oldest trace evicted first, each trace capped so a runaway fan-out
+// cannot hold the process hostage. It is the per-process backing of
+// GET /v1/jobs/{id}/spans.
+type Store struct {
+	mu        sync.Mutex
+	maxTraces int
+	maxSpans  int
+	byTrace   map[TraceID]*traceEntry
+	order     []TraceID // insertion order, eviction order
+}
+
+type traceEntry struct {
+	spans   []Span
+	dropped int
+}
+
+// DefaultMaxTraces and DefaultMaxSpansPerTrace bound a NewStore(0, 0).
+const (
+	DefaultMaxTraces        = 1024
+	DefaultMaxSpansPerTrace = 4096
+)
+
+// NewStore builds a span store; non-positive bounds take the defaults.
+func NewStore(maxTraces, maxSpansPerTrace int) *Store {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if maxSpansPerTrace <= 0 {
+		maxSpansPerTrace = DefaultMaxSpansPerTrace
+	}
+	return &Store{
+		maxTraces: maxTraces,
+		maxSpans:  maxSpansPerTrace,
+		byTrace:   map[TraceID]*traceEntry{},
+	}
+}
+
+// Add records one completed span. Spans with a zero trace ID are
+// dropped — they cannot be retrieved and would pin the store.
+func (s *Store) Add(sp Span) {
+	if sp.Trace.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.byTrace[sp.Trace]
+	if e == nil {
+		e = &traceEntry{}
+		s.byTrace[sp.Trace] = e
+		s.order = append(s.order, sp.Trace)
+		for len(s.order) > s.maxTraces {
+			delete(s.byTrace, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	if len(e.spans) >= s.maxSpans {
+		e.dropped++
+		return
+	}
+	e.spans = append(e.spans, sp)
+}
+
+// Spans returns a copy of the trace's spans in recording order, plus
+// how many were dropped by the per-trace cap.
+func (s *Store) Spans(id TraceID) (spans []Span, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.byTrace[id]
+	if e == nil {
+		return nil, 0
+	}
+	return append([]Span(nil), e.spans...), e.dropped
+}
+
+// Traces reports how many traces the store currently holds.
+func (s *Store) Traces() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byTrace)
+}
+
+// All returns a copy of every stored span, grouped by trace in trace
+// insertion order, plus the total dropped count. It serves whole-store
+// exports (a client merging its own spans into one artifact).
+func (s *Store) All() (spans []Span, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		e := s.byTrace[id]
+		spans = append(spans, e.spans...)
+		dropped += e.dropped
+	}
+	return spans, dropped
+}

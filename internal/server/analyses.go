@@ -12,6 +12,7 @@ import (
 
 	"prestores/internal/bench"
 	"prestores/internal/dirtbuster"
+	"prestores/internal/obs"
 	"prestores/internal/trace"
 )
 
@@ -82,7 +83,7 @@ func (s *Server) handleSubmitAnalysis(w http.ResponseWriter, r *http.Request) {
 	if spec.LineSize == 0 {
 		spec.LineSize = 64
 	}
-	st, j, err := s.submit("analysis", spec, !streamRequested(r), s.analysisJob(spec, info))
+	st, j, err := s.submit("analysis", spec, !streamRequested(r), parentFrom(r), s.analysisJob(spec, info))
 	s.respondSubmit(w, r, st, j, err)
 }
 
@@ -132,6 +133,8 @@ func (s *Server) analyzeStored(ctx context.Context, progress io.Writer, data []b
 	stats := dirtbuster.NewStats()
 	nChunks, err := runChunks(ctx, data, conc,
 		func(ctx context.Context, c *trace.Chunk) (*dirtbuster.Stats, error) {
+			ctx, sp := obs.Start(ctx, "analysis.chunk", obs.KV("phase", "stats"))
+			defer sp.End()
 			return an.Stats(ctx, c)
 		},
 		func(_ int, st *dirtbuster.Stats) error {
@@ -150,6 +153,8 @@ func (s *Server) analyzeStored(ctx context.Context, progress io.Writer, data []b
 	if plan.WriteIntensive {
 		applied, err := runChunks(ctx, data, conc,
 			func(ctx context.Context, c *trace.Chunk) (*dirtbuster.Partial, error) {
+				ctx, sp := obs.Start(ctx, "analysis.chunk", obs.KV("phase", "partial"))
+				defer sp.End()
 				return an.Partial(ctx, plan, c)
 			},
 			func(_ int, pt *dirtbuster.Partial) error {
@@ -325,9 +330,19 @@ func (s *Server) handleAnalyzeChunk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.traceChunks.Add(1)
+	// A coordinator fanning out carries its analysis job's trace in the
+	// traceparent header; the shard-side chunk work becomes a span in
+	// that same trace, on this shard's store.
+	ctx := r.Context()
+	if sc, ok := obs.Extract(r.Header); ok {
+		var sp *obs.ActiveSpan
+		ctx = obs.ContextWithSpan(obs.ContextWithTracer(ctx, s.tracer), sc)
+		ctx, sp = obs.Start(ctx, "analysis.chunk.remote", obs.KV("phase", hdr.Phase))
+		defer sp.End()
+	}
 	switch hdr.Phase {
 	case "stats":
-		st, err := localAnalyzer{}.Stats(r.Context(), c)
+		st, err := localAnalyzer{}.Stats(ctx, c)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -338,7 +353,7 @@ func (s *Server) handleAnalyzeChunk(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "partial phase needs a plan")
 			return
 		}
-		pt, err := localAnalyzer{}.Partial(r.Context(), hdr.Plan, c)
+		pt, err := localAnalyzer{}.Partial(ctx, hdr.Plan, c)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return

@@ -48,7 +48,7 @@ func (s *Server) handleSubmitEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := evalSpec{Spec: canon, Quick: body.Quick}
-	st, j, err := s.submit("eval", key, !streamRequested(r), s.evalRun(sp, body.Quick))
+	st, j, err := s.submit("eval", key, !streamRequested(r), parentFrom(r), s.evalRun(sp, body.Quick))
 	s.respondSubmit(w, r, st, j, err)
 }
 
@@ -116,7 +116,7 @@ func (s *Server) handleSubmitAutotune(w http.ResponseWriter, r *http.Request) {
 	keyPar := par
 	keyPar.Parallel = 0
 	key := autotuneKey{Spec: canon, Params: keyPar}
-	st, j, err := s.submit("autotune", key, !streamRequested(r), s.autotuneRun(sp, par))
+	st, j, err := s.submit("autotune", key, !streamRequested(r), parentFrom(r), s.autotuneRun(sp, par))
 	s.respondSubmit(w, r, st, j, err)
 }
 

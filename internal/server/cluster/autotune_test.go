@@ -135,12 +135,13 @@ func TestClusterAutotuneMatchesLocalByteForByte(t *testing.T) {
 	}
 
 	// The coordinator's metrics carry both its own families and the
-	// embedded host's autotune counters.
+	// federated daemon families: the embedded host's autotune counters
+	// appear relabeled as shard="self".
 	code, m := getBody(t, cts.URL+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("coordinator metrics: status %d", code)
 	}
-	for _, want := range []string{"prestored_coordinator_routed_total", "prestored_autotune_searches_total 1"} {
+	for _, want := range []string{"prestored_coordinator_routed_total", `prestored_autotune_searches_total{shard="self"} 1`} {
 		if !strings.Contains(string(m), want) {
 			t.Errorf("coordinator /metrics missing %q", want)
 		}

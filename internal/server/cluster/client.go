@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"prestores/internal/obs"
 	"prestores/internal/server"
 )
 
@@ -61,6 +62,9 @@ func (sc *shardClient) do(ctx context.Context, method, url string, body []byte) 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the coordinator's span context so the shard's job joins
+	// the same trace.
+	obs.InjectContext(ctx, req.Header)
 	resp, err := sc.api.Do(req)
 	if err != nil {
 		return nil, err
@@ -110,6 +114,7 @@ func (sc *shardClient) openStream(ctx context.Context, shardURL, remoteID string
 	if err != nil {
 		return nil, err
 	}
+	obs.InjectContext(ctx, req.Header)
 	resp, err := sc.stream.Do(req)
 	if err != nil {
 		return nil, err
@@ -142,6 +147,7 @@ func (sc *shardClient) postChunk(ctx context.Context, shardURL string, body []by
 		return nil, 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	obs.InjectContext(ctx, req.Header)
 	resp, err := sc.api.Do(req)
 	if err != nil {
 		return nil, 0, err

@@ -18,7 +18,9 @@ import (
 	"time"
 
 	"prestores/internal/bench"
+	"prestores/internal/obs"
 	"prestores/internal/server"
+	"prestores/internal/telemetry"
 )
 
 // Config tunes a Coordinator.
@@ -53,6 +55,12 @@ type Config struct {
 	Logger *slog.Logger
 	// Transport overrides the HTTP transport (tests); nil means default.
 	Transport http.RoundTripper
+	// Instance labels the coordinator's spans, typically its listen
+	// address. Empty is fine for tests.
+	Instance string
+	// Flight is the always-on flight recorder shared with the embedded
+	// host; nil means a fresh default-sized one.
+	Flight *obs.FlightRecorder
 }
 
 // Coordinator fronts a fleet of prestored worker shards with the same
@@ -89,6 +97,10 @@ type Coordinator struct {
 	jobs   map[string]*cjob
 	order  []string // job IDs, eviction order
 
+	tracer *obs.Tracer // routing/requeue spans, merged with shard spans per job
+	spans  *obs.Store
+	flight *obs.FlightRecorder
+
 	m     cmetrics
 	start time.Time
 }
@@ -102,6 +114,14 @@ type cjob struct {
 	path string // submit path, e.g. /v1/experiments
 	key  string // routing key
 	body []byte // original submit body, forwarded verbatim
+
+	// sc is the job's root span context on the coordinator (trace
+	// continued from the client's traceparent header when present);
+	// parentSpan is the client span it nests under. submitted is the
+	// root span's start; the span closes at the first terminal status.
+	sc         obs.SpanContext
+	parentSpan obs.SpanID
+	submitted  time.Time
 
 	// routeMu serializes requeues; mu guards the fields below.
 	routeMu  sync.Mutex
@@ -138,18 +158,33 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	c := &Coordinator{
-		cfg:   cfg,
-		ring:  NewRing(cfg.Shards, cfg.Replicas),
-		sc:    newShardClient(cfg.RequestTimeout, cfg.Backoff, cfg.Transport),
-		log:   cfg.Logger,
-		jobs:  map[string]*cjob{},
-		start: time.Now(),
+	if cfg.Flight == nil {
+		cfg.Flight = obs.NewFlightRecorder(0)
 	}
+	c := &Coordinator{
+		cfg:    cfg,
+		ring:   NewRing(cfg.Shards, cfg.Replicas),
+		sc:     newShardClient(cfg.RequestTimeout, cfg.Backoff, cfg.Transport),
+		log:    cfg.Logger,
+		jobs:   map[string]*cjob{},
+		spans:  obs.NewStore(0, 0),
+		flight: cfg.Flight,
+		start:  time.Now(),
+	}
+	c.tracer = &obs.Tracer{Service: "coordinator", Instance: cfg.Instance, Store: c.spans}
+	// Pre-seed every per-shard counter family with the configured
+	// shards: the series exist (at 0) from the very first scrape and
+	// never appear, vanish or reset as shards bounce in and out of the
+	// ring — counter monotonicity holds per series for the life of the
+	// coordinator process.
+	c.m.seed(cfg.Shards)
 	c.prober = newProber(cfg.Shards, c.sc, cfg.ProbeInterval, cfg.ProbeTimeout, c.log,
 		func(shard int, healthy bool) {
 			if !healthy {
 				c.m.probeDowns.inc(cfg.Shards[shard])
+				c.flight.Record("shard.down", "", "", cfg.Shards[shard])
+			} else {
+				c.flight.Record("shard.up", "", "", cfg.Shards[shard])
 			}
 		})
 	tuneWorkers := cfg.AutotuneWorkers
@@ -161,6 +196,8 @@ func New(cfg Config) (*Coordinator, error) {
 		AutotuneEvaluator: clusterEvaluator{c: c},
 		ChunkAnalyzer:     clusterAnalyzer{c: c},
 		Logger:            cfg.Logger,
+		Instance:          "embedded",
+		Flight:            cfg.Flight, // one black box for the whole coordinator process
 	})
 	c.routes()
 	go c.prober.run()
@@ -243,7 +280,9 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("GET /v1/jobs/{id}/linereport", c.artifactHandler("linereport"))
 	c.mux.HandleFunc("GET /v1/jobs/{id}/trajectory", c.artifactHandler("trajectory"))
 	c.mux.HandleFunc("GET /v1/jobs/{id}/winner", c.artifactHandler("winner"))
+	c.mux.HandleFunc("GET /v1/jobs/{id}/spans", c.handleJobSpans)
 	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancelJob)
+	c.mux.HandleFunc("GET /v1/debug/flightrecorder", c.handleFlightRecorder)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 }
@@ -311,17 +350,29 @@ func (c *Coordinator) submitHandler(kind string) http.HandlerFunc {
 			return
 		}
 
+		// The routed job's root span on the coordinator: it continues
+		// the client's trace (traceparent header) when one was sent, and
+		// every shard attempt propagates it downstream, so client span,
+		// coordinator routing and shard-side execution share a trace ID.
+		clientSC, _ := obs.Extract(r.Header)
+		sc := c.tracer.Child(clientSC)
+		submitted := time.Now()
+		rctx := obs.ContextWithSpan(r.Context(), sc)
+
 		tried := 0
 		for _, shard := range c.ring.Sequence(key) {
 			if !c.prober.healthy(shard) {
 				continue
 			}
 			tried++
-			sr, err := c.sc.submit(r.Context(), c.cfg.Shards[shard], path, body)
+			attempt := time.Now()
+			sr, err := c.sc.submit(rctx, c.cfg.Shards[shard], path, body)
 			if err != nil {
 				if r.Context().Err() != nil {
 					return // client gone; nothing to answer
 				}
+				c.tracer.Record(sc, "route", attempt, time.Now(),
+					obs.KV("shard", c.cfg.Shards[shard]), obs.KV("kind", kind), obs.KV("outcome", "shard-failed"))
 				c.shardFailed(shard, "submit", err)
 				continue
 			}
@@ -332,8 +383,12 @@ func (c *Coordinator) submitHandler(kind string) http.HandlerFunc {
 				w.Write(sr.body)
 				return
 			}
+			c.tracer.Record(sc, "route", attempt, time.Now(),
+				obs.KV("shard", c.cfg.Shards[shard]), obs.KV("kind", kind),
+				obs.KV("remote", sr.status.ID), obs.KV("cached", fmt.Sprint(sr.code == http.StatusOK)))
 			j := &cjob{kind: kind, path: path, key: key, body: body,
-				shard: shard, remoteID: sr.status.ID}
+				shard: shard, remoteID: sr.status.ID,
+				sc: sc, parentSpan: clientSC.Span, submitted: submitted}
 			st := *sr.status
 			if sr.code == http.StatusOK { // shard cache hit: already terminal
 				j.result = &st
@@ -347,9 +402,14 @@ func (c *Coordinator) submitHandler(kind string) http.HandlerFunc {
 			if j.result != nil {
 				j.result.ID = j.id
 				j.result.Key = key
+				c.closeRootSpan(j, j.result.State) // born terminal: shard cache hit
+			} else {
+				c.flight.Recordf("job.routed", j.id, sc.Trace.String(), "%s -> %s (%s)",
+					kind, c.cfg.Shards[shard], j.remoteID)
 			}
 			c.log.Info("job routed", "job", j.id, "kind", kind,
-				"shard", c.cfg.Shards[shard], "remote", j.remoteID, "cached", sr.code == http.StatusOK)
+				"shard", c.cfg.Shards[shard], "remote", j.remoteID, "cached", sr.code == http.StatusOK,
+				"trace", sc.Trace.String())
 			if streamRequested(r) {
 				c.streamProxy(w, r, j, 0)
 				return
@@ -358,6 +418,7 @@ func (c *Coordinator) submitHandler(kind string) http.HandlerFunc {
 			return
 		}
 		c.m.rejected.Add(1)
+		c.flight.Record("job.rejected", "", sc.Trace.String(), kind)
 		if tried == 0 {
 			writeError(w, http.StatusServiceUnavailable, "%v (of %d)", errNoHealthyShard, len(c.cfg.Shards))
 			return
@@ -419,6 +480,7 @@ func (c *Coordinator) job(id string) *cjob {
 // shardFailed demotes a shard after a call it failed to answer.
 func (c *Coordinator) shardFailed(shard int, op string, err error) {
 	c.m.shardErrors.inc(c.cfg.Shards[shard])
+	c.flight.Recordf("shard.error", "", "", "%s %s: %v", c.cfg.Shards[shard], op, err)
 	c.log.Warn("shard call failed", "shard", c.cfg.Shards[shard], "op", op, "err", err)
 	c.prober.markDown(shard)
 }
@@ -431,9 +493,23 @@ func (c *Coordinator) setResult(j *cjob, st server.JobStatus) {
 		j.result = &st
 	}
 	j.mu.Unlock()
-	if first && st.State == "done" {
+	if !first {
+		return
+	}
+	c.closeRootSpan(j, st.State)
+	if st.State == "done" {
 		c.m.jobsDone.Add(1)
 	}
+}
+
+// closeRootSpan emits the routed job's root span, spanning submit to
+// terminal status. Route/requeue child spans nest under it, so one
+// trace shows the job's full history across every shard it touched.
+func (c *Coordinator) closeRootSpan(j *cjob, state string) {
+	c.tracer.Add(obs.Span{Trace: j.sc.Trace, ID: j.sc.Span, Parent: j.parentSpan, Name: "job",
+		Start: j.submitted.UnixNano(), End: time.Now().UnixNano(),
+		Attrs: []obs.Attr{obs.KV("kind", j.kind), obs.KV("job", j.id), obs.KV("state", state)}})
+	c.flight.Record("job."+state, j.id, j.sc.Trace.String(), j.kind)
 }
 
 // rewrite maps a shard's job status into the coordinator's namespace.
@@ -472,6 +548,11 @@ func (c *Coordinator) requeue(ctx context.Context, j *cjob, failedShard int, fai
 		return fmt.Errorf("job %s exceeded %d requeues", j.id, c.cfg.MaxRequeues)
 	}
 
+	// The resubmit continues the job's trace: the replacement shard's
+	// spans land under the same trace ID as the lost shard's, so the
+	// merged span tree shows the whole failover.
+	ctx = obs.ContextWithSpan(ctx, j.sc)
+	rqStart := time.Now()
 	for _, target := range c.ring.Sequence(j.key) {
 		if target == failedShard || !c.prober.healthy(target) {
 			continue
@@ -492,14 +573,24 @@ func (c *Coordinator) requeue(ctx context.Context, j *cjob, failedShard int, fai
 				j.mu.Unlock()
 				c.m.requeued.inc(c.cfg.Shards[failedShard])
 				c.m.routed.inc(c.cfg.Shards[target])
+				c.tracer.Record(j.sc, "requeue", rqStart, time.Now(),
+					obs.KV("from", c.cfg.Shards[failedShard]), obs.KV("to", c.cfg.Shards[target]),
+					obs.KV("remote", sr.status.ID))
+				c.flight.Recordf("job.requeued", j.id, j.sc.Trace.String(), "%s -> %s (%s)",
+					c.cfg.Shards[failedShard], c.cfg.Shards[target], sr.status.ID)
 				c.log.Warn("job requeued", "job", j.id,
 					"from", c.cfg.Shards[failedShard], "to", c.cfg.Shards[target], "remote", sr.status.ID)
 				return nil
 			case sr.status != nil && sr.code == http.StatusOK:
 				st := j.rewrite(*sr.status)
-				c.setResult(j, st)
 				c.m.requeued.inc(c.cfg.Shards[failedShard])
 				c.m.cacheHits.inc(c.cfg.Shards[target])
+				c.tracer.Record(j.sc, "requeue", rqStart, time.Now(),
+					obs.KV("from", c.cfg.Shards[failedShard]), obs.KV("to", c.cfg.Shards[target]),
+					obs.KV("outcome", "cached"))
+				c.flight.Recordf("job.requeued", j.id, j.sc.Trace.String(), "%s -> %s (cached result)",
+					c.cfg.Shards[failedShard], c.cfg.Shards[target])
+				c.setResult(j, st)
 				c.log.Warn("job requeued to cached result", "job", j.id,
 					"from", c.cfg.Shards[failedShard], "to", c.cfg.Shards[target])
 				return nil
@@ -678,18 +769,51 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	c.renderMetrics(w)
-	// Append the embedded autotune host's families (prestored_*,
-	// including prestored_autotune_*) — name-disjoint from the
-	// coordinator's own prestored_coordinator_* set.
-	rec := newRecorder()
-	req, err := http.NewRequestWithContext(r.Context(), "GET", "/metrics", nil)
-	if err != nil {
+	// Then the federated daemon families (prestored_*): the embedded
+	// host and every healthy worker shard, each sample relabeled with
+	// its origin — name-disjoint from the coordinator's own
+	// prestored_coordinator_* set, so one scrape covers the fleet.
+	c.writeFederated(r.Context(), w)
+}
+
+// handleJobSpans serves a routed job's merged span timeline: the
+// coordinator's own spans (root, queue routing, requeues) plus the
+// owning shard's spans for the same trace, fetched live. The shard
+// fetch is best-effort — a dead shard degrades the artifact to the
+// coordinator's side of the story rather than failing the request.
+func (c *Coordinator) handleJobSpans(w http.ResponseWriter, r *http.Request) {
+	if c.delegated(w, r) {
 		return
 	}
-	c.tuner.Handler().ServeHTTP(rec, req)
-	if rec.code == http.StatusOK {
-		w.Write(rec.body.Bytes())
+	j := c.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
 	}
+	spans, dropped := c.spans.Spans(j.sc.Trace)
+	shard, remoteID, _ := j.placement()
+	if sr, err := c.sc.do(r.Context(), "GET", c.cfg.Shards[shard]+"/v1/jobs/"+remoteID+"/spans", nil); err == nil && sr.code == http.StatusOK {
+		var remote struct {
+			OtherData struct {
+				Dropped int `json:"droppedSpans"`
+			} `json:"otherData"`
+			Spans []obs.Span `json:"spans"`
+		}
+		if json.Unmarshal(sr.body, &remote) == nil {
+			spans = append(spans, remote.Spans...)
+			dropped += remote.OtherData.Dropped
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	telemetry.WriteSpanTimeline(w, spans, dropped)
+}
+
+// handleFlightRecorder dumps the coordinator process's flight recorder
+// (shared with the embedded host, so routing decisions, shard health
+// transitions and embedded-job events interleave in one timeline).
+func (c *Coordinator) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	c.flight.WriteJSON(w)
 }
 
 // ---- stream proxying ----

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"prestores/internal/obs"
 )
 
 // shardCounterVec is a counter family labeled by shard base URL.
@@ -22,6 +24,24 @@ func (v *shardCounterVec) inc(shard string) {
 		v.counts = map[string]int64{}
 	}
 	v.counts[shard]++
+}
+
+// seed materialises a zero-valued series for each shard. Seeded series
+// render from the very first scrape and are never deleted, so per-shard
+// counters stay present and monotonic across shard re-registration —
+// a shard bouncing out of and back into the ring never resets or hides
+// its series.
+func (v *shardCounterVec) seed(shards []string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.counts == nil {
+		v.counts = map[string]int64{}
+	}
+	for _, s := range shards {
+		if _, ok := v.counts[s]; !ok {
+			v.counts[s] = 0
+		}
+	}
 }
 
 func (v *shardCounterVec) snapshot() (shards []string, vals []int64) {
@@ -47,10 +67,22 @@ type cmetrics struct {
 	probeDowns   shardCounterVec // healthy→unhealthy transitions
 	chunks       shardCounterVec // trace-analysis chunk calls a shard answered
 	chunkRetries shardCounterVec // chunk calls moved OFF a shard after a failure
+	scrapeErrors shardCounterVec // federated /metrics scrapes that failed or did not parse
 
 	rejected  atomic.Int64 // submits refused: no healthy shard
 	jobsDone  atomic.Int64 // proxied jobs observed reaching state done
 	streamsUp atomic.Int64 // client streams currently proxied
+}
+
+// seed pre-creates every per-shard counter series for the configured
+// shards (see shardCounterVec.seed).
+func (m *cmetrics) seed(shards []string) {
+	for _, v := range []*shardCounterVec{
+		&m.routed, &m.cacheHits, &m.requeued, &m.shardErrors,
+		&m.probeDowns, &m.chunks, &m.chunkRetries, &m.scrapeErrors,
+	} {
+		v.seed(shards)
+	}
 }
 
 // renderMetrics writes the coordinator's Prometheus text exposition.
@@ -73,6 +105,10 @@ func (c *Coordinator) renderMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, val)
 	}
 
+	fmt.Fprintf(w, "# HELP prestored_coordinator_build_info Build metadata for the coordinator binary (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE prestored_coordinator_build_info gauge\n")
+	fmt.Fprintf(w, "prestored_coordinator_build_info{version=%q,go=%q} 1\n", obs.Version(), obs.GoVersion())
+
 	counterVec("prestored_coordinator_routed_total",
 		"Submits routed to a worker shard and accepted.", &m.routed)
 	counterVec("prestored_coordinator_cache_hits_total",
@@ -87,6 +123,8 @@ func (c *Coordinator) renderMetrics(w io.Writer) {
 		"Trace-analysis chunk calls answered by a shard.", &m.chunks)
 	counterVec("prestored_coordinator_chunk_retries_total",
 		"Chunk calls rerouted off a shard after it failed to answer.", &m.chunkRetries)
+	counterVec("prestored_coordinator_federation_errors_total",
+		"Federated /metrics scrapes that failed to fetch or parse.", &m.scrapeErrors)
 	counter("prestored_coordinator_rejected_total",
 		"Submits refused because no shard was healthy.", m.rejected.Load())
 	counter("prestored_coordinator_jobs_done_total",
@@ -108,5 +146,7 @@ func (c *Coordinator) renderMetrics(w io.Writer) {
 	gauge("prestored_coordinator_shards", "Configured worker shards.", float64(len(c.ring.Shards())))
 	gauge("prestored_coordinator_jobs_tracked", "Jobs the coordinator is tracking.", float64(tracked))
 	gauge("prestored_coordinator_streams_active", "Client streams currently proxied.", float64(m.streamsUp.Load()))
+	gauge("prestored_coordinator_span_traces", "Traces currently held in the coordinator span store.", float64(c.spans.Traces()))
+	counter("prestored_coordinator_flight_records_total", "Events recorded by the coordinator flight recorder.", int64(c.flight.Recorded()))
 	gauge("prestored_coordinator_uptime_seconds", "Seconds since the coordinator started.", time.Since(c.start).Seconds())
 }

@@ -8,6 +8,7 @@ import (
 
 	"prestores/internal/bench"
 	"prestores/internal/checkpoint"
+	"prestores/internal/obs"
 )
 
 // jobState is a job's position in its lifecycle.
@@ -57,6 +58,13 @@ type job struct {
 	out       *progressLog
 	done      chan struct{} // closed when the job reaches a final state
 	submitted time.Time
+	// sc is the job's root span context: minted at submit, continued
+	// from the request's traceparent header when one was sent (so the
+	// trace ID is the caller's), closed at finalize. parent is the
+	// caller's span the root nests under (zero when this daemon is the
+	// trace root).
+	sc     obs.SpanContext
+	parent obs.SpanID
 	// ckpt is the job's view of the shared warm-state checkpoint store,
 	// set by the worker before run starts and read by finalize for the
 	// lifecycle log; nil when checkpointing is disabled or the job was
@@ -69,6 +77,13 @@ type job struct {
 	detached  bool // an async submit owns it: run to completion even with no watchers
 	watchers  int  // active stream connections
 	artifacts map[string][]byte
+}
+
+// logCtx is a context carrying only the job's span identifiers, for
+// stamping lifecycle log lines with trace_id/span_id (the job's own
+// ctx is cancelled by then, and slog only reads values, never deadlines).
+func (j *job) logCtx() context.Context {
+	return obs.ContextWithSpan(context.Background(), j.sc)
 }
 
 // setArtifact attaches a named byte artifact (e.g. a recorded timeline)
@@ -104,13 +119,18 @@ type JobStatus struct {
 	Coalesced bool          `json:"coalesced,omitempty"`
 	Error     string        `json:"error,omitempty"`
 	Result    *bench.Result `json:"result,omitempty"`
+	// Trace is the job's trace ID: the cross-link between the job
+	// handle and GET /v1/jobs/{id}/spans, and what a client needs to
+	// merge the daemon's spans with its own.
+	Trace string `json:"trace_id,omitempty"`
 }
 
 // status snapshots the job for the wire.
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{ID: j.id, Kind: j.kind, Key: j.key, State: j.state.String()}
+	st := JobStatus{ID: j.id, Kind: j.kind, Key: j.key, State: j.state.String(),
+		Trace: j.sc.Trace.String()}
 	if j.result != nil {
 		st.Result = j.result
 		st.Error = j.result.Err

@@ -168,6 +168,12 @@ type metricsGauges struct {
 	// Trace-store occupancy, sampled from the store per scrape.
 	traceBytes  int64
 	traceStored int
+
+	// Build identity and observability-store occupancy.
+	version       string
+	goVersion     string
+	spanTraces    int
+	flightRecords uint64
 }
 
 // render writes the Prometheus text exposition format (version 0.0.4).
@@ -178,6 +184,12 @@ func (m *metrics) render(w io.Writer, g metricsGauges) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
+
+	// Build identity as the conventional constant-1 info gauge: joins
+	// let dashboards slice any series by the build that produced it.
+	fmt.Fprintf(w, "# HELP prestored_build_info Build identity of this daemon; constant 1.\n")
+	fmt.Fprintf(w, "# TYPE prestored_build_info gauge\nprestored_build_info{version=%q,go=%q} 1\n",
+		g.version, g.goVersion)
 
 	counter("prestored_jobs_completed_total", "Jobs that finished successfully.", m.jobsDone.Load())
 	counter("prestored_jobs_failed_total", "Jobs that finished with an error (panic or timeout).", m.jobsFailed.Load())
@@ -227,6 +239,9 @@ func (m *metrics) render(w io.Writer, g metricsGauges) {
 	gauge("prestored_inflight_keys", "Distinct cache keys currently queued or running.", float64(g.inflight))
 	gauge("prestored_cache_entries", "Results held in the cache.", float64(g.cacheEntries))
 	gauge("prestored_uptime_seconds", "Seconds since the daemon started.", g.uptime.Seconds())
+	gauge("prestored_span_traces", "Traces currently held by the span store.", float64(g.spanTraces))
+	fmt.Fprintf(w, "# HELP prestored_flight_records_total Entries appended to the flight recorder since start.\n")
+	fmt.Fprintf(w, "# TYPE prestored_flight_records_total counter\nprestored_flight_records_total %d\n", g.flightRecords)
 
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	ratio := 0.0

@@ -51,7 +51,7 @@ func (s *Server) handleSubmitScenario(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := scenarioKey{Spec: canon, Quick: body.Quick}
-	st, j, err := s.submit("scenario", key, !streamRequested(r), s.scenarioRun(sp, body.Quick))
+	st, j, err := s.submit("scenario", key, !streamRequested(r), parentFrom(r), s.scenarioRun(sp, body.Quick))
 	s.respondSubmit(w, r, st, j, err)
 }
 

@@ -45,7 +45,6 @@ import (
 	"net/http"
 	netpprof "net/http/pprof"
 	"runtime"
-	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -54,6 +53,8 @@ import (
 	"prestores/internal/bench"
 	"prestores/internal/checkpoint"
 	"prestores/internal/dirtbuster"
+	"prestores/internal/obs"
+	"prestores/internal/telemetry"
 )
 
 // Config tunes the daemon.
@@ -106,6 +107,13 @@ type Config struct {
 	// The cluster coordinator injects an analyzer that fans chunks out
 	// across its worker shards.
 	ChunkAnalyzer ChunkAnalyzer
+	// Instance labels this process's spans and trace artifacts,
+	// typically the listen address. Empty is fine for tests.
+	Instance string
+	// Flight is the always-on flight recorder; nil means a fresh
+	// default-sized one. cmd/prestored passes its own so the signal
+	// handler can dump it on forced shutdown.
+	Flight *obs.FlightRecorder
 }
 
 var (
@@ -134,6 +142,9 @@ type Server struct {
 	m      metrics
 	ck     *checkpoint.Store // shared warm-state cache; nil when disabled
 	traces *traceStore       // uploaded recordings, content-addressed
+	tracer *obs.Tracer       // span recording for this process
+	spans  *obs.Store        // backing of GET /v1/jobs/{id}/spans
+	flight *obs.FlightRecorder
 	// chunkSem bounds concurrent POST /v1/analyses/chunks work so a
 	// coordinator's fan-out cannot starve this shard's job workers.
 	chunkSem chan struct{}
@@ -163,6 +174,9 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.Flight == nil {
+		cfg.Flight = obs.NewFlightRecorder(0)
+	}
 	s := &Server{
 		log: cfg.Logger,
 		cfg:      cfg,
@@ -173,8 +187,11 @@ func New(cfg Config) *Server {
 		cacheIDs: make(map[string]string),
 		traces:   newTraceStore(cfg.TraceQuotaBytes),
 		chunkSem: make(chan struct{}, max(2, cfg.Workers)),
+		spans:    obs.NewStore(0, 0),
+		flight:   cfg.Flight,
 		start:    time.Now(),
 	}
+	s.tracer = &obs.Tracer{Service: "prestored", Instance: cfg.Instance, Store: s.spans}
 	if cfg.CheckpointBytes >= 0 {
 		ck, err := checkpoint.NewStore(cfg.CheckpointBytes, cfg.CheckpointDir)
 		if err != nil {
@@ -183,6 +200,7 @@ func New(cfg Config) *Server {
 			s.log.Warn("checkpoint disk tier unavailable", "dir", cfg.CheckpointDir, "error", err)
 			ck, _ = checkpoint.NewStore(cfg.CheckpointBytes, "")
 		}
+		ck.SetFlight(s.flight)
 		s.ck = ck
 	}
 	s.m.init()
@@ -195,17 +213,10 @@ func New(cfg Config) *Server {
 }
 
 // buildVersion is the cache-key namespace: the VCS revision when the
-// binary carries one, else "dev".
-func buildVersion() string {
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		for _, kv := range bi.Settings {
-			if kv.Key == "vcs.revision" {
-				return kv.Value
-			}
-		}
-	}
-	return "dev"
-}
+// binary carries one, else "dev". It is obs.Version, which all the
+// binaries also report via -version and the build_info gauge — one
+// notion of "what build is this" across the fleet.
+func buildVersion() string { return obs.Version() }
 
 // Handler returns the HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -255,7 +266,11 @@ func (s *Server) worker() {
 		}
 		wait := time.Since(j.submitted)
 		s.m.queueWait.observe(j.kind, wait)
-		s.log.Info("job start", "job", j.id, "kind", j.kind, "queue_wait", wait)
+		// The queue wait becomes a span after the fact: submit time to
+		// pickup, parented to the job's root span.
+		s.tracer.Record(j.sc, "queue.wait", j.submitted, time.Now(), obs.KV("kind", j.kind))
+		s.flight.Record("job.start", j.id, j.sc.Trace.String(), j.kind)
+		s.log.InfoContext(j.logCtx(), "job start", "job", j.id, "kind", j.kind, "queue_wait", wait)
 		s.m.running.Add(1)
 		// Each job gets its own view of the shared checkpoint store:
 		// warm states are reused across jobs, hit/miss counts stay
@@ -265,9 +280,15 @@ func (s *Server) worker() {
 			j.ckpt = s.ck.View()
 			ctx = checkpoint.NewContext(ctx, j.ckpt)
 		}
+		// The run span nests under the job root and travels in the
+		// context, so deep layers (checkpoint restore, autotune eval
+		// fan-out, chunk pipeline) hang their own spans off it.
+		ctx = obs.ContextWithSpan(obs.ContextWithTracer(ctx, s.tracer), j.sc)
+		ctx, runSpan := obs.Start(ctx, "run", obs.KV("kind", j.kind), obs.KV("job", j.id))
 		start := time.Now()
 		res := j.run(ctx, j)
 		dur := time.Since(start)
+		runSpan.End()
 		s.m.running.Add(-1)
 		s.m.runDur.observe(j.kind, dur)
 		s.finalize(j, res)
@@ -277,8 +298,11 @@ func (s *Server) worker() {
 // submit is the scheduling core: content-address the request, answer
 // from the cache, coalesce onto an identical in-flight job, or enqueue
 // a new one (429 when the queue is full). detached jobs run to
-// completion even if every watcher disconnects.
-func (s *Server) submit(kind string, spec any, detached bool,
+// completion even if every watcher disconnects. parent is the caller's
+// span context (extracted from the request's traceparent header): the
+// new job's trace continues it, so a coordinator — or the bench client
+// — sees its remote work under its own trace ID.
+func (s *Server) submit(kind string, spec any, detached bool, parent obs.SpanContext,
 	run func(context.Context, *job) bench.Result) (JobStatus, *job, error) {
 	key := cacheKey(kind, spec, s.cfg.Version)
 
@@ -289,13 +313,28 @@ func (s *Server) submit(kind string, spec any, detached bool,
 	}
 	if res, ok := s.cache[key]; ok {
 		s.m.cacheHits.Add(1)
+		id := s.cacheIDs[key]
+		s.flight.Record("cache.hit", id, parent.Trace.String(), kind)
+		if parent.Valid() {
+			// The caller still gets a span for the answered submit, in
+			// its own trace — a cache hit is a scheduling decision worth
+			// seeing on the timeline even though nothing ran.
+			now := time.Now()
+			s.tracer.Record(parent, "cache.hit", now, now, obs.KV("kind", kind), obs.KV("job", id))
+		}
 		return JobStatus{
-			ID: s.cacheIDs[key], Kind: kind, Key: key,
+			ID: id, Kind: kind, Key: key,
 			State: stateDone.String(), Cached: true, Result: res,
 		}, nil, nil
 	}
 	if j, ok := s.inflight[key]; ok {
 		s.m.coalesced.Add(1)
+		s.flight.Record("coalesced", j.id, parent.Trace.String(), kind)
+		if parent.Valid() {
+			now := time.Now()
+			s.tracer.Record(parent, "coalesced", now, now,
+				obs.KV("kind", kind), obs.KV("job", j.id), obs.KV("joined_trace", j.sc.Trace.String()))
+		}
 		if detached {
 			j.mu.Lock()
 			j.detached = true
@@ -313,18 +352,21 @@ func (s *Server) submit(kind string, spec any, detached bool,
 		run: run, ctx: ctx, cancel: cancel,
 		out: newProgressLog(), done: make(chan struct{}),
 		detached: detached, submitted: time.Now(),
+		sc: s.tracer.Child(parent), parent: parent.Span,
 	}
 	select {
 	case s.queue <- j:
 	default:
 		cancel()
 		s.m.rejected.Add(1)
+		s.flight.Record("rejected", "", parent.Trace.String(), kind+": queue full")
 		return JobStatus{}, nil, errQueueFull
 	}
 	s.jobs[j.id] = j
 	s.inflight[key] = j
 	s.m.cacheMisses.Add(1)
-	s.log.Info("job submitted", "job", j.id, "kind", kind, "key", key)
+	s.flight.Record("job.queued", j.id, j.sc.Trace.String(), kind)
+	s.log.InfoContext(j.logCtx(), "job submitted", "job", j.id, "kind", kind, "key", key)
 	return j.status(), j, nil
 }
 
@@ -366,20 +408,33 @@ func (s *Server) finalize(j *job, res bench.Result) {
 	}
 	s.mu.Unlock()
 
+	// Close the job's root span: submit time to final state, covering
+	// the queue wait and run spans nested under it.
+	s.tracer.Add(obs.Span{
+		Trace: j.sc.Trace, ID: j.sc.Span, Parent: j.parent,
+		Name: "job", Start: j.submitted.UnixNano(), End: time.Now().UnixNano(),
+		Attrs: []obs.Attr{
+			obs.KV("kind", j.kind), obs.KV("job", j.id), obs.KV("state", final.String()),
+		},
+	})
 	attrs := []any{"job", j.id, "kind", j.kind}
 	if j.ckpt != nil {
 		attrs = append(attrs, "ckpt_hits", j.ckpt.Hits(), "ckpt_misses", j.ckpt.Misses())
 	}
+	logCtx := j.logCtx()
 	switch final {
 	case stateDone:
 		s.m.jobsDone.Add(1)
-		s.log.Info("job done", attrs...)
+		s.flight.Record("job.done", j.id, j.sc.Trace.String(), j.kind)
+		s.log.InfoContext(logCtx, "job done", attrs...)
 	case stateFailed:
 		s.m.jobsFailed.Add(1)
-		s.log.Warn("job failed", append(attrs, "error", res.Err)...)
+		s.flight.Record("job.failed", j.id, j.sc.Trace.String(), res.Err)
+		s.log.WarnContext(logCtx, "job failed", append(attrs, "error", res.Err)...)
 	case stateCancelled:
 		s.m.jobsCancelled.Add(1)
-		s.log.Info("job cancelled", attrs...)
+		s.flight.Record("job.cancelled", j.id, j.sc.Trace.String(), j.kind)
+		s.log.InfoContext(logCtx, "job cancelled", attrs...)
 	}
 	s.m.finished.inc(j.kind, final.String())
 	j.cancel() // release the context's resources
@@ -451,7 +506,16 @@ func (s *Server) finalizeAbandoned(j *job) {
 	s.mu.Unlock()
 	s.m.jobsCancelled.Add(1)
 	s.m.finished.inc(j.kind, stateCancelled.String())
-	s.log.Info("job cancelled", "job", j.id, "kind", j.kind, "queued", true)
+	s.tracer.Add(obs.Span{
+		Trace: j.sc.Trace, ID: j.sc.Span, Parent: j.parent,
+		Name: "job", Start: j.submitted.UnixNano(), End: time.Now().UnixNano(),
+		Attrs: []obs.Attr{
+			obs.KV("kind", j.kind), obs.KV("job", j.id),
+			obs.KV("state", stateCancelled.String()), obs.KV("abandoned", "queued"),
+		},
+	})
+	s.flight.Record("job.cancelled", j.id, j.sc.Trace.String(), j.kind+": before start")
+	s.log.InfoContext(j.logCtx(), "job cancelled", "job", j.id, "kind", j.kind, "queued", true)
 	j.out.close()
 	close(j.done)
 }
@@ -502,9 +566,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/linereport", s.artifactHandler("linereport"))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trajectory", s.artifactHandler("trajectory"))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/winner", s.artifactHandler("winner"))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleJobSpans)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/debug/flightrecorder", s.handleFlightRecorder)
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
@@ -537,6 +603,38 @@ func (s *Server) artifactHandler(name string) http.HandlerFunc {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
 	}
+}
+
+// handleJobSpans serves the job's distributed-trace spans as a Chrome
+// trace-event artifact (with the raw spans embedded under "spans").
+// Unlike telemetry artifacts it is available while the job is still
+// running — a partial span tree is exactly what you want when asking
+// why a job is slow right now.
+func (s *Server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	spans, dropped := s.spans.Spans(j.sc.Trace)
+	w.Header().Set("Content-Type", "application/json")
+	telemetry.WriteSpanTimeline(w, spans, dropped)
+}
+
+// handleFlightRecorder dumps the always-on ring of recent job
+// transitions, errors and cache decisions — the first stop when the
+// daemon is misbehaving and the metrics only say "something is wrong".
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w)
+}
+
+// parentFrom extracts the caller's span context from the request's
+// traceparent header (zero when absent or malformed, which submit
+// treats as "this daemon is the trace root").
+func parentFrom(r *http.Request) obs.SpanContext {
+	sc, _ := obs.Extract(r.Header)
+	return sc
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -595,7 +693,7 @@ func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusNotFound, "unknown experiment %q; GET /v1/experiments lists the registry", spec.ID)
 		return
 	}
-	st, j, err := s.submit("experiment", spec, !streamRequested(r), s.experimentRun(e, spec.Quick))
+	st, j, err := s.submit("experiment", spec, !streamRequested(r), parentFrom(r), s.experimentRun(e, spec.Quick))
 	s.respondSubmit(w, r, st, j, err)
 }
 
@@ -609,7 +707,7 @@ func (s *Server) handleSubmitDirtbuster(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusNotFound, "unknown workload %q; GET /v1/workloads lists them", spec.Workload)
 		return
 	}
-	st, j, err := s.submit("dirtbuster", spec, !streamRequested(r), s.dirtbusterRun(wl))
+	st, j, err := s.submit("dirtbuster", spec, !streamRequested(r), parentFrom(r), s.dirtbusterRun(wl))
 	s.respondSubmit(w, r, st, j, err)
 }
 
@@ -625,7 +723,7 @@ func (s *Server) handleSubmitTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown workload %q; GET /v1/workloads lists them", spec.Workload)
 		return
 	}
-	st, j, err := s.submit("trace", spec, !streamRequested(r), s.traceRun(wl, spec))
+	st, j, err := s.submit("trace", spec, !streamRequested(r), parentFrom(r), s.traceRun(wl, spec))
 	s.respondSubmit(w, r, st, j, err)
 }
 
@@ -710,6 +808,15 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
 		}
 		off = n
 	}
+	// The stream itself is a span in the job's trace: how long a
+	// watcher followed, and from what byte offset it (re)attached —
+	// reconnect-after-failover shows up as a second stream span with a
+	// non-zero offset.
+	streamStart, attachOff := time.Now(), off
+	defer func() {
+		s.tracer.Record(j.sc, "stream.replay", streamStart, time.Now(),
+			obs.KV("offset", strconv.Itoa(attachOff)))
+	}()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
@@ -779,6 +886,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		inflight:      inflight,
 		cacheEntries:  cacheEntries,
 		uptime:        time.Since(s.start),
+		version:       s.cfg.Version,
+		goVersion:     obs.GoVersion(),
+		spanTraces:    s.spans.Traces(),
+		flightRecords: s.flight.Recorded(),
 	}
 	if s.ck != nil {
 		g.ckptEnabled = true

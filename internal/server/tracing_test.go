@@ -1,0 +1,328 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"prestores/internal/obs"
+)
+
+// spanDoc is the decoded /spans artifact: the Chrome trace events plus
+// the raw span array embedded for programmatic assertions.
+type spanDoc struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+	Spans       []obs.Span        `json:"spans"`
+}
+
+func getSpans(t *testing.T, base, id string) spanDoc {
+	t.Helper()
+	code, data, ctype := getArtifact(t, base, id, "spans")
+	if code != http.StatusOK {
+		t.Fatalf("GET spans: status %d: %s", code, data)
+	}
+	if ctype != "application/json" {
+		t.Fatalf("spans content-type %q", ctype)
+	}
+	var doc spanDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("spans artifact is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+func findSpan(spans []obs.Span, name string) *obs.Span {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+	}
+	return nil
+}
+
+// TestJobSpanTree submits with a client traceparent header and asserts
+// the daemon's span artifact: every span shares the client's trace ID,
+// the job root span nests under the client span, and queue-wait and
+// run spans nest under the root with queue-wait ending before run ends.
+func TestJobSpanTree(t *testing.T) {
+	e := synthExperiment("sp1", "span tree")
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	const clientTrace = "0123456789abcdef0123456789abcdef"
+	const clientSpan = "00f067aa0ba902b7"
+	req, err := http.NewRequest("POST", ts.URL+"/v1/experiments",
+		bytes.NewReader([]byte(`{"id":"sp1","quick":true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, "00-"+clientTrace+"-"+clientSpan+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace != clientTrace {
+		t.Fatalf("job status trace_id %q, want the client's %q", st.Trace, clientTrace)
+	}
+	st = waitFinal(t, ts.URL, st.ID)
+	if st.State != "done" {
+		t.Fatalf("job state %q: %+v", st.State, st)
+	}
+
+	doc := getSpans(t, ts.URL, st.ID)
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("spans artifact has no trace events")
+	}
+	for _, sp := range doc.Spans {
+		if got := sp.Trace.String(); got != clientTrace {
+			t.Fatalf("span %q on trace %s, want %s", sp.Name, got, clientTrace)
+		}
+		if sp.End < sp.Start {
+			t.Fatalf("span %q ends before it starts", sp.Name)
+		}
+	}
+
+	root := findSpan(doc.Spans, "job")
+	if root == nil {
+		t.Fatalf("no job root span in %+v", doc.Spans)
+	}
+	if got := root.Parent.String(); got != clientSpan {
+		t.Fatalf("job root parent %q, want the client span %q", got, clientSpan)
+	}
+	if root.Attr("state") != "done" {
+		t.Fatalf("job root state attr %q, want done", root.Attr("state"))
+	}
+	for _, name := range []string{"queue.wait", "run"} {
+		sp := findSpan(doc.Spans, name)
+		if sp == nil {
+			t.Fatalf("no %s span in %+v", name, doc.Spans)
+		}
+		if sp.Parent != root.ID {
+			t.Fatalf("%s span parent %s, want job root %s", name, sp.Parent, root.ID)
+		}
+	}
+	qw, run := findSpan(doc.Spans, "queue.wait"), findSpan(doc.Spans, "run")
+	if qw.End > run.End {
+		t.Fatalf("queue.wait ends (%d) after run ends (%d)", qw.End, run.End)
+	}
+}
+
+// TestJobSpansWithoutTraceparent: a submit with no traceparent still
+// gets a trace (minted at the API entry) and a parentless root span.
+func TestJobSpansWithoutTraceparent(t *testing.T) {
+	e := synthExperiment("sp2", "minted trace")
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	st := submit(t, ts.URL, map[string]any{"id": "sp2", "quick": true})
+	if st.Trace == "" {
+		t.Fatal("job status has no trace_id")
+	}
+	st = waitFinal(t, ts.URL, st.ID)
+
+	doc := getSpans(t, ts.URL, st.ID)
+	root := findSpan(doc.Spans, "job")
+	if root == nil {
+		t.Fatalf("no job root span in %+v", doc.Spans)
+	}
+	if !root.Parent.IsZero() {
+		t.Fatalf("minted root should have no parent, got %s", root.Parent)
+	}
+	if got := root.Trace.String(); got != st.Trace {
+		t.Fatalf("root trace %s != status trace_id %s", got, st.Trace)
+	}
+}
+
+// TestCacheHitSpan: a repeated submit resolves from the result cache
+// and records a zero-duration cache.hit span on the caller's trace —
+// the hit is a scheduling decision on the caller's timeline, not a new
+// job.
+func TestCacheHitSpan(t *testing.T) {
+	e := synthExperiment("sp3", "cache hit")
+	s, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	st := submit(t, ts.URL, map[string]any{"id": "sp3", "quick": true})
+	waitFinal(t, ts.URL, st.ID)
+
+	const clientTrace = "aaaabbbbccccddddaaaabbbbccccdddd"
+	req, err := http.NewRequest("POST", ts.URL+"/v1/experiments",
+		bytes.NewReader([]byte(`{"id":"sp3","quick":true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, "00-"+clientTrace+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit: status %d: %s", resp.StatusCode, data)
+	}
+	var st2 JobStatus
+	if err := json.Unmarshal(data, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatalf("second submit not cached: %+v", st2)
+	}
+
+	id, err := obs.ParseTraceID(clientTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, _ := s.spans.Spans(id)
+	sp := findSpan(spans, "cache.hit")
+	if sp == nil {
+		t.Fatalf("no cache.hit span on the client trace; have %+v", spans)
+	}
+	if sp.Attr("job") != st.ID {
+		t.Fatalf("cache.hit span points at job %q, want %q", sp.Attr("job"), st.ID)
+	}
+}
+
+// TestFlightRecorderEndpoint: the always-on flight recorder captures
+// the job lifecycle and serves it over /v1/debug/flightrecorder.
+func TestFlightRecorderEndpoint(t *testing.T) {
+	e := synthExperiment("fr1", "flight recorder")
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	st := submit(t, ts.URL, map[string]any{"id": "fr1", "quick": true})
+	waitFinal(t, ts.URL, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flightrecorder: status %d: %s", resp.StatusCode, data)
+	}
+	var dump struct {
+		Recorded uint64             `json:"recorded"`
+		Retained int                `json:"retained"`
+		Records  []obs.FlightRecord `json:"records"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v\n%s", err, data)
+	}
+	if dump.Recorded == 0 || len(dump.Records) == 0 {
+		t.Fatalf("flight recorder empty after a job: %s", data)
+	}
+	kinds := map[string]bool{}
+	for _, r := range dump.Records {
+		kinds[r.Kind] = true
+	}
+	for _, want := range []string{"job.queued", "job.start", "job.done"} {
+		if !kinds[want] {
+			t.Errorf("flight recorder missing %q records; have %v", want, kinds)
+		}
+	}
+	for _, r := range dump.Records {
+		if r.Kind == "job.done" && r.Job == st.ID && r.Trace != st.Trace {
+			t.Errorf("job.done flight record trace %q != job trace %q", r.Trace, st.Trace)
+		}
+	}
+}
+
+// TestMetricsParseAndMonotonic runs the daemon /metrics through the
+// strict promtext parser twice with work in between: the exposition
+// must stay well formed, every family typed, counters monotonic, and
+// the build-info gauge present with version and go labels.
+func TestMetricsParseAndMonotonic(t *testing.T) {
+	e := synthExperiment("pm1", "promtext")
+	_, ts := newTestServer(t, Config{Workers: 1, Lookup: lookupOf(e)})
+
+	parse := func() map[string]*obs.Family {
+		t.Helper()
+		fams, err := obs.ParseMetrics(strings.NewReader(scrapeMetrics(t, ts.URL)))
+		if err != nil {
+			t.Fatalf("daemon /metrics does not parse: %v", err)
+		}
+		byName := map[string]*obs.Family{}
+		for _, f := range fams {
+			if f.Type == "" {
+				t.Errorf("family %s has no TYPE line", f.Name)
+			}
+			if byName[f.Name] != nil {
+				t.Errorf("family %s declared twice", f.Name)
+			}
+			byName[f.Name] = f
+		}
+		return byName
+	}
+
+	before := parse()
+	bi := before["prestored_build_info"]
+	if bi == nil || len(bi.Samples) == 0 {
+		t.Fatal("no prestored_build_info family")
+	}
+	if bi.Samples[0].Label("version") == "" || bi.Samples[0].Label("go") == "" {
+		t.Fatalf("build_info missing version/go labels: %+v", bi.Samples[0])
+	}
+
+	st := submit(t, ts.URL, map[string]any{"id": "pm1", "quick": true})
+	waitFinal(t, ts.URL, st.ID)
+
+	after := parse()
+	for name, f := range before {
+		if f.Type != "counter" {
+			continue
+		}
+		af := after[name]
+		if af == nil {
+			t.Errorf("counter family %s vanished between scrapes", name)
+			continue
+		}
+		for _, s := range f.Samples {
+			for _, as := range af.Samples {
+				if as.Name != s.Name || !labelsEqual(as.Labels, s.Labels) {
+					continue
+				}
+				sv, _ := s.Float()
+				av, _ := as.Float()
+				if av < sv {
+					t.Errorf("counter %s went backwards: %g -> %g", s.Name, sv, av)
+				}
+			}
+		}
+	}
+	if f := after["prestored_jobs_finished_total"]; f == nil {
+		t.Error("no prestored_jobs_finished_total after a job")
+	}
+}
+
+func labelsEqual(a, b []obs.Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

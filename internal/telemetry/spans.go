@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+
+	"prestores/internal/obs"
+)
+
+// WriteSpanTimeline exports a set of distributed-tracing spans as a
+// Chrome trace-event JSON artifact, the same format WriteTimeline uses
+// for simulator events, so one viewer (Perfetto, chrome://tracing)
+// opens both. Layout: each (service, instance) pair is one trace
+// "process"; within a process, spans of the same trace share a thread
+// derived from the trace ID, so a request's lifecycle reads as one
+// horizontal lane. Timestamps are wall-clock microseconds.
+//
+// The artifact also embeds the raw spans under "spans" so scripted
+// consumers (CI assertions, the bench client's cross-process merge)
+// can check parent/child structure without parsing trace events.
+func WriteSpanTimeline(w io.Writer, spans []obs.Span, dropped int) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+
+	// Stable process numbering: sorted unique (service, instance).
+	type proc struct{ service, instance string }
+	pids := map[proc]int{}
+	var procs []proc
+	for _, sp := range spans {
+		p := proc{sp.Service, sp.Instance}
+		if _, ok := pids[p]; !ok {
+			pids[p] = 0
+			procs = append(procs, p)
+		}
+	}
+	sort.Slice(procs, func(i, j int) bool {
+		if procs[i].service != procs[j].service {
+			return procs[i].service < procs[j].service
+		}
+		return procs[i].instance < procs[j].instance
+	})
+	for i, p := range procs {
+		pids[p] = i
+	}
+
+	fmt.Fprintf(bw, `{"displayTimeUnit":"ms","otherData":{"clock":"wall us","droppedSpans":%d},"traceEvents":[`, dropped)
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+
+	for i, p := range procs {
+		name := p.service
+		if p.instance != "" {
+			name += " " + p.instance
+		}
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			i, strconv.Quote(name))
+	}
+
+	for i := range spans {
+		sp := &spans[i]
+		sep()
+		fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%s,"args":{"trace_id":%q,"span_id":%q`,
+			pids[proc{sp.Service, sp.Instance}], traceTID(sp.Trace),
+			sp.Start/1e3, (sp.End-sp.Start)/1e3,
+			strconv.Quote(sp.Name), sp.Trace.String(), sp.ID.String())
+		if !sp.Parent.IsZero() {
+			fmt.Fprintf(bw, `,"parent_span_id":%q`, sp.Parent.String())
+		}
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(bw, `,%s:%s`, strconv.Quote(a.Key), strconv.Quote(a.Value))
+		}
+		bw.WriteString(`}}`)
+	}
+
+	bw.WriteString(`],"spans":`)
+	raw, err := json.Marshal(spans)
+	if err != nil {
+		return err
+	}
+	bw.Write(raw)
+	bw.WriteString("}\n")
+	return bw.Flush()
+}
+
+// traceTID derives a stable thread ID from the trace ID so all of one
+// request's spans share a lane within their process.
+func traceTID(t obs.TraceID) int {
+	h := fnv.New32a()
+	h.Write(t[:])
+	return int(h.Sum32()&0x7fffff) + 1
+}

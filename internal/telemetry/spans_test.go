@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"prestores/internal/obs"
+)
+
+func TestWriteSpanTimeline(t *testing.T) {
+	trace := obs.NewTraceID()
+	root := obs.NewSpanID()
+	child := obs.NewSpanID()
+	now := time.Now().UnixNano()
+	spans := []obs.Span{
+		{Trace: trace, ID: root, Name: "job", Service: "prestored", Instance: ":1",
+			Start: now, End: now + int64(5*time.Millisecond)},
+		{Trace: trace, ID: child, Parent: root, Name: "run", Service: "prestored", Instance: ":1",
+			Start: now + int64(time.Millisecond), End: now + int64(4*time.Millisecond),
+			Attrs: []obs.Attr{obs.KV("kind", "experiment")}},
+		{Trace: trace, ID: obs.NewSpanID(), Name: "submit", Service: "bench-client",
+			Start: now, End: now + int64(time.Millisecond)},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSpanTimeline(&buf, spans, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		OtherData struct {
+			DroppedSpans int `json:"droppedSpans"`
+		} `json:"otherData"`
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Spans       []obs.Span       `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("artifact not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.OtherData.DroppedSpans != 2 {
+		t.Fatalf("droppedSpans = %d", doc.OtherData.DroppedSpans)
+	}
+	if len(doc.Spans) != 3 {
+		t.Fatalf("raw spans = %d", len(doc.Spans))
+	}
+	if doc.Spans[1].Parent != root {
+		t.Fatal("raw span parent lost")
+	}
+
+	var meta, slices int
+	pids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			pids[ev["pid"].(float64)] = true
+			args := ev["args"].(map[string]any)
+			if args["trace_id"] != trace.String() {
+				t.Fatalf("trace_id = %v", args["trace_id"])
+			}
+			if ev["name"] == "run" {
+				if args["parent_span_id"] != root.String() {
+					t.Fatalf("parent_span_id = %v", args["parent_span_id"])
+				}
+				if args["kind"] != "experiment" {
+					t.Fatalf("attr lost: %v", args)
+				}
+				if ev["dur"].(float64) != 3000 { // 3ms in us
+					t.Fatalf("dur = %v", ev["dur"])
+				}
+			}
+		}
+	}
+	// Two processes (bench-client, prestored :1), three slices.
+	if meta != 2 || slices != 3 || len(pids) != 2 {
+		t.Fatalf("meta=%d slices=%d pids=%d", meta, slices, len(pids))
+	}
+	// bench-client sorts before prestored → pid 0.
+	if !strings.Contains(buf.String(), `{"ph":"M","pid":0,"name":"process_name","args":{"name":"bench-client"}}`) {
+		t.Fatalf("process naming wrong:\n%s", buf.String())
+	}
+}
+
+func TestWriteSpanTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpanTimeline(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty artifact invalid: %v\n%s", err, buf.String())
+	}
+}
